@@ -1,0 +1,35 @@
+"""Benchmarks for the ablation studies (beyond the paper's own figures).
+
+1. Discrete vs continuous stake model (explains the 4661-vs-4685 gap).
+2. Sensitivity of the Table-2/3 crossing times to the honest split p0.
+3. The footnote-12 corner case (finalize early vs wait for the ejection).
+"""
+
+import pytest
+
+from repro.experiments import ablations
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablations(benchmark):
+    result = benchmark(ablations.run, 0.33, (0.3, 0.4, 0.5, 0.6, 0.7), (50, 200, 500, 1000))
+
+    # 1. The discrete and continuous ejection epochs agree within 1.5%.
+    for row in result.ejection_model.rows():
+        if row["continuous"] is None or row["discrete"] is None:
+            continue
+        assert abs(row["discrete"] - row["continuous"]) / row["continuous"] < 0.015
+
+    # 2. The even split is the fastest way to conflicting finalization for
+    # both strategies; moving p0 away from 0.5 slows the slower branch down.
+    sensitivity = {row["p0"]: row for row in result.split_sensitivity.rows()}
+    assert sensitivity[0.5]["epochs_slashing"] <= sensitivity[0.3]["epochs_slashing"]
+    assert sensitivity[0.5]["epochs_non_slashing"] <= sensitivity[0.7]["epochs_non_slashing"]
+
+    # 3. Waiting for the honest ejection maximises the Byzantine proportion.
+    corner_rows = result.early_finalization.rows()
+    at_ejection = corner_rows[0]["byzantine_proportion"]
+    assert all(row["byzantine_proportion"] <= at_ejection + 1e-9 for row in corner_rows)
+
+    print()
+    print(result.format_text())

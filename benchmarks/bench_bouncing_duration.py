@@ -1,0 +1,26 @@
+"""Benchmark + reproduction check for the Section-5.3 attack-duration estimate.
+
+Paper: with beta0 = 1/3 and j = 8, the probability that the probabilistic
+bouncing attack lasts 7000 epochs is (1 - (1 - 1/3)^8)^7000 ≈ 1.01e-121.
+"""
+
+import pytest
+
+from repro.experiments import bouncing_duration
+
+
+@pytest.mark.benchmark(group="bouncing-duration")
+def test_bouncing_duration(benchmark):
+    result = benchmark(
+        bouncing_duration.run, (1.0 / 3.0, 0.3, 0.25, 0.2, 0.1), (10, 100, 1000, 7000), 8
+    )
+    rows = {row["beta0"]: row for row in result.rows()}
+    assert rows[1.0 / 3.0]["log10_p_at_7000"] == pytest.approx(-121.0, abs=0.5)
+    # Survival probability decreases with the horizon and with smaller beta0.
+    for beta0, row in rows.items():
+        assert row["log10_p_at_7000"] < row["log10_p_at_1000"] < row["log10_p_at_100"]
+    assert rows[0.1]["log10_p_at_7000"] < rows[1.0 / 3.0]["log10_p_at_7000"]
+    # Expected duration is finite and modest even for beta0 = 1/3.
+    assert rows[1.0 / 3.0]["expected_duration_epochs"] < 50
+    print()
+    print(result.format_text())

@@ -1,0 +1,29 @@
+"""Benchmark + reproduction check for Figure 10 (P[beta > 1/3] over time)."""
+
+import pytest
+
+from repro.experiments import fig10_exceed_probability
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10_exceed_probability(benchmark):
+    beta0_values = (1.0 / 3.0, 0.3333, 0.333, 0.33, 0.329, 0.3)
+    result = benchmark(fig10_exceed_probability.run, beta0_values, 0.5, 8000, 50)
+    # Shape: the beta0 = 1/3 curve sits at 0.5; curves are ordered by beta0;
+    # every curve rises sharply shortly before the Byzantine ejection (~7653)
+    # and drops to zero after it.
+    one_third = result.series[1.0 / 3.0]
+    mid_index = len(result.epochs) // 2
+    assert one_third[mid_index] == pytest.approx(0.5, abs=1e-3)
+    at_4000 = {b: result.series[b][result.epochs.index(4000)] for b in beta0_values}
+    ordered = sorted(beta0_values)
+    assert all(at_4000[a] <= at_4000[b] + 1e-9 for a, b in zip(ordered, ordered[1:]))
+    for beta0 in (0.33, 0.329, 0.3):
+        series = result.series[beta0]
+        before_ejection = series[result.epochs.index(7500)]
+        early = series[result.epochs.index(2000)]
+        assert before_ejection > early
+        assert series[-1] == 0.0  # after the Byzantine ejection
+    assert result.byzantine_ejection_epoch == pytest.approx(7652, rel=0.01)
+    print()
+    print(result.format_text())

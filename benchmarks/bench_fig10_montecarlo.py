@@ -1,0 +1,36 @@
+"""Benchmark + validation: Monte-Carlo check of the Figure-10 closed form.
+
+The discrete per-validator simulation (score floor, ejection, 32-ETH cap,
+no Gaussian approximation) is compared against Equation 24.  At beta0 = 1/3
+the single-branch closed form sits at 0.5 and the two-branch probability at
+~1; the empirical either-branch probability must land near the latter.
+"""
+
+import pytest
+
+from repro.experiments import fig10_montecarlo
+
+
+@pytest.mark.benchmark(group="fig10-montecarlo")
+def test_fig10_montecarlo_validation(benchmark):
+    result = benchmark.pedantic(
+        fig10_montecarlo.run,
+        kwargs={
+            "beta0_values": (1.0 / 3.0, 0.33),
+            "horizon": 2500,
+            "n_trials": 30,
+            "n_honest": 150,
+            "seed": 0,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    rows = {row["beta0"]: row for row in result.rows()}
+    assert rows[1.0 / 3.0]["closed_form_single_branch"] == pytest.approx(0.5, abs=1e-3)
+    assert rows[1.0 / 3.0]["empirical_either_branch"] > 0.8
+    assert (
+        rows[0.33]["empirical_either_branch"]
+        <= rows[1.0 / 3.0]["empirical_either_branch"] + 1e-9
+    )
+    print()
+    print(result.format_text())

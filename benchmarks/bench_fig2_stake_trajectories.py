@@ -1,0 +1,27 @@
+"""Benchmark + reproduction check for Figure 2 (stake trajectories).
+
+Regenerates the three stake trajectories (active, semi-active, inactive)
+over 8000 epochs and checks the ejection epochs against the paper's 4685
+and 7652 references.
+"""
+
+import pytest
+
+from repro.experiments import fig2_stake_trajectories
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_fig2_stake_trajectories(benchmark):
+    result = benchmark(fig2_stake_trajectories.run, 8000, 10)
+    rows = {row["behavior"]: row for row in result.rows()}
+    # Shape: active constant, semi-active above inactive, ejection ordering.
+    assert rows["active"]["final_stake_eth"] == pytest.approx(32.0)
+    assert (
+        result.trajectories["semi-active"].final_stake()
+        >= result.trajectories["inactive"].final_stake()
+    )
+    # Paper: inactive ejected at 4685, semi-active at 7652 (within 1%).
+    assert rows["inactive"]["discrete_ejection_epoch"] == pytest.approx(4685, rel=0.01)
+    assert rows["semi-active"]["discrete_ejection_epoch"] == pytest.approx(7652, rel=0.01)
+    print()
+    print(result.format_text())

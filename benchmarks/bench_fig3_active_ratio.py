@@ -1,0 +1,30 @@
+"""Benchmark + reproduction check for Figure 3 (active-validator ratio vs p0)."""
+
+import pytest
+
+from repro.experiments import fig3_active_ratio
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_fig3_active_ratio(benchmark):
+    result = benchmark(
+        fig3_active_ratio.run,
+        (0.6, 0.5, 0.4, 0.3, 0.2),
+        8000,
+        40,
+        True,
+    )
+    # Shape: every curve starts at p0, is non-decreasing, and ends at 1 after
+    # the ejection of inactive validators; larger p0 crosses 2/3 earlier.
+    for p0 in result.p0_values:
+        series = result.analytical_series[p0]
+        assert series[0] == pytest.approx(p0)
+        assert all(b >= a - 1e-12 for a, b in zip(series, series[1:]))
+        assert series[-1] == pytest.approx(1.0)
+    assert result.threshold_epochs[0.6] < result.threshold_epochs[0.5]
+    # The discrete simulation tracks the analytical curve early on.
+    assert result.simulated_series[0.5][10] == pytest.approx(
+        result.analytical_series[0.5][10], abs=0.02
+    )
+    print()
+    print(result.format_text())

@@ -1,0 +1,21 @@
+"""Benchmark + reproduction check for Figure 6 (crossing time vs beta0, both strategies)."""
+
+import pytest
+
+from repro.experiments import fig6_finalization_times
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_finalization_times(benchmark):
+    result = benchmark(fig6_finalization_times.run, 0.33, 67, 0.5)
+    # Shape: both curves start at the honest-only bound (4685) and fall as
+    # beta0 grows; the slashing strategy is always at least as fast as the
+    # non-slashable one; both collapse towards ~0 as beta0 approaches 1/3.
+    assert result.slashing_epochs[0] == pytest.approx(4685.0)
+    assert result.non_slashing_epochs[0] == pytest.approx(4685.0)
+    assert result.non_slashing_always_slower()
+    assert result.slashing_epochs[-1] < 600
+    assert result.non_slashing_epochs[-1] < 600
+    assert all(b <= a + 1e-9 for a, b in zip(result.slashing_epochs, result.slashing_epochs[1:]))
+    print()
+    print(result.format_text())

@@ -1,0 +1,22 @@
+"""Benchmark + reproduction check for Figure 7 (feasible (p0, beta0) region)."""
+
+import pytest
+
+from repro.experiments import fig7_threshold_region
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_threshold_region(benchmark):
+    result = benchmark(fig7_threshold_region.run, 51, 67, 0.33)
+    # Paper: the smallest beta0 exceeding 1/3 on both branches at p0 = 0.5 is 0.2421.
+    assert result.critical_beta0_at_half == pytest.approx(0.2421, abs=5e-4)
+    # The boundary beta0_min(p0) grows with p0 (more honest-active stake on
+    # the branch makes the attack harder).
+    betas = list(result.boundary_beta0)
+    assert all(b >= a - 1e-12 for a, b in zip(betas, betas[1:]))
+    # Feasibility on both branches is symmetric around p0 = 0.5 and hardest there.
+    region = result.region
+    both = region.feasible_on_both()
+    assert both.any()
+    print()
+    print(result.format_text())

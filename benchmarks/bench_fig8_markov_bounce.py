@@ -1,0 +1,20 @@
+"""Benchmark + reproduction check for Figure 8 (Markov bounce model, Equation 15)."""
+
+import pytest
+
+from repro.experiments import fig8_markov_bounce
+
+
+@pytest.mark.benchmark(group="fig8")
+def test_fig8_markov_bounce(benchmark):
+    result = benchmark(fig8_markov_bounce.run, (0.5, 0.55, 0.6, 0.66))
+    for p0 in result.p0_values:
+        # The two-epoch paths and the Equation-15 increments are probability laws.
+        assert sum(result.path_probabilities[p0].values()) == pytest.approx(1.0)
+        assert sum(result.increment_distributions[p0].values()) == pytest.approx(1.0)
+        # The mean score increment is +3 per two epochs (V = 3/2), for every p0.
+        assert result.mean_two_epoch_increment[p0] == pytest.approx(3.0)
+    even = result.increment_distributions[0.5]
+    assert even[8] == pytest.approx(0.25) and even[3] == pytest.approx(0.5)
+    print()
+    print(result.format_text())

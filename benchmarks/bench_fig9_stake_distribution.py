@@ -1,0 +1,23 @@
+"""Benchmark + reproduction check for Figure 9 (stake distribution at t=4024)."""
+
+import pytest
+
+from repro.experiments import fig9_stake_distribution
+from repro.leak.stake import semi_active_stake
+
+
+@pytest.mark.benchmark(group="fig9")
+def test_fig9_stake_distribution(benchmark):
+    result = benchmark(fig9_stake_distribution.run, 4024, 0.5, 400)
+    row = result.rows()[0]
+    # The capped law integrates to 1 and, at t = 4024, is dominated by its
+    # continuous body centred on the semi-active trajectory.
+    assert row["total_mass"] == pytest.approx(1.0, abs=5e-3)
+    assert row["continuous_mass"] == pytest.approx(1.0, abs=5e-3)
+    assert result.median_stake == pytest.approx(semi_active_stake(4024.0), rel=1e-9)
+    # The density peaks near the median.
+    densities = dict(zip(result.stake_grid, result.density))
+    peak_stake = max(densities, key=densities.get)
+    assert peak_stake == pytest.approx(result.median_stake, abs=1.0)
+    print()
+    print(result.format_text())

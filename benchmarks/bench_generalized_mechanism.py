@@ -1,0 +1,38 @@
+"""Benchmark + ablation: the paper's quantities under alternative penalty mechanisms."""
+
+import pytest
+
+from repro.experiments import generalized_mechanism
+
+
+@pytest.mark.benchmark(group="generalized-mechanism")
+def test_generalized_mechanism_sweep(benchmark):
+    result = benchmark(generalized_mechanism.run)
+    rows = {row["mechanism"]: row for row in result.rows()}
+    # The Ethereum mechanism reproduces the paper's scales.
+    ethereum = rows["ethereum (2**26)"]
+    assert ethereum["safety_bound_epochs"] == pytest.approx(4661, abs=5)
+    assert ethereum["critical_beta0"] == pytest.approx(0.2421, abs=2e-3)
+    # Leak speed moves every timescale in the expected direction, while the
+    # critical Byzantine proportion is quotient-invariant.
+    assert (
+        rows["aggressive (2**20)"]["safety_bound_epochs"]
+        < ethereum["safety_bound_epochs"]
+        < rows["lenient (2**28)"]["safety_bound_epochs"]
+    )
+    assert rows["moderate (2**24)"]["critical_beta0"] == pytest.approx(
+        ethereum["critical_beta0"], rel=1e-9
+    )
+    print()
+    print(result.format_text())
+
+
+@pytest.mark.benchmark(group="generalized-mechanism")
+def test_recovery_tail(benchmark):
+    from repro.experiments import recovery_tail
+
+    result = benchmark(recovery_tail.run, (0.6, 0.62, 0.65))
+    for row in result.rows():
+        assert 0 < row["recovery_tail_epochs"] < row["leak_duration_epochs"]
+    print()
+    print(result.format_text())

@@ -1,0 +1,33 @@
+"""Benchmark + reproduction check for the Section-5.1 GST upper bound for Safety.
+
+Paper: with only honest validators, conflicting finalization cannot happen
+before 4685 epochs after the leak starts; it happens at 4686 epochs for an
+even split, which is the worst case over all splits.
+"""
+
+import pytest
+
+from repro.experiments import safety_bounds
+
+
+@pytest.mark.benchmark(group="safety-bound")
+def test_safety_bound_analytical(benchmark):
+    result = benchmark(safety_bounds.run, (0.5, 0.4, 0.3), False, 6000)
+    assert result.worst_case_bound() == pytest.approx(4686.0)
+    # The even split is the fastest configuration to lose Safety.
+    assert result.analytical_finalization[0.5] <= result.analytical_finalization[0.4]
+    assert result.analytical_finalization[0.4] <= result.analytical_finalization[0.3]
+    print()
+    print(result.format_text())
+
+
+@pytest.mark.benchmark(group="safety-bound")
+def test_safety_bound_simulated(benchmark):
+    result = benchmark(safety_bounds.run, (0.5,), True, 5200)
+    simulated = result.simulated_finalization[0.5]
+    assert simulated is not None
+    # The discrete simulator lands within 2% of the paper's 4686-epoch bound
+    # (the gap is the discretization of the stake recurrence, see DESIGN.md).
+    assert simulated == pytest.approx(4686, rel=0.02)
+    print()
+    print(result.format_text())

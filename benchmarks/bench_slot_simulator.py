@@ -1,0 +1,53 @@
+"""Benchmarks of the slot-level protocol simulator itself.
+
+These are engineering benchmarks (not paper figures): they time the
+simulator on the healthy-network baseline and on the partitioned-network
+scenario, and assert the protocol-level invariants that every run must
+satisfy (Liveness when the network is healthy, leak + stalled finality
+under partition, Availability throughout).
+"""
+
+import pytest
+
+from repro.sim.scenarios import build_honest_simulation, build_partitioned_simulation
+from repro.spec.config import SpecConfig
+
+
+@pytest.mark.benchmark(group="simulator")
+def test_healthy_network_throughput(benchmark):
+    def run():
+        engine = build_honest_simulation(n_validators=16)
+        return engine.run(6)
+
+    result = benchmark(run)
+    assert result.liveness_held(min_progress=3)
+    assert not result.safety_violated()
+
+
+@pytest.mark.benchmark(group="simulator")
+def test_partitioned_network_throughput(benchmark):
+    def run():
+        engine = build_partitioned_simulation(n_validators=16, p0=0.5)
+        return engine.run(6)
+
+    result = benchmark(run)
+    assert result.max_finalized_epoch() == 0
+    assert result.leak_epochs()
+
+
+@pytest.mark.benchmark(group="simulator")
+def test_double_voting_attack_run(benchmark):
+    config = SpecConfig.minimal().with_overrides(inactivity_penalty_quotient=2 ** 7)
+
+    def run():
+        engine = build_partitioned_simulation(
+            n_validators=12,
+            p0=0.5,
+            byzantine_fraction=0.25,
+            byzantine_strategy="double-voting",
+            config=config,
+        )
+        return engine.run(14)
+
+    result = benchmark(run)
+    assert result.safety_violated()

@@ -1,0 +1,23 @@
+"""Benchmark + ablation: (p0, beta0) sweep of the conflicting-finalization time."""
+
+import pytest
+
+from repro.experiments import sweep_grid
+
+
+@pytest.mark.benchmark(group="sweep-grid")
+def test_sweep_grid(benchmark):
+    result = benchmark(
+        sweep_grid.run, (0.3, 0.4, 0.5, 0.6, 0.7), (0.0, 0.1, 0.2, 0.3, 0.33)
+    )
+    # The even split is the worst case for every Byzantine proportion, and
+    # the grid is symmetric around it (the fork has two sides).
+    for beta0 in result.beta0_values:
+        assert result.worst_case_split(beta0) == pytest.approx(0.5)
+    assert result.slashing_grid[0, 0] == pytest.approx(result.slashing_grid[-1, 0])
+    # The paper's Table-2 corner values sit on the p0 = 0.5 row.
+    i = result.p0_values.index(0.5)
+    assert result.slashing_grid[i, 0] == pytest.approx(4685.0)
+    assert result.slashing_grid[i, -1] == pytest.approx(502, abs=1)
+    print()
+    print(result.format_text())

@@ -1,0 +1,22 @@
+"""Benchmark + reproduction check for Table 1 (the five analysed scenarios)."""
+
+import pytest
+
+from repro.experiments import table1_scenarios
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_scenarios(benchmark):
+    result = benchmark(table1_scenarios.run, 0.33, 0.25, 0.5, 6000)
+    # Every scenario reproduces the qualitative outcome of the paper's Table 1.
+    assert result.matches_paper()
+    rows = {row["scenario"]: row for row in result.rows()}
+    assert rows["5.1"]["conflicting_finalization_epoch"] is not None
+    assert rows["5.2.1"]["conflicting_finalization_epoch"] is not None
+    assert (
+        rows["5.2.1"]["conflicting_finalization_epoch"]
+        < rows["5.1"]["conflicting_finalization_epoch"]
+    )
+    assert rows["5.2.3"]["max_byzantine_proportion"] > 1 / 3
+    print()
+    print(result.format_text())

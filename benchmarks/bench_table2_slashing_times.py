@@ -1,0 +1,27 @@
+"""Benchmark + reproduction check for Table 2 (slashable Byzantine strategy).
+
+Paper values (p0 = 0.5): beta0 -> epochs to conflicting finalization
+0 -> 4685, 0.1 -> 4066, 0.15 -> 3622, 0.2 -> 3107, 0.33 -> 502.
+"""
+
+import pytest
+
+from repro.experiments import table2_slashing_times
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_analytical(benchmark):
+    result = benchmark(table2_slashing_times.run, (0.0, 0.1, 0.15, 0.2, 0.33), 0.5, False, 6000)
+    for row in result.rows():
+        assert row["epochs_analytical"] == row["epochs_paper"]
+    print()
+    print(result.format_text())
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_with_simulation_cross_check(benchmark):
+    result = benchmark(table2_slashing_times.run, (0.2, 0.33), 0.5, True, 4500)
+    for row in result.rows():
+        assert row["epochs_simulated"] == pytest.approx(row["epochs_analytical"], rel=0.03)
+    print()
+    print(result.format_text())

@@ -1,0 +1,34 @@
+"""Benchmark + reproduction check for Table 3 (non-slashable Byzantine strategy).
+
+Paper values (p0 = 0.5): beta0 -> epochs to conflicting finalization
+0 -> 4685, 0.1 -> 4221, 0.15 -> 3819, 0.2 -> 3328, 0.33 -> 556.
+The middle rows land within 1% of the paper's own numerical solution of
+Equation 10; the 0 and 0.33 rows match exactly.
+"""
+
+import pytest
+
+from repro.experiments import table3_nonslashing_times
+
+
+@pytest.mark.benchmark(group="table3")
+def test_table3_analytical(benchmark):
+    result = benchmark(
+        table3_nonslashing_times.run, (0.0, 0.1, 0.15, 0.2, 0.33), 0.5, False, 6000
+    )
+    for row in result.rows():
+        assert row["epochs_analytical"] == pytest.approx(row["epochs_paper"], rel=0.01)
+    measured = {row["beta0"]: row["epochs_analytical"] for row in result.rows()}
+    assert measured[0.0] == 4685
+    assert measured[0.33] == 556
+    print()
+    print(result.format_text())
+
+
+@pytest.mark.benchmark(group="table3")
+def test_table3_with_simulation_cross_check(benchmark):
+    result = benchmark(table3_nonslashing_times.run, (0.33,), 0.5, True, 1200)
+    row = result.rows()[0]
+    assert row["epochs_simulated"] == pytest.approx(row["epochs_analytical"], rel=0.05)
+    print()
+    print(result.format_text())

@@ -1,0 +1,13 @@
+"""Benchmark-suite configuration.
+
+Makes ``src/`` importable without installation and keeps pytest-benchmark
+output compact (the benches double as reproduction checks: each one asserts
+the paper-facing shape of its result in addition to timing the run).
+"""
+
+import pathlib
+import sys
+
+_SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

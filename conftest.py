@@ -1,0 +1,13 @@
+"""Repository-level pytest configuration.
+
+Makes ``src/`` importable even when the package has not been installed
+(useful on offline machines where ``pip install -e .`` needs
+``--no-build-isolation``).
+"""
+
+import pathlib
+import sys
+
+_SRC = pathlib.Path(__file__).resolve().parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Scenario 5.3: the probabilistic bouncing attack under the inactivity leak.
+
+The bouncing attack delays finality by making honest validators alternate
+between two branches; once it lasts more than four epochs the inactivity
+leak starts and the honest validators — randomly inactive on whichever
+branch they are not on — leak stake according to a random-walk model, while
+the Byzantine validators follow the deterministic semi-active trajectory.
+If the Byzantine proportion starts close enough to 1/3, it probabilistically
+exceeds the threshold (Figure 10), even though the attack itself is unlikely
+to last long (the (1-(1-beta0)^j)^k estimate).
+
+Run with:  python examples/bouncing_attack.py
+"""
+
+from repro import BouncingAttackModel
+from repro.analysis.bouncing import attack_duration_probability, expected_attack_duration
+from repro.experiments import fig9_stake_distribution, fig10_exceed_probability
+from repro.viz import ascii_plot, format_table, sparkline
+
+
+def feasibility_and_duration() -> None:
+    print("=" * 72)
+    print("Feasibility window (Eq. 14) and attack duration")
+    print("=" * 72)
+    rows = []
+    for beta0 in (1 / 3, 0.3, 0.25, 0.2, 0.1):
+        model = BouncingAttackModel(beta0=beta0, p0=0.55)
+        lower, upper = model.feasible_p0_window()
+        rows.append(
+            {
+                "beta0": beta0,
+                "p0 window low": lower,
+                "p0 window high": upper,
+                "expected duration (epochs)": expected_attack_duration(beta0),
+                "P[lasts 100 epochs]": attack_duration_probability(beta0, 100),
+            }
+        )
+    print(format_table(rows))
+    model = BouncingAttackModel(beta0=1 / 3)
+    print(f"\n  P[attack lasts 7000 epochs] at beta0=1/3: "
+          f"10^{model.log10_duration_probability(7000):.1f}  (paper: ~1e-121)")
+
+
+def honest_stake_distribution() -> None:
+    print()
+    print("=" * 72)
+    print("Honest stake distribution during the bounce (Figure 9, t = 4024)")
+    print("=" * 72)
+    result = fig9_stake_distribution.run()
+    print(f"  mass ejected (stake -> 0): {result.ejection_mass:.4f}")
+    print(f"  mass still at 32 ETH:      {result.cap_mass:.4f}")
+    print(f"  median stake:              {result.median_stake:.2f} ETH")
+    print(f"  density over [16.75, 32]:  {sparkline(result.density, width=64)}")
+
+
+def exceed_probability_curves() -> None:
+    print()
+    print("=" * 72)
+    print("Probability that the Byzantine proportion exceeds 1/3 (Figure 10)")
+    print("=" * 72)
+    result = fig10_exceed_probability.run()
+    series = {
+        f"beta0={beta0:.4f}": (list(result.epochs), result.series[beta0])
+        for beta0 in result.beta0_values
+    }
+    print(ascii_plot(series, width=68, height=16, x_label="epoch", y_label="P[beta > 1/3]"))
+    print()
+    print(f"  Byzantine (semi-active) validators are ejected at epoch "
+          f"~{result.byzantine_ejection_epoch:.0f}; the curves rise sharply just before")
+    print("  that point, but the attack is overwhelmingly unlikely to last that long.")
+
+
+def monte_carlo_check() -> None:
+    print()
+    print("=" * 72)
+    print("Monte-Carlo cross-check of Equation 24")
+    print("=" * 72)
+    rows = []
+    for beta0, t in ((1 / 3, 1500), (1 / 3, 3000), (0.333, 3000), (0.33, 5000)):
+        model = BouncingAttackModel(beta0=beta0, p0=0.5)
+        rows.append(
+            {
+                "beta0": beta0,
+                "epoch": t,
+                "closed form (Eq. 24)": model.exceed_threshold_probability(float(t)),
+                "Monte-Carlo (discrete rules)": model.simulate_exceed_probability(
+                    t=t, n_samples=4000, seed=42
+                ),
+            }
+        )
+    print(format_table(rows))
+
+
+def main() -> None:
+    feasibility_and_duration()
+    honest_stake_distribution()
+    exceed_probability_curves()
+    monte_carlo_check()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Quickstart: a healthy network, a partitioned network, and the inactivity leak.
+
+This example exercises the two simulation engines of the library:
+
+1. the slot-level protocol simulator (fork choice + FFG + incentives) on a
+   healthy network and on a partitioned one,
+2. the epoch-level aggregate leak simulator over the long horizons the
+   paper's analysis uses,
+
+and prints the headline quantities of the paper on the way: when the
+inactivity leak starts, how the stake of inactive validators erodes, and
+when a partitioned network finalizes two conflicting chains.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import (
+    Behavior,
+    LeakSimulation,
+    GroupSpec,
+    build_honest_simulation,
+    build_partitioned_simulation,
+    conflicting_finalization_time,
+    sample_trajectory,
+)
+from repro.analysis.finalization_time import ByzantineStrategy
+from repro.leak.groups import always_active, never_active
+from repro.viz import ascii_plot, sparkline
+
+
+def healthy_network_demo() -> None:
+    print("=" * 72)
+    print("1. Healthy network: the finalized chain grows every epoch")
+    print("=" * 72)
+    engine = build_honest_simulation(n_validators=16)
+    result = engine.run(8)
+    for snapshot in result.snapshots:
+        finalized = max(snapshot.finalized_epoch_by_node.values())
+        print(f"  epoch {snapshot.epoch}: highest finalized epoch = {finalized}, "
+              f"in leak = {snapshot.any_in_leak}")
+    print(f"  Liveness held: {result.liveness_held(min_progress=3)}; "
+          f"Safety violated: {result.safety_violated()}")
+
+
+def partitioned_network_demo() -> None:
+    print()
+    print("=" * 72)
+    print("2. Partitioned network: finality stalls and the inactivity leak starts")
+    print("=" * 72)
+    engine = build_partitioned_simulation(n_validators=16, p0=0.5)
+    result = engine.run(8)
+    print(f"  finalized epoch after 8 epochs of partition: {result.max_finalized_epoch()}")
+    print(f"  epochs spent in the inactivity leak: {result.leak_epochs()}")
+    node = engine.nodes[engine.honest_indices()[0]]
+    stakes = [round(v.stake, 3) for v in node.state.validators]
+    print(f"  stakes as seen on branch-1 (its own side keeps 32, the other leaks): {stakes}")
+
+
+def stake_trajectories_demo() -> None:
+    print()
+    print("=" * 72)
+    print("3. Stake trajectories during a never-ending leak (Figure 2)")
+    print("=" * 72)
+    for behavior in (Behavior.ACTIVE, Behavior.SEMI_ACTIVE, Behavior.INACTIVE):
+        trajectory = sample_trajectory(behavior, max_epoch=8000, step=100)
+        line = sparkline(trajectory.stakes, width=60)
+        ejection = (
+            f"ejected at epoch ~{trajectory.ejection_epoch:.0f}"
+            if trajectory.ejection_epoch is not None
+            else "never ejected"
+        )
+        print(f"  {behavior.value:<12} {line}  ({ejection})")
+
+
+def conflicting_finalization_demo() -> None:
+    print()
+    print("=" * 72)
+    print("4. How long must a partition last to finalize two conflicting chains?")
+    print("=" * 72)
+    analytical = conflicting_finalization_time(ByzantineStrategy.NONE, p0=0.5)
+    print(f"  analytical bound (Section 5.1): threshold at epoch "
+          f"{analytical.threshold_epoch:.0f}, conflicting finalization at epoch "
+          f"{analytical.finalization_epoch:.0f} (~3 weeks)")
+
+    simulation = LeakSimulation(
+        branch_specs={
+            "branch-1": (
+                GroupSpec(name="active", weight=0.5, pattern=always_active),
+                GroupSpec(name="inactive", weight=0.5, pattern=never_active),
+            ),
+            "branch-2": (
+                GroupSpec(name="active", weight=0.5, pattern=never_active),
+                GroupSpec(name="inactive", weight=0.5, pattern=always_active),
+            ),
+        }
+    )
+    result = simulation.run(5200)
+    print(f"  discrete simulation: conflicting finalization at epoch "
+          f"{result.conflicting_finalization_epoch()}")
+    branch = result.branch("branch-1")
+    epochs = [record.epoch for record in branch.records][::50]
+    ratios = branch.active_ratio_series()[::50]
+    print()
+    print(ascii_plot(
+        {"active-stake ratio (branch 1)": (epochs, ratios)},
+        width=64, height=12,
+        x_label="epochs since leak start", y_label="ratio",
+    ))
+
+
+def main() -> None:
+    healthy_network_demo()
+    partitioned_network_demo()
+    stake_trajectories_demo()
+    conflicting_finalization_demo()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""repro — reproduction of "Byzantine Attacks Exploiting Penalties in Ethereum PoS".
+
+The package is organised in layers:
+
+* :mod:`repro.spec` — a from-scratch Gasper-style protocol substrate
+  (blocks, attestations, fork choice, FFG finality, incentives, the
+  inactivity leak, slashing).
+* :mod:`repro.network` — partially-synchronous message passing with
+  partitions, GST, and a coordinating adversary.
+* :mod:`repro.agents` / :mod:`repro.sim` — validator behaviours (honest and
+  Byzantine attack strategies) driven by a slot-level simulation engine.
+* :mod:`repro.leak` — epoch-level aggregate leak dynamics (discrete ground
+  truth) and the paper's continuous stake functions.
+* :mod:`repro.analysis` — the paper's analytical results: conflicting
+  finalization times, the one-third threshold region, and the probabilistic
+  bouncing attack under penalties.
+* :mod:`repro.experiments` — one runnable experiment per table and figure.
+"""
+
+from repro.analysis import (
+    BouncingAttackModel,
+    BouncingStakeDistribution,
+    ByzantineStrategy,
+    conflicting_finalization_time,
+    critical_beta0,
+    epochs_to_conflicting_finalization,
+    run_all_scenarios,
+)
+from repro.leak import (
+    Behavior,
+    GroupSpec,
+    LeakSimulation,
+    StakeTrajectory,
+    active_ratio_honest_only,
+    sample_trajectory,
+)
+from repro.sim import (
+    SimulationEngine,
+    build_honest_simulation,
+    build_partitioned_simulation,
+)
+from repro.spec import BeaconState, SpecConfig, Store, Validator, make_registry
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BeaconState",
+    "Behavior",
+    "BouncingAttackModel",
+    "BouncingStakeDistribution",
+    "ByzantineStrategy",
+    "GroupSpec",
+    "LeakSimulation",
+    "SimulationEngine",
+    "SpecConfig",
+    "StakeTrajectory",
+    "Store",
+    "Validator",
+    "__version__",
+    "active_ratio_honest_only",
+    "build_honest_simulation",
+    "build_partitioned_simulation",
+    "conflicting_finalization_time",
+    "critical_beta0",
+    "epochs_to_conflicting_finalization",
+    "make_registry",
+    "run_all_scenarios",
+    "sample_trajectory",
+]

@@ -1,0 +1,29 @@
+"""Validator agents: honest behaviours and Byzantine attack strategies."""
+
+from repro.agents.base import (
+    AgentContext,
+    AttestationAction,
+    ProposalAction,
+    ValidatorAgent,
+)
+from repro.agents.byzantine import (
+    AlternatingAgent,
+    BouncingAgent,
+    ByzantineAgent,
+    DoubleVotingAgent,
+)
+from repro.agents.honest import HonestAgent, IntermittentAgent, OfflineAgent
+
+__all__ = [
+    "AgentContext",
+    "AlternatingAgent",
+    "AttestationAction",
+    "BouncingAgent",
+    "ByzantineAgent",
+    "DoubleVotingAgent",
+    "HonestAgent",
+    "IntermittentAgent",
+    "OfflineAgent",
+    "ProposalAction",
+    "ValidatorAgent",
+]

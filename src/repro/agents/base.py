@@ -1,0 +1,97 @@
+"""Validator agent interface for the slot-level simulator.
+
+An *agent* decides what a validator does with its duties: which block to
+propose, what to attest, and to whom the messages should go.  Honest agents
+follow the protocol; Byzantine agents implement the paper's attack
+strategies.  Agents never touch the network directly — they return
+*actions* which the simulation engine executes through the transport and
+the adversary, so the timing and partitioning rules are enforced in one
+place.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, List, Optional, Sequence
+
+from repro.spec.attestation import Attestation
+from repro.spec.block import BeaconBlock
+from repro.spec.committees import EpochDuties
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.sim.node import Node
+
+
+@dataclass
+class ProposalAction:
+    """A block proposal to publish.
+
+    ``audience`` restricts delivery to one partition (by name); ``None``
+    broadcasts to every participant the network can reach.
+    """
+
+    block: BeaconBlock
+    audience: Optional[str] = None
+
+
+@dataclass
+class AttestationAction:
+    """An attestation to publish.
+
+    ``audience`` restricts delivery to one partition; ``withhold`` hands the
+    attestation to the adversary instead of the network, to be released
+    later (the bouncing attack's withheld votes).
+    """
+
+    attestation: Attestation
+    audience: Optional[str] = None
+    withhold: bool = False
+
+
+@dataclass
+class AgentContext:
+    """Everything an agent may look at when deciding its actions."""
+
+    validator_index: int
+    slot: int
+    epoch: int
+    time: float
+    #: The validator's local node: store, state, vote pool, detector.
+    node: "Node"
+    #: Duties of the current epoch (shared deterministic schedule).
+    duties: EpochDuties
+    #: True when this validator proposes at this slot.
+    is_proposer: bool
+    #: True when this validator's attestation duty falls on this slot.
+    is_attester: bool
+    #: Names of the network partitions (empty when the network is whole).
+    partition_names: Sequence[str] = ()
+
+
+class ValidatorAgent(ABC):
+    """Behaviour of one validator."""
+
+    def __init__(self, validator_index: int) -> None:
+        self.validator_index = validator_index
+
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def propose(self, ctx: AgentContext) -> List[ProposalAction]:
+        """Return the block proposals to publish at this slot (may be empty)."""
+
+    @abstractmethod
+    def attest(self, ctx: AgentContext) -> List[AttestationAction]:
+        """Return the attestations to publish at this slot (may be empty)."""
+
+    def on_epoch_start(self, ctx: AgentContext) -> None:
+        """Hook called at the first slot of every epoch (default: no-op)."""
+
+    # ------------------------------------------------------------------
+    @property
+    def is_byzantine(self) -> bool:
+        """True for agents controlled by the adversary."""
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(validator={self.validator_index})"

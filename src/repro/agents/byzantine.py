@@ -1,0 +1,256 @@
+"""Byzantine validator agents implementing the paper's attack strategies.
+
+All Byzantine agents are coordinated by the adversary: they know the
+partition membership (the adversary is unaffected by partitions) and they
+can target messages at one partition or withhold them for later release.
+
+* :class:`DoubleVotingAgent` — Section 5.2.1: attest on both branches every
+  epoch (slashable once the evidence crosses the healed partition).
+* :class:`AlternatingAgent` — Sections 5.2.2 / 5.2.3: semi-active on each
+  branch, alternating every epoch (never slashable); optionally "bursts"
+  two consecutive epochs on a branch to finalize it.
+* :class:`BouncingAgent` — Section 5.3: withholds votes and releases them at
+  epoch boundaries to keep honest validators bouncing between branches.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.agents.base import (
+    AgentContext,
+    AttestationAction,
+    ProposalAction,
+    ValidatorAgent,
+)
+from repro.spec.types import Root
+
+
+class ByzantineAgent(ValidatorAgent):
+    """Base class for adversary-controlled agents."""
+
+    def __init__(
+        self,
+        validator_index: int,
+        partition_members: Dict[str, Set[int]],
+    ) -> None:
+        super().__init__(validator_index)
+        if not partition_members:
+            raise ValueError("Byzantine agents need the partition membership map")
+        self.partition_members = {
+            name: set(members) for name, members in partition_members.items()
+        }
+        self.partition_names = list(self.partition_members)
+
+    @property
+    def is_byzantine(self) -> bool:
+        return True
+
+    # ------------------------------------------------------------------
+    def branch_head_for_partition(self, ctx: AgentContext, partition: str) -> Root:
+        """Head of the branch built by the given partition, from the local tree.
+
+        Byzantine validators are bridge nodes, so their tree contains the
+        blocks of both partitions.  The branch "belonging" to a partition is
+        identified by the proposer of its most recent non-genesis block.
+        """
+        members = self.partition_members[partition]
+        tree = ctx.node.store.tree
+        best: Optional[Root] = None
+        best_slot = -1
+        for leaf in tree.leaves():
+            block = tree.get(leaf)
+            # Walk down until a non-genesis block proposed by a partition member.
+            current = block
+            while True:
+                if not current.is_genesis() and current.proposer_index in members:
+                    if block.slot > best_slot:
+                        best = leaf
+                        best_slot = block.slot
+                    break
+                if current.is_genesis():
+                    break
+                current = tree.get(current.parent_root)
+        if best is not None:
+            return best
+        # No partition-specific branch yet: fall back to the local head.
+        return ctx.node.head()
+
+    def source_checkpoint_for_branch(self, ctx: AgentContext, head: Root, partition: str):
+        """The FFG source to use when attesting on the branch of ``head``.
+
+        The adversary crafts each branch's attestation so that its source
+        matches what that branch's honest validators consider justified —
+        otherwise the Byzantine vote would not contribute to the branch's
+        supermajority links.  Being connected to both partitions, the agent
+        simply mirrors the most advanced source used by the partition's own
+        validators (restricted to checkpoints on this branch); genesis is the
+        fallback.
+        """
+        tree = ctx.node.store.tree
+        members = self.partition_members[partition]
+        best = None
+        for epoch in sorted(ctx.node.attestations_by_epoch, reverse=True):
+            for attestation in ctx.node.attestations_by_epoch[epoch]:
+                if attestation.validator_index not in members:
+                    continue
+                source = attestation.source
+                if source.root not in tree or not tree.is_ancestor(source.root, head):
+                    continue
+                if best is None or source.epoch > best.epoch:
+                    best = source
+            if best is not None and best.epoch > 0:
+                break
+        if best is not None:
+            return best
+        # Fall back to checkpoints justified in the agent's own state that lie
+        # on this branch (genesis always qualifies).
+        state = ctx.node.state
+        fallback = state.finalized_checkpoints[0]
+        for epoch in sorted(state.justified_checkpoints):
+            checkpoint = state.justified_checkpoints[epoch]
+            if checkpoint.root in tree and tree.is_ancestor(checkpoint.root, head):
+                if checkpoint.epoch > fallback.epoch:
+                    fallback = checkpoint
+        return fallback
+
+    def attestation_for_branch(self, ctx: AgentContext, partition: str):
+        """Build the branch-consistent attestation for one partition."""
+        head = self.branch_head_for_partition(ctx, partition)
+        source = self.source_checkpoint_for_branch(ctx, head, partition)
+        return ctx.node.attestation_for(slot=ctx.slot, head=head, source=source)
+
+    def _partition_for_epoch(self, epoch: int) -> str:
+        """Alternation helper: even epochs -> first partition, odd -> second."""
+        return self.partition_names[epoch % len(self.partition_names)]
+
+
+class DoubleVotingAgent(ByzantineAgent):
+    """Attests (and proposes) on every branch each epoch — slashable behaviour."""
+
+    def propose(self, ctx: AgentContext) -> List[ProposalAction]:
+        if not ctx.is_proposer:
+            return []
+        actions: List[ProposalAction] = []
+        for partition in self.partition_names:
+            parent = self.branch_head_for_partition(ctx, partition)
+            block = ctx.node.build_block(
+                slot=ctx.slot, parent=parent, branch_tag=partition, include_evidence=False
+            )
+            actions.append(ProposalAction(block=block, audience=partition))
+        return actions
+
+    def attest(self, ctx: AgentContext) -> List[AttestationAction]:
+        if not ctx.is_attester:
+            return []
+        actions: List[AttestationAction] = []
+        for partition in self.partition_names:
+            attestation = self.attestation_for_branch(ctx, partition)
+            actions.append(AttestationAction(attestation=attestation, audience=partition))
+        return actions
+
+
+class AlternatingAgent(ByzantineAgent):
+    """Semi-active on both branches, alternating each epoch (non-slashable).
+
+    With ``finalize_when_possible=True`` the agent implements the Section
+    5.2.2 strategy: once it observes that its vote would push a branch over
+    the supermajority, it stays on that branch for two consecutive epochs to
+    finalize it, then switches to the other branch.  With the flag off it
+    implements the Section 5.2.3 strategy (never finalize, grow beta).
+    """
+
+    def __init__(
+        self,
+        validator_index: int,
+        partition_members: Dict[str, Set[int]],
+        finalize_when_possible: bool = False,
+    ) -> None:
+        super().__init__(validator_index, partition_members)
+        self.finalize_when_possible = finalize_when_possible
+        self._burst_partition: Optional[str] = None
+        self._burst_epochs_left = 0
+
+    def _current_partition(self, ctx: AgentContext) -> str:
+        if self._burst_partition is not None and self._burst_epochs_left > 0:
+            return self._burst_partition
+        return self._partition_for_epoch(ctx.epoch)
+
+    def on_epoch_start(self, ctx: AgentContext) -> None:
+        if self._burst_epochs_left > 0:
+            self._burst_epochs_left -= 1
+            if self._burst_epochs_left == 0:
+                self._burst_partition = None
+        if self.finalize_when_possible and self._burst_partition is None:
+            # Heuristic trigger: if this node's local chain justified the
+            # previous epoch, staying two epochs on the same branch will
+            # produce consecutive justifications and finalize it.
+            if ctx.node.state.is_justified(max(0, ctx.epoch - 1)):
+                self._burst_partition = self._partition_for_epoch(ctx.epoch)
+                self._burst_epochs_left = 2
+
+    def propose(self, ctx: AgentContext) -> List[ProposalAction]:
+        if not ctx.is_proposer:
+            return []
+        partition = self._current_partition(ctx)
+        parent = self.branch_head_for_partition(ctx, partition)
+        block = ctx.node.build_block(
+            slot=ctx.slot, parent=parent, branch_tag=partition, include_evidence=False
+        )
+        return [ProposalAction(block=block, audience=partition)]
+
+    def attest(self, ctx: AgentContext) -> List[AttestationAction]:
+        if not ctx.is_attester:
+            return []
+        partition = self._current_partition(ctx)
+        attestation = self.attestation_for_branch(ctx, partition)
+        return [AttestationAction(attestation=attestation, audience=partition)]
+
+
+class BouncingAgent(ByzantineAgent):
+    """Withholds votes and releases them to keep honest validators bouncing.
+
+    Each epoch the agent votes for the branch that the honest majority is
+    *not* currently on and hands the attestation to the adversary
+    (``withhold=True``).  The simulation engine releases all withheld votes
+    at the start of the next epoch, at which point they tip the fork choice
+    of part of the honest validators towards the other branch — the bounce.
+    """
+
+    def __init__(
+        self,
+        validator_index: int,
+        partition_members: Dict[str, Set[int]],
+    ) -> None:
+        super().__init__(validator_index, partition_members)
+
+    def _losing_partition(self, ctx: AgentContext) -> str:
+        """The partition whose branch currently has the lighter honest support."""
+        weights: Dict[str, float] = {}
+        for partition in self.partition_names:
+            head = self.branch_head_for_partition(ctx, partition)
+            support = 0.0
+            for index, message in ctx.node.store.latest_messages.items():
+                if index in self.partition_members[partition] and message.root == head:
+                    support += ctx.node.state.validators[index].stake
+            weights[partition] = support
+        return min(self.partition_names, key=lambda name: weights.get(name, 0.0))
+
+    def propose(self, ctx: AgentContext) -> List[ProposalAction]:
+        if not ctx.is_proposer:
+            return []
+        partition = self._losing_partition(ctx)
+        parent = self.branch_head_for_partition(ctx, partition)
+        block = ctx.node.build_block(
+            slot=ctx.slot, parent=parent, branch_tag=partition, include_evidence=False
+        )
+        # The proposal itself is published immediately: it is the withheld
+        # attestations that do the bouncing.
+        return [ProposalAction(block=block)]
+
+    def attest(self, ctx: AgentContext) -> List[AttestationAction]:
+        if not ctx.is_attester:
+            return []
+        partition = self._losing_partition(ctx)
+        attestation = self.attestation_for_branch(ctx, partition)
+        return [AttestationAction(attestation=attestation, withhold=True)]

@@ -1,0 +1,72 @@
+"""Honest (protocol-following) validator agents."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.agents.base import (
+    AgentContext,
+    AttestationAction,
+    ProposalAction,
+    ValidatorAgent,
+)
+
+
+class HonestAgent(ValidatorAgent):
+    """Follows the protocol: proposes on its head, attests its view."""
+
+    def propose(self, ctx: AgentContext) -> List[ProposalAction]:
+        if not ctx.is_proposer:
+            return []
+        block = ctx.node.build_block(slot=ctx.slot)
+        return [ProposalAction(block=block)]
+
+    def attest(self, ctx: AgentContext) -> List[AttestationAction]:
+        if not ctx.is_attester:
+            return []
+        attestation = ctx.node.attestation_for(slot=ctx.slot)
+        return [AttestationAction(attestation=attestation)]
+
+
+class OfflineAgent(ValidatorAgent):
+    """A crashed or unreachable validator: never proposes nor attests.
+
+    Used to model honest validators that are simply down (they are deemed
+    inactive on every chain and leak accordingly).
+    """
+
+    def propose(self, ctx: AgentContext) -> List[ProposalAction]:
+        return []
+
+    def attest(self, ctx: AgentContext) -> List[AttestationAction]:
+        return []
+
+
+class IntermittentAgent(ValidatorAgent):
+    """An honest validator that is only online every ``period`` epochs.
+
+    With ``period=2`` this reproduces the "semi-active" behaviour of
+    Section 4.3 for an honest validator with poor connectivity.
+    """
+
+    def __init__(self, validator_index: int, period: int = 2, phase: int = 0) -> None:
+        super().__init__(validator_index)
+        if period < 1:
+            raise ValueError("period must be at least 1")
+        self.period = period
+        self.phase = phase % period
+
+    def _online(self, epoch: int) -> bool:
+        return epoch % self.period == self.phase
+
+    def propose(self, ctx: AgentContext) -> List[ProposalAction]:
+        if not ctx.is_proposer or not self._online(ctx.epoch):
+            return []
+        block = ctx.node.build_block(slot=ctx.slot)
+        return [ProposalAction(block=block)]
+
+    def attest(self, ctx: AgentContext) -> List[AttestationAction]:
+        if not ctx.is_attester or not self._online(ctx.epoch):
+            return []
+        attestation = ctx.node.attestation_for(slot=ctx.slot)
+        return [AttestationAction(attestation=attestation)]

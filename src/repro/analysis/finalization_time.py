@@ -1,0 +1,220 @@
+"""Time to (conflicting) finalization during the inactivity leak.
+
+Implements the paper's Equations 6 and 9 (closed forms) and the numerical
+solution of Equation 10, i.e. the number of epochs after the start of the
+inactivity leak at which a branch regains a supermajority of active stake,
+for the three settings studied in Section 5:
+
+* honest validators only (Section 5.1, Equation 6),
+* Byzantine validators active on both branches — slashable behaviour
+  (Section 5.2.1, Equation 9, Table 2),
+* Byzantine validators semi-active on both branches — non-slashable
+  behaviour (Section 5.2.2, Equation 10 solved numerically, Table 3).
+
+The "conflicting finalization" time of a fork is the time at which the
+*slowest* branch finalizes; one extra epoch is needed after the threshold
+crossing to finalize the preceding justified checkpoint (the paper's 4685
+→ 4686 remark).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from scipy import optimize
+
+from repro import constants
+from repro.leak.ratios import (
+    active_ratio_honest_only,
+    active_ratio_with_semi_active_byzantine,
+    active_ratio_with_slashing_byzantine,
+)
+
+
+#: The epoch at which honest inactive validators are ejected; beyond this
+#: point the branch trivially regains a supermajority (the ratio jumps to 1
+#: in Figure 3), so every crossing time is capped at this value.
+EJECTION_CAP = float(constants.PAPER_INACTIVE_EJECTION_EPOCH)
+
+#: The FFG supermajority threshold.
+SUPERMAJORITY = 2.0 / 3.0
+
+
+class ByzantineStrategy:
+    """Names of the Byzantine strategies whose crossing times we compute."""
+
+    NONE = "honest-only"
+    SLASHING = "slashing"
+    NON_SLASHING = "non-slashing"
+
+
+def _validate_inputs(p0: float, beta0: float) -> None:
+    if not 0.0 <= p0 <= 1.0:
+        raise ValueError(f"p0 must lie in [0, 1], got {p0}")
+    if not 0.0 <= beta0 < 1.0:
+        raise ValueError(f"beta0 must lie in [0, 1), got {beta0}")
+
+
+# ----------------------------------------------------------------------
+# Equation 6 — honest validators only
+# ----------------------------------------------------------------------
+def threshold_epoch_honest_only(
+    p0: float, ejection_cap: float = EJECTION_CAP
+) -> float:
+    """Epochs until a branch with honest-active proportion ``p0`` regains 2/3 (Eq. 6).
+
+    ``t = min( sqrt(2**25 [ln(2(1-p0)) - ln(p0)]), 4685 )`` for 0 < p0 < 2/3.
+    For ``p0 >= 2/3`` the branch already holds a supermajority, so 0 is
+    returned; for ``p0 == 0`` the branch can only recover at the ejection
+    cap.
+    """
+    _validate_inputs(p0, 0.0)
+    if p0 >= SUPERMAJORITY:
+        return 0.0
+    if p0 <= 0.0:
+        return ejection_cap
+    argument = math.log(2.0 * (1.0 - p0)) - math.log(p0)
+    if argument <= 0.0:
+        return 0.0
+    return min(math.sqrt(2 ** 25 * argument), ejection_cap)
+
+
+# ----------------------------------------------------------------------
+# Equation 9 — Byzantine active on both branches (slashable)
+# ----------------------------------------------------------------------
+def threshold_epoch_slashing(
+    p0: float, beta0: float, ejection_cap: float = EJECTION_CAP
+) -> float:
+    """Epochs until the branch regains 2/3 with double-voting Byzantine stake (Eq. 9).
+
+    ``t = min( sqrt(2**25 [ln(2(1-p0)) - ln(p0 + beta0/(1-beta0))]), 4685 )``.
+    """
+    _validate_inputs(p0, beta0)
+    effective_active = p0 + beta0 / (1.0 - beta0) if beta0 < 1.0 else float("inf")
+    if effective_active >= 2.0 * (1.0 - p0):
+        # The log argument is non-positive: the supermajority holds from t=0.
+        return 0.0
+    argument = math.log(2.0 * (1.0 - p0)) - math.log(effective_active)
+    return min(math.sqrt(2 ** 25 * argument), ejection_cap)
+
+
+# ----------------------------------------------------------------------
+# Equation 10 — Byzantine semi-active (non-slashable), numeric solve
+# ----------------------------------------------------------------------
+def threshold_epoch_non_slashing(
+    p0: float,
+    beta0: float,
+    ejection_cap: float = EJECTION_CAP,
+    tolerance: float = 1e-9,
+) -> float:
+    """Epochs until the branch regains 2/3 with semi-active Byzantine stake.
+
+    Equation 10 has no closed-form crossing time; we find the root of
+    ``ratio(t) - 2/3`` with Brent's method on ``[0, ejection_cap]``.  If the
+    ratio never reaches 2/3 before the ejection cap, the cap is returned
+    (at that point the honest inactive validators are ejected and the ratio
+    jumps above 2/3).
+    """
+    _validate_inputs(p0, beta0)
+
+    def gap(t: float) -> float:
+        return active_ratio_with_semi_active_byzantine(t, p0, beta0) - SUPERMAJORITY
+
+    if gap(0.0) >= 0.0:
+        return 0.0
+    if gap(ejection_cap) < 0.0:
+        return ejection_cap
+    return float(
+        optimize.brentq(gap, 0.0, ejection_cap, xtol=tolerance, maxiter=200)
+    )
+
+
+# ----------------------------------------------------------------------
+# Conflicting finalization of the whole fork
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ConflictingFinalization:
+    """Summary of a conflicting-finalization computation for one fork."""
+
+    strategy: str
+    p0: float
+    beta0: float
+    #: Threshold-crossing epoch of the branch with honest proportion p0.
+    branch_1_epoch: float
+    #: Threshold-crossing epoch of the branch with honest proportion 1-p0.
+    branch_2_epoch: float
+    #: Epoch at which the slowest branch crosses the threshold.
+    threshold_epoch: float
+    #: Epoch of conflicting finalization (threshold + 1, the extra epoch
+    #: needed to finalize the preceding justified checkpoint).
+    finalization_epoch: float
+
+
+def _threshold_for(strategy: str, p0: float, beta0: float, ejection_cap: float) -> float:
+    if strategy == ByzantineStrategy.NONE:
+        return threshold_epoch_honest_only(p0, ejection_cap)
+    if strategy == ByzantineStrategy.SLASHING:
+        return threshold_epoch_slashing(p0, beta0, ejection_cap)
+    if strategy == ByzantineStrategy.NON_SLASHING:
+        return threshold_epoch_non_slashing(p0, beta0, ejection_cap)
+    raise ValueError(f"unknown Byzantine strategy {strategy!r}")
+
+
+def conflicting_finalization_time(
+    strategy: str,
+    p0: float = 0.5,
+    beta0: float = 0.0,
+    ejection_cap: float = EJECTION_CAP,
+) -> ConflictingFinalization:
+    """Epochs until both branches of the fork finalize (Safety is lost).
+
+    The fork splits honest validators into proportions ``p0`` and ``1-p0``;
+    the Byzantine strategy determines how the adversary's stake counts on
+    each branch.  Conflicting finalization is reached when the *slower*
+    branch finalizes, one epoch after its threshold crossing.
+    """
+    if strategy == ByzantineStrategy.NONE and beta0 != 0.0:
+        raise ValueError("the honest-only strategy requires beta0 == 0")
+    branch_1 = _threshold_for(strategy, p0, beta0, ejection_cap)
+    branch_2 = _threshold_for(strategy, 1.0 - p0, beta0, ejection_cap)
+    threshold = max(branch_1, branch_2)
+    return ConflictingFinalization(
+        strategy=strategy,
+        p0=p0,
+        beta0=beta0,
+        branch_1_epoch=branch_1,
+        branch_2_epoch=branch_2,
+        threshold_epoch=threshold,
+        finalization_epoch=threshold + 1.0,
+    )
+
+
+def epochs_to_conflicting_finalization(
+    strategy: str,
+    p0: float = 0.5,
+    beta0: float = 0.0,
+    ejection_cap: float = EJECTION_CAP,
+) -> int:
+    """The integer epoch count reported in Tables 2 and 3 (threshold epoch, rounded up)."""
+    result = conflicting_finalization_time(strategy, p0, beta0, ejection_cap)
+    return int(math.ceil(result.threshold_epoch - 1e-9))
+
+
+def speedup_over_honest_baseline(
+    strategy: str, beta0: float, p0: float = 0.5, ejection_cap: float = EJECTION_CAP
+) -> float:
+    """How much faster Safety is broken compared to the honest-only baseline.
+
+    The paper quotes "approximately ten times faster" for the slashing
+    strategy at beta0 = 0.33 and "approximately eight times faster" for the
+    non-slashable strategy.
+    """
+    baseline = conflicting_finalization_time(
+        ByzantineStrategy.NONE, p0, 0.0, ejection_cap
+    ).threshold_epoch
+    attacked = conflicting_finalization_time(strategy, p0, beta0, ejection_cap).threshold_epoch
+    if attacked <= 0.0:
+        return float("inf")
+    return baseline / attacked

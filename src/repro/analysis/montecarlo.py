@@ -1,0 +1,286 @@
+"""Monte-Carlo simulation of the probabilistic bouncing attack.
+
+The closed forms of Section 5.3 rest on two approximations: the
+inactivity-score random walk is replaced by a Gaussian (central limit
+theorem) and the score floor at zero is ignored.  This module simulates the
+attack *without* those approximations: every honest validator is tracked
+individually through the discrete protocol rules (Equations 1–2 with the
+floor, the ejection at 16.75 ETH, the 32-ETH cap), the branch assignment is
+re-drawn every epoch with probability ``p0``, the Byzantine validators
+follow the semi-active alternation, and the attack itself stops as soon as
+no Byzantine proposer lands in the first ``j`` slots of an epoch.
+
+It provides the empirical counterparts of Figures 9 and 10 plus the
+distribution of the attack's stopping time, and is used by the validation
+benchmarks to quantify the quality of the paper's approximations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro import constants
+from repro.spec.config import SpecConfig
+
+
+@dataclass
+class BouncingTrialResult:
+    """Outcome of one simulated bouncing-attack trial."""
+
+    #: Epoch at which the attack stopped (no Byzantine proposer in the window),
+    #: or the horizon if it survived the whole simulation.
+    stop_epoch: int
+    #: Whether the attack was still alive at the horizon.
+    survived: bool
+    #: Per-recorded-epoch Byzantine stake proportion on branch A.
+    byzantine_proportion_branch_a: Dict[int, float]
+    #: Per-recorded-epoch Byzantine stake proportion on branch B.
+    byzantine_proportion_branch_b: Dict[int, float]
+
+    def exceeded_threshold_at(self, epoch: int, threshold: float = 1.0 / 3.0) -> bool:
+        """True if beta exceeded ``threshold`` on either branch at ``epoch``."""
+        a = self.byzantine_proportion_branch_a.get(epoch)
+        b = self.byzantine_proportion_branch_b.get(epoch)
+        return (a is not None and a > threshold) or (b is not None and b > threshold)
+
+
+@dataclass
+class BouncingMonteCarloResult:
+    """Aggregate of many bouncing-attack trials."""
+
+    beta0: float
+    p0: float
+    horizon: int
+    record_epochs: Sequence[int]
+    trials: List[BouncingTrialResult] = field(default_factory=list)
+
+    @property
+    def n_trials(self) -> int:
+        return len(self.trials)
+
+    def exceed_probability(self, epoch: int, threshold: float = 1.0 / 3.0) -> float:
+        """Empirical P[beta > threshold on either branch] at ``epoch``.
+
+        Conditional on nothing: trials where the attack already stopped do
+        not count as exceeding (the leak ends once finalization resumes).
+        """
+        if not self.trials:
+            return 0.0
+        hits = sum(
+            1
+            for trial in self.trials
+            if trial.stop_epoch >= epoch and trial.exceeded_threshold_at(epoch, threshold)
+        )
+        return hits / len(self.trials)
+
+    def conditional_exceed_probability(
+        self, epoch: int, threshold: float = 1.0 / 3.0
+    ) -> float:
+        """Empirical P[beta > threshold | the attack is still running at ``epoch``]."""
+        alive = [trial for trial in self.trials if trial.stop_epoch >= epoch]
+        if not alive:
+            return 0.0
+        hits = sum(1 for trial in alive if trial.exceeded_threshold_at(epoch, threshold))
+        return hits / len(alive)
+
+    def survival_probability(self, epoch: int) -> float:
+        """Empirical P[attack still running at ``epoch``]."""
+        if not self.trials:
+            return 0.0
+        return sum(1 for trial in self.trials if trial.stop_epoch >= epoch) / len(self.trials)
+
+    def mean_stop_epoch(self) -> float:
+        """Average epoch at which the attack stopped."""
+        if not self.trials:
+            return 0.0
+        return float(np.mean([trial.stop_epoch for trial in self.trials]))
+
+
+class BouncingMonteCarlo:
+    """Simulates the bouncing attack with the discrete protocol rules."""
+
+    def __init__(
+        self,
+        beta0: float,
+        p0: float = 0.5,
+        n_honest: int = 1000,
+        config: Optional[SpecConfig] = None,
+        window_slots: int = constants.BOUNCING_ATTACK_WINDOW_SLOTS,
+        enforce_stopping: bool = True,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 <= beta0 < 1.0:
+            raise ValueError("beta0 must lie in [0, 1)")
+        if not 0.0 < p0 < 1.0:
+            raise ValueError("p0 must lie strictly between 0 and 1")
+        if n_honest <= 0:
+            raise ValueError("n_honest must be positive")
+        self.beta0 = beta0
+        self.p0 = p0
+        self.n_honest = n_honest
+        self.config = config or SpecConfig.mainnet()
+        self.window_slots = window_slots
+        self.enforce_stopping = enforce_stopping
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    def _run_trial(self, rng: np.random.Generator, horizon: int, record_epochs: Sequence[int]) -> BouncingTrialResult:
+        cfg = self.config
+        quotient = float(cfg.inactivity_penalty_quotient)
+        ejection = cfg.ejection_balance
+        s0 = cfg.max_effective_balance
+
+        # Honest validators: per-branch stakes and scores.
+        honest_stake = {
+            "A": np.full(self.n_honest, s0),
+            "B": np.full(self.n_honest, s0),
+        }
+        honest_score = {
+            "A": np.zeros(self.n_honest),
+            "B": np.zeros(self.n_honest),
+        }
+        honest_ejected = {
+            "A": np.zeros(self.n_honest, dtype=bool),
+            "B": np.zeros(self.n_honest, dtype=bool),
+        }
+        # Byzantine validators are identical: a single scalar per branch.
+        byzantine_stake = {"A": s0, "B": s0}
+        byzantine_score = {"A": 0.0, "B": 0.0}
+        byzantine_ejected = {"A": False, "B": False}
+
+        # Total weights: honest validators carry (1 - beta0), Byzantine beta0.
+        honest_weight = (1.0 - self.beta0) / self.n_honest
+        byzantine_weight = self.beta0
+
+        record: Dict[str, Dict[int, float]] = {"A": {}, "B": {}}
+        stop_epoch = horizon
+        survived = True
+
+        for epoch in range(1, horizon + 1):
+            # Attack continuation: a Byzantine proposer must land in one of the
+            # first `window_slots` slots of the epoch (proposers drawn by stake).
+            if self.enforce_stopping:
+                byzantine_share = byzantine_weight * byzantine_stake["A"] / (
+                    byzantine_weight * byzantine_stake["A"]
+                    + honest_weight * float(np.sum(np.where(honest_ejected["A"], 0.0, honest_stake["A"])))
+                )
+                continue_probability = 1.0 - (1.0 - byzantine_share) ** self.window_slots
+                if rng.random() > continue_probability:
+                    stop_epoch = epoch - 1
+                    survived = False
+                    break
+
+            # Branch assignment of honest validators this epoch.
+            on_a = rng.random(self.n_honest) < self.p0
+            byzantine_on_a = epoch % 2 == 0  # semi-active alternation
+
+            for branch, honest_active in (("A", on_a), ("B", ~on_a)):
+                # Penalties from the carried-over scores (Equation 2).
+                stakes = honest_stake[branch]
+                scores = honest_score[branch]
+                ejected = honest_ejected[branch]
+                penalties = scores * stakes / quotient
+                stakes = np.where(ejected, stakes, np.maximum(0.0, stakes - penalties))
+                # Score update (Equation 1).
+                scores = np.where(
+                    honest_active,
+                    np.maximum(0.0, scores - cfg.inactivity_score_recovery),
+                    scores + cfg.inactivity_score_bias,
+                )
+                newly_ejected = (~ejected) & (stakes <= ejection)
+                ejected = ejected | newly_ejected
+                honest_stake[branch] = stakes
+                honest_score[branch] = scores
+                honest_ejected[branch] = ejected
+
+                # Byzantine group on this branch.
+                byz_active = byzantine_on_a if branch == "A" else not byzantine_on_a
+                if not byzantine_ejected[branch]:
+                    byzantine_stake[branch] = max(
+                        0.0,
+                        byzantine_stake[branch]
+                        - byzantine_score[branch] * byzantine_stake[branch] / quotient,
+                    )
+                    if byz_active:
+                        byzantine_score[branch] = max(
+                            0.0, byzantine_score[branch] - cfg.inactivity_score_recovery
+                        )
+                    else:
+                        byzantine_score[branch] += cfg.inactivity_score_bias
+                    if byzantine_stake[branch] <= ejection:
+                        byzantine_ejected[branch] = True
+
+            if epoch in record_epochs:
+                for branch in ("A", "B"):
+                    honest_total = honest_weight * float(
+                        np.sum(np.where(honest_ejected[branch], 0.0, honest_stake[branch]))
+                    )
+                    byz_total = (
+                        0.0 if byzantine_ejected[branch] else byzantine_weight * byzantine_stake[branch]
+                    )
+                    total = honest_total + byz_total
+                    record[branch][epoch] = byz_total / total if total > 0 else 0.0
+
+        return BouncingTrialResult(
+            stop_epoch=stop_epoch,
+            survived=survived,
+            byzantine_proportion_branch_a=record["A"],
+            byzantine_proportion_branch_b=record["B"],
+        )
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        n_trials: int,
+        horizon: int,
+        record_epochs: Optional[Sequence[int]] = None,
+    ) -> BouncingMonteCarloResult:
+        """Run ``n_trials`` independent attack trials up to ``horizon`` epochs."""
+        if n_trials <= 0:
+            raise ValueError("n_trials must be positive")
+        if horizon <= 0:
+            raise ValueError("horizon must be positive")
+        epochs = (
+            sorted(set(int(e) for e in record_epochs))
+            if record_epochs is not None
+            else [horizon]
+        )
+        rng = np.random.default_rng(self.seed)
+        result = BouncingMonteCarloResult(
+            beta0=self.beta0, p0=self.p0, horizon=horizon, record_epochs=epochs
+        )
+        for _ in range(n_trials):
+            result.trials.append(self._run_trial(rng, horizon, epochs))
+        return result
+
+    # ------------------------------------------------------------------
+    def honest_stake_sample(
+        self, epoch: int, n_samples: int = 5000, seed: Optional[int] = None
+    ) -> np.ndarray:
+        """Sample honest stakes at ``epoch`` (the empirical Figure-9 histogram).
+
+        Runs the per-validator dynamics with no attack-stopping so that the
+        sample reflects the conditional law used by the paper's Figure 9.
+        """
+        rng = np.random.default_rng(self.seed if seed is None else seed)
+        cfg = self.config
+        quotient = float(cfg.inactivity_penalty_quotient)
+        stakes = np.full(n_samples, cfg.max_effective_balance)
+        scores = np.zeros(n_samples)
+        ejected = np.zeros(n_samples, dtype=bool)
+        for _ in range(epoch):
+            active = rng.random(n_samples) < self.p0
+            penalties = scores * stakes / quotient
+            stakes = np.where(ejected, stakes, np.maximum(0.0, stakes - penalties))
+            scores = np.where(
+                active,
+                np.maximum(0.0, scores - cfg.inactivity_score_recovery),
+                scores + cfg.inactivity_score_bias,
+            )
+            newly_ejected = (~ejected) & (stakes <= cfg.ejection_balance)
+            stakes = np.where(newly_ejected, 0.0, stakes)
+            ejected |= newly_ejected
+        return stakes

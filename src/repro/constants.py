@@ -1,0 +1,78 @@
+"""Protocol-level constants used throughout the reproduction.
+
+The values mirror the Ethereum consensus parameters that the paper's
+analysis depends on (Section 3 and Section 4 of the paper).  Everything
+that the paper treats as a tunable (initial stake, ejection balance,
+inactivity quotients, epochs before the leak starts) is also exposed on
+:class:`repro.spec.config.SpecConfig` so experiments can scale the system
+down; the module-level constants are the mainnet reference values.
+"""
+
+from __future__ import annotations
+
+#: Number of seconds in a slot (the paper, Section 2).
+SECONDS_PER_SLOT: int = 12
+
+#: Number of slots per epoch (the paper, Section 2).
+SLOTS_PER_EPOCH: int = 32
+
+#: Seconds per epoch, derived.
+SECONDS_PER_EPOCH: int = SECONDS_PER_SLOT * SLOTS_PER_EPOCH
+
+#: Initial (and maximum effective) stake of a validator, in ETH.
+MAX_EFFECTIVE_BALANCE_ETH: float = 32.0
+
+#: Validators whose stake falls to or below this value are ejected
+#: (the paper, Section 4.3 and Figure 2 use 16.75 ETH).
+EJECTION_BALANCE_ETH: float = 16.75
+
+#: Amount added to the inactivity score of an inactive validator each epoch
+#: during the leak (Equation 1).
+INACTIVITY_SCORE_BIAS: int = 4
+
+#: Amount subtracted from the inactivity score of an active validator each
+#: epoch (Equation 1).
+INACTIVITY_SCORE_RECOVERY_PER_EPOCH: int = 1
+
+#: Amount subtracted from every inactivity score per epoch when the chain is
+#: *not* in an inactivity leak (Section 4.1: "inactivity scores are decreased
+#: by 16").
+INACTIVITY_SCORE_RECOVERY_RATE_NO_LEAK: int = 16
+
+#: Denominator of the per-epoch inactivity penalty: the penalty applied to a
+#: validator with inactivity score ``I`` and stake ``s`` is ``I * s / 2**26``
+#: (Equation 2).  In the Ethereum spec this is the product of the inactivity
+#: score bias (4) and the Bellatrix inactivity penalty quotient (2**24).
+INACTIVITY_PENALTY_QUOTIENT: int = 2 ** 26
+
+#: Number of consecutive epochs without finalization after which the
+#: inactivity leak starts (Section 3.3 / Section 4).
+MIN_EPOCHS_TO_INACTIVITY_PENALTY: int = 4
+
+#: Fraction of the stake a slashed validator immediately loses
+#: (simplified minimum slashing penalty: 1/32 of the effective balance).
+MIN_SLASHING_PENALTY_FRACTION: float = 1.0 / 32.0
+
+#: Supermajority threshold used by the FFG finality gadget.
+SUPERMAJORITY_NUMERATOR: int = 2
+SUPERMAJORITY_DENOMINATOR: int = 3
+
+#: Safety threshold on the Byzantine stake proportion.
+BYZANTINE_SAFETY_THRESHOLD: float = 1.0 / 3.0
+
+#: Reference ejection epochs reported by the paper (Figure 2): the epoch at
+#: which a fully inactive validator (resp. a semi-active validator) starting
+#: at 32 ETH crosses the ejection balance during a leak that never ends.
+PAPER_INACTIVE_EJECTION_EPOCH: int = 4685
+PAPER_SEMI_ACTIVE_EJECTION_EPOCH: int = 7652
+
+#: Ejection epoch of the Byzantine (semi-active) validators reported in the
+#: probabilistic bouncing analysis (Section 5.3).
+PAPER_BOUNCING_BYZANTINE_EJECTION_EPOCH: int = 7653
+
+#: Number of leading slots of an epoch in which a Byzantine proposer must be
+#: elected for the probabilistic bouncing attack to continue (protocol
+#: parameter ``j`` in Section 5.3).  Ethereum uses 8 for the relevant
+#: fork-choice parameter, which is also the value the paper plugs into its
+#: numerical example.
+BOUNCING_ATTACK_WINDOW_SLOTS: int = 8

@@ -1,0 +1,88 @@
+"""Section 5.3 side computation: how long can the bouncing attack last?
+
+The attack continues as long as a Byzantine proposer is drawn in the first
+``j`` slots of every epoch, hence lasts ``k`` epochs with probability
+``(1 - (1 - beta0)^j)^k``.  The paper evaluates the probability of reaching
+epoch 7000 with beta0 = 1/3 and j = 8 and finds ~1.01e-121.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro import constants
+from repro.analysis.bouncing import (
+    attack_duration_probability,
+    expected_attack_duration,
+    log10_attack_duration_probability,
+)
+
+#: The paper's headline estimate: log10 of the probability of lasting 7000
+#: epochs with beta0 = 1/3 (1.01e-121).
+PAPER_LOG10_AT_7000 = -121.0
+
+
+@dataclass
+class BouncingDurationResult:
+    """Attack-duration probabilities for a set of beta0 values and horizons."""
+
+    window_slots: int
+    beta0_values: Sequence[float]
+    horizons: Sequence[int]
+    #: (beta0, horizon) -> log10 probability of the attack lasting that long.
+    log10_probabilities: Dict[float, Dict[int, float]]
+    expected_durations: Dict[float, float]
+
+    def rows(self) -> List[Dict[str, float]]:
+        """One row per beta0 with the log10 probabilities per horizon."""
+        rows = []
+        for beta0 in self.beta0_values:
+            row: Dict[str, float] = {
+                "beta0": beta0,
+                "expected_duration_epochs": self.expected_durations[beta0],
+            }
+            for horizon in self.horizons:
+                row[f"log10_p_at_{horizon}"] = self.log10_probabilities[beta0][horizon]
+            rows.append(row)
+        return rows
+
+    def format_text(self) -> str:
+        lines = [
+            f"Bouncing-attack duration probabilities (j={self.window_slots})",
+        ]
+        for row in self.rows():
+            horizons = ", ".join(
+                f"k={key.split('_')[-1]}: 1e{value:.1f}"
+                for key, value in row.items()
+                if key.startswith("log10")
+            )
+            lines.append(
+                f"  beta0={row['beta0']:.4f}  expected={row['expected_duration_epochs']:.1f} epochs  {horizons}"
+            )
+        return "\n".join(lines)
+
+
+def run(
+    beta0_values: Sequence[float] = (1.0 / 3.0, 0.3, 0.25, 0.2, 0.1),
+    horizons: Sequence[int] = (10, 100, 1000, 7000),
+    window_slots: int = constants.BOUNCING_ATTACK_WINDOW_SLOTS,
+) -> BouncingDurationResult:
+    """Compute attack-duration probabilities for the requested parameters."""
+    log10_probabilities = {
+        beta0: {
+            horizon: log10_attack_duration_probability(beta0, horizon, window_slots)
+            for horizon in horizons
+        }
+        for beta0 in beta0_values
+    }
+    expected = {
+        beta0: expected_attack_duration(beta0, window_slots) for beta0 in beta0_values
+    }
+    return BouncingDurationResult(
+        window_slots=window_slots,
+        beta0_values=list(beta0_values),
+        horizons=list(horizons),
+        log10_probabilities=log10_probabilities,
+        expected_durations=expected,
+    )

@@ -1,0 +1,110 @@
+"""Export experiment results to JSON and CSV files.
+
+Every experiment result exposes ``rows()`` (a list of flat dictionaries);
+this module serialises those rows, plus a small metadata header, so that
+the reproduction's numbers can be archived or diffed against future runs.
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import json
+import math
+import pathlib
+from datetime import datetime, timezone
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.experiments import registry
+
+
+def _jsonable(value: object) -> object:
+    """Coerce a cell value into something JSON-serialisable."""
+    if isinstance(value, float):
+        if math.isnan(value):
+            return None
+        if math.isinf(value):
+            return "inf" if value > 0 else "-inf"
+        return value
+    if isinstance(value, (str, int, bool)) or value is None:
+        return value
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {k: _jsonable(v) for k, v in dataclasses.asdict(value).items()}
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return str(value)
+
+
+def result_to_record(experiment_id: str, result: object) -> Dict[str, object]:
+    """Build the exportable record for one experiment result."""
+    rows_method = getattr(result, "rows", None)
+    rows = rows_method() if callable(rows_method) else []
+    text_method = getattr(result, "format_text", None)
+    return {
+        "experiment": experiment_id,
+        "description": registry.get(experiment_id).description,
+        "generated_at": datetime.now(timezone.utc).isoformat(),
+        "rows": [_jsonable(row) for row in rows],
+        "report": str(text_method()) if callable(text_method) else "",
+    }
+
+
+def export_json(experiment_id: str, result: object, output_dir: pathlib.Path) -> pathlib.Path:
+    """Write the experiment record as ``<id>.json``; returns the path."""
+    output_dir.mkdir(parents=True, exist_ok=True)
+    path = output_dir / f"{experiment_id}.json"
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(result_to_record(experiment_id, result), handle, indent=2)
+        handle.write("\n")
+    return path
+
+
+def export_csv(experiment_id: str, result: object, output_dir: pathlib.Path) -> Optional[pathlib.Path]:
+    """Write the experiment rows as ``<id>.csv``; returns the path (None if no rows)."""
+    rows_method = getattr(result, "rows", None)
+    rows = rows_method() if callable(rows_method) else []
+    if not rows:
+        return None
+    output_dir.mkdir(parents=True, exist_ok=True)
+    path = output_dir / f"{experiment_id}.csv"
+    fieldnames: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in fieldnames:
+                fieldnames.append(key)
+    with path.open("w", encoding="utf-8", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=fieldnames)
+        writer.writeheader()
+        for row in rows:
+            writer.writerow({key: _csv_cell(row.get(key)) for key in fieldnames})
+    return path
+
+
+def _csv_cell(value: object) -> object:
+    if isinstance(value, float) and math.isnan(value):
+        return ""
+    if value is None:
+        return ""
+    if isinstance(value, (dict, list, tuple)):
+        return json.dumps(_jsonable(value))
+    return value
+
+
+def export_experiments(
+    experiment_ids: Iterable[str],
+    output_dir: pathlib.Path,
+    formats: Sequence[str] = ("json", "csv"),
+) -> List[pathlib.Path]:
+    """Run and export the given experiments; returns the written paths."""
+    written: List[pathlib.Path] = []
+    for experiment_id in experiment_ids:
+        result = registry.run(experiment_id)
+        if "json" in formats:
+            written.append(export_json(experiment_id, result, output_dir))
+        if "csv" in formats:
+            path = export_csv(experiment_id, result, output_dir)
+            if path is not None:
+                written.append(path)
+    return written

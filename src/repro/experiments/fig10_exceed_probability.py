@@ -1,0 +1,80 @@
+"""Figure 10: probability that the Byzantine proportion exceeds 1/3 over time.
+
+Equation 24 evaluated for beta0 in {1/3, 0.3333, 0.333, 0.33, 0.329, 0.3}
+with p0 = 0.5 over epochs 0..8000.  The curve for beta0 = 1/3 sits at 0.5;
+all curves rise abruptly shortly before the Byzantine (semi-active)
+ejection around epoch 7653.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro import constants
+from repro.analysis.bouncing import BouncingAttackModel
+
+PAPER_BETA0_VALUES = (1.0 / 3.0, 0.3333, 0.333, 0.33, 0.329, 0.3)
+
+
+@dataclass
+class Figure10Result:
+    """Exceed-probability curves per beta0."""
+
+    p0: float
+    epochs: Sequence[int]
+    beta0_values: Sequence[float]
+    #: beta0 -> probability series (single branch, Equation 24).
+    series: Dict[float, List[float]]
+    byzantine_ejection_epoch: float
+
+    def rows(self) -> List[Dict[str, float]]:
+        """One row per beta0 with probabilities at a few reference epochs."""
+        references = [1000, 2000, 4000, 7000]
+        rows = []
+        for beta0 in self.beta0_values:
+            row: Dict[str, float] = {"beta0": beta0}
+            for reference in references:
+                if reference in self.epochs:
+                    index = list(self.epochs).index(reference)
+                    row[f"probability_at_{reference}"] = self.series[beta0][index]
+            rows.append(row)
+        return rows
+
+    def format_text(self) -> str:
+        lines = [
+            "Figure 10 — probability that the Byzantine proportion exceeds 1/3 (p0=0.5)",
+            f"  Byzantine ejection epoch ~ {self.byzantine_ejection_epoch:.0f} "
+            f"(paper: {constants.PAPER_BOUNCING_BYZANTINE_EJECTION_EPOCH})",
+        ]
+        for row in self.rows():
+            probabilities = ", ".join(
+                f"t={key.split('_')[-1]}: {value:.3f}"
+                for key, value in row.items()
+                if key.startswith("probability")
+            )
+            lines.append(f"  beta0={row['beta0']:.4f}  {probabilities}")
+        return "\n".join(lines)
+
+
+def run(
+    beta0_values: Sequence[float] = PAPER_BETA0_VALUES,
+    p0: float = 0.5,
+    max_epoch: int = 8000,
+    step: int = 50,
+) -> Figure10Result:
+    """Reproduce the Figure-10 curves."""
+    epochs = list(range(0, max_epoch + 1, step))
+    series: Dict[float, List[float]] = {}
+    ejection = 0.0
+    for beta0 in beta0_values:
+        model = BouncingAttackModel(beta0=beta0, p0=p0)
+        ejection = model.byzantine_ejection_epoch()
+        series[beta0] = model.exceed_probability_series(epochs)
+    return Figure10Result(
+        p0=p0,
+        epochs=epochs,
+        beta0_values=list(beta0_values),
+        series=series,
+        byzantine_ejection_epoch=ejection,
+    )

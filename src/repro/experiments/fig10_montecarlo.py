@@ -1,0 +1,104 @@
+"""Monte-Carlo validation of the Figure-10 closed form.
+
+Runs the per-validator discrete bouncing-attack simulation (no Gaussian
+approximation, score floor and ejection included) and compares the
+empirical probability of exceeding the one-third threshold with the
+Equation-24 closed form, for several initial Byzantine proportions.
+The attack-stopping rule is disabled so the comparison targets the same
+conditional quantity the paper plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.bouncing import BouncingAttackModel
+from repro.analysis.montecarlo import BouncingMonteCarlo
+
+
+@dataclass
+class Figure10MonteCarloResult:
+    """Closed-form vs empirical exceed probabilities."""
+
+    p0: float
+    horizon: int
+    n_trials: int
+    n_honest: int
+    beta0_values: Sequence[float]
+    #: beta0 -> closed-form P[beta > 1/3] at the horizon (single branch).
+    closed_form: Dict[float, float]
+    #: beta0 -> closed-form probability doubled for the two branches.
+    closed_form_both: Dict[float, float]
+    #: beta0 -> empirical P[beta > 1/3 on either branch] at the horizon.
+    empirical: Dict[float, float]
+
+    def rows(self) -> List[Dict[str, float]]:
+        return [
+            {
+                "beta0": beta0,
+                "closed_form_single_branch": self.closed_form[beta0],
+                "closed_form_both_branches": self.closed_form_both[beta0],
+                "empirical_either_branch": self.empirical[beta0],
+            }
+            for beta0 in self.beta0_values
+        ]
+
+    def format_text(self) -> str:
+        lines = [
+            "Figure 10 (validation) — Monte-Carlo vs Equation 24 "
+            f"(t={self.horizon}, {self.n_trials} trials x {self.n_honest} honest validators)",
+            f"  {'beta0':>8}  {'Eq.24 (1 branch)':>16}  {'Eq.24 (2 branches)':>18}  {'Monte-Carlo':>12}",
+        ]
+        for row in self.rows():
+            lines.append(
+                f"  {row['beta0']:>8.4f}  {row['closed_form_single_branch']:>16.3f}  "
+                f"{row['closed_form_both_branches']:>18.3f}  {row['empirical_either_branch']:>12.3f}"
+            )
+        return "\n".join(lines)
+
+    def max_gap_to_both_branches_form(self) -> float:
+        """Largest absolute gap between the doubled closed form and the empirical value."""
+        return max(
+            abs(self.closed_form_both[beta0] - self.empirical[beta0])
+            for beta0 in self.beta0_values
+        )
+
+
+def run(
+    beta0_values: Sequence[float] = (1.0 / 3.0, 0.333, 0.33),
+    p0: float = 0.5,
+    horizon: int = 4000,
+    n_trials: int = 40,
+    n_honest: int = 200,
+    seed: int = 0,
+) -> Figure10MonteCarloResult:
+    """Compare Equation 24 with the discrete Monte-Carlo simulation."""
+    closed_form: Dict[float, float] = {}
+    closed_form_both: Dict[float, float] = {}
+    empirical: Dict[float, float] = {}
+    for beta0 in beta0_values:
+        model = BouncingAttackModel(beta0=beta0, p0=p0)
+        closed_form[beta0] = model.exceed_threshold_probability(float(horizon))
+        closed_form_both[beta0] = model.exceed_threshold_probability(
+            float(horizon), both_branches=True
+        )
+        monte_carlo = BouncingMonteCarlo(
+            beta0=beta0,
+            p0=p0,
+            n_honest=n_honest,
+            enforce_stopping=False,
+            seed=seed,
+        )
+        result = monte_carlo.run(n_trials=n_trials, horizon=horizon, record_epochs=[horizon])
+        empirical[beta0] = result.exceed_probability(horizon)
+    return Figure10MonteCarloResult(
+        p0=p0,
+        horizon=horizon,
+        n_trials=n_trials,
+        n_honest=n_honest,
+        beta0_values=list(beta0_values),
+        closed_form=closed_form,
+        closed_form_both=closed_form_both,
+        empirical=empirical,
+    )

@@ -1,0 +1,87 @@
+"""Figure 2: stake trajectories of active, semi-active, and inactive validators.
+
+The figure shows the stake of the three reference behaviours during an
+inactivity leak that never ends, together with the expulsion limit.  The
+paper reports the ejection of inactive validators at epoch 4685 and of
+semi-active validators at epoch 7652.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro import constants
+from repro.leak.stake import Behavior, StakeTrajectory, continuous_ejection_epoch, sample_trajectory
+from repro.spec.inactivity import discrete_ejection_epoch
+
+
+@dataclass
+class Figure2Result:
+    """Series and ejection epochs reproducing Figure 2."""
+
+    max_epoch: int
+    trajectories: Dict[str, StakeTrajectory]
+    continuous_ejection_epochs: Dict[str, Optional[float]]
+    discrete_ejection_epochs: Dict[str, Optional[int]]
+    paper_ejection_epochs: Dict[str, Optional[int]]
+    expulsion_limit: float = constants.EJECTION_BALANCE_ETH
+
+    def rows(self) -> List[Dict[str, object]]:
+        """One row per behaviour: measured vs paper ejection epochs."""
+        rows = []
+        for behavior in ("active", "semi-active", "inactive"):
+            rows.append(
+                {
+                    "behavior": behavior,
+                    "continuous_ejection_epoch": self.continuous_ejection_epochs[behavior],
+                    "discrete_ejection_epoch": self.discrete_ejection_epochs[behavior],
+                    "paper_ejection_epoch": self.paper_ejection_epochs[behavior],
+                    "final_stake_eth": self.trajectories[behavior].final_stake(),
+                }
+            )
+        return rows
+
+    def format_text(self) -> str:
+        """Human-readable summary of the figure's headline numbers."""
+        lines = ["Figure 2 — stake trajectories during an inactivity leak"]
+        for row in self.rows():
+            lines.append(
+                f"  {row['behavior']:<12} ejection: continuous="
+                f"{row['continuous_ejection_epoch']}, discrete={row['discrete_ejection_epoch']}, "
+                f"paper={row['paper_ejection_epoch']}, final stake="
+                f"{row['final_stake_eth']:.2f} ETH"
+            )
+        return "\n".join(lines)
+
+
+def run(max_epoch: int = 8000, step: int = 10) -> Figure2Result:
+    """Reproduce the Figure-2 series."""
+    behaviors = {
+        "active": Behavior.ACTIVE,
+        "semi-active": Behavior.SEMI_ACTIVE,
+        "inactive": Behavior.INACTIVE,
+    }
+    trajectories = {
+        name: sample_trajectory(behavior, max_epoch=max_epoch, step=step)
+        for name, behavior in behaviors.items()
+    }
+    continuous = {
+        name: continuous_ejection_epoch(behavior) for name, behavior in behaviors.items()
+    }
+    discrete = {
+        name: discrete_ejection_epoch(name, max_epochs=max_epoch + 2000)
+        for name in behaviors
+    }
+    paper = {
+        "active": None,
+        "semi-active": constants.PAPER_SEMI_ACTIVE_EJECTION_EPOCH,
+        "inactive": constants.PAPER_INACTIVE_EJECTION_EPOCH,
+    }
+    return Figure2Result(
+        max_epoch=max_epoch,
+        trajectories=trajectories,
+        continuous_ejection_epochs=continuous,
+        discrete_ejection_epochs=discrete,
+        paper_ejection_epochs=paper,
+    )

@@ -1,0 +1,76 @@
+"""Figure 6: time to conflicting finalization vs beta0 for both Byzantine strategies.
+
+The figure sweeps beta0 from 0 to 1/3 and plots, for p0 = 0.5, the epoch at
+which conflicting finalization occurs when the Byzantine validators engage
+in slashable behaviour (Equation 9) and when they do not (Equation 10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.analysis.finalization_time import (
+    ByzantineStrategy,
+    threshold_epoch_non_slashing,
+    threshold_epoch_slashing,
+)
+
+
+@dataclass
+class Figure6Result:
+    """Crossing-time curves for the two Byzantine strategies."""
+
+    p0: float
+    beta0_values: Sequence[float]
+    slashing_epochs: List[float]
+    non_slashing_epochs: List[float]
+
+    def rows(self) -> List[Dict[str, float]]:
+        """One row per beta0 with both curves."""
+        return [
+            {
+                "beta0": beta0,
+                "epochs_slashing": self.slashing_epochs[i],
+                "epochs_non_slashing": self.non_slashing_epochs[i],
+            }
+            for i, beta0 in enumerate(self.beta0_values)
+        ]
+
+    def format_text(self) -> str:
+        lines = [
+            "Figure 6 — time to conflicting finalization vs beta0 (p0=0.5)",
+            f"  {'beta0':>6}  {'slashing':>9}  {'non-slashing':>12}",
+        ]
+        for row in self.rows()[:: max(1, len(self.rows()) // 12)]:
+            lines.append(
+                f"  {row['beta0']:>6.3f}  {row['epochs_slashing']:>9.0f}  "
+                f"{row['epochs_non_slashing']:>12.0f}"
+            )
+        return "\n".join(lines)
+
+    def non_slashing_always_slower(self) -> bool:
+        """Sanity property: the non-slashable strategy is never faster."""
+        return all(
+            non_slashing >= slashing - 1e-9
+            for slashing, non_slashing in zip(self.slashing_epochs, self.non_slashing_epochs)
+        )
+
+
+def run(
+    beta0_max: float = 0.33,
+    n_points: int = 67,
+    p0: float = 0.5,
+) -> Figure6Result:
+    """Reproduce the Figure-6 curves."""
+    beta0_values = [float(b) for b in np.linspace(0.0, beta0_max, n_points)]
+    slashing = [threshold_epoch_slashing(p0, beta0) for beta0 in beta0_values]
+    non_slashing = [threshold_epoch_non_slashing(p0, beta0) for beta0 in beta0_values]
+    return Figure6Result(
+        p0=p0,
+        beta0_values=beta0_values,
+        slashing_epochs=slashing,
+        non_slashing_epochs=non_slashing,
+    )

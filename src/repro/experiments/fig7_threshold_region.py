@@ -1,0 +1,75 @@
+"""Figure 7: the (p0, beta0) pairs for which the Byzantine proportion can exceed 1/3.
+
+The figure shades the pairs such that beta_max(p0, beta0) >= 1/3 (Equation
+13) on one branch and on the other branch (exchanging p0 and 1-p0), and
+highlights the point (p0, beta0) = (0.5, 0.2421) — the smallest beta0 that
+works on both branches simultaneously.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.threshold import (
+    ThresholdRegion,
+    compute_threshold_region,
+    critical_beta0,
+)
+from repro.leak.ratios import min_beta0_to_exceed_threshold
+
+#: The critical pair highlighted in the paper.
+PAPER_CRITICAL_P0 = 0.5
+PAPER_CRITICAL_BETA0 = 0.2421
+
+
+@dataclass
+class Figure7Result:
+    """The feasibility region and its boundary curve."""
+
+    region: ThresholdRegion
+    #: Boundary beta0_min(p0): smallest beta0 feasible on the branch where
+    #: the honest-active proportion is p0.
+    boundary_p0: Sequence[float]
+    boundary_beta0: Sequence[float]
+    #: Critical pair for both branches at p0 = 0.5.
+    critical_beta0_at_half: float
+    paper_critical_beta0: float = PAPER_CRITICAL_BETA0
+
+    def rows(self) -> List[Dict[str, float]]:
+        """The boundary curve as rows."""
+        return [
+            {"p0": p0, "min_beta0": beta0}
+            for p0, beta0 in zip(self.boundary_p0, self.boundary_beta0)
+        ]
+
+    def format_text(self) -> str:
+        lines = [
+            "Figure 7 — (p0, beta0) pairs with beta_max >= 1/3",
+            f"  critical beta0 at p0=0.5: measured={self.critical_beta0_at_half:.4f}, "
+            f"paper={self.paper_critical_beta0:.4f}",
+        ]
+        for row in self.rows()[:: max(1, len(self.rows()) // 10)]:
+            lines.append(f"  p0={row['p0']:.2f}  min beta0={row['min_beta0']:.4f}")
+        return "\n".join(lines)
+
+
+def run(
+    p0_points: int = 51,
+    beta0_points: int = 67,
+    beta0_max: float = 0.33,
+) -> Figure7Result:
+    """Reproduce the Figure-7 region and boundary."""
+    p0_values = [float(p) for p in np.linspace(0.0, 1.0, p0_points)]
+    beta0_values = [float(b) for b in np.linspace(0.0, beta0_max, beta0_points)]
+    region = compute_threshold_region(p0_values, beta0_values)
+    boundary_p0 = [p0 for p0 in p0_values if 0.0 < p0 < 1.0]
+    boundary_beta0 = [min_beta0_to_exceed_threshold(p0) for p0 in boundary_p0]
+    return Figure7Result(
+        region=region,
+        boundary_p0=boundary_p0,
+        boundary_beta0=boundary_beta0,
+        critical_beta0_at_half=critical_beta0(0.5),
+    )

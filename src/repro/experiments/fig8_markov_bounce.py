@@ -1,0 +1,87 @@
+"""Figure 8: the Markov model of honest validators bouncing between branches.
+
+Figure 8 illustrates the per-epoch branch occupancy of an honest validator
+during the probabilistic bouncing attack: each epoch it lands on branch A
+with probability p0 and on branch B with probability 1-p0, independently of
+the past.  This experiment reproduces the quantities the figure encodes —
+the transition matrix, the stationary occupancy, the two-epoch path
+probabilities, and the induced inactivity-score increments of Equation 15 —
+and cross-checks the latter against the exact discrete walk distribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.analysis.bouncing import MarkovBounceModel
+from repro.analysis.randomwalk import (
+    exact_score_distribution,
+    two_epoch_increment_distribution,
+)
+
+
+@dataclass
+class Figure8Result:
+    """Markov-bounce quantities per p0."""
+
+    p0_values: Sequence[float]
+    #: p0 -> two-epoch path probabilities {"AA": ..., "AB": ..., ...}.
+    path_probabilities: Dict[float, Dict[str, float]]
+    #: p0 -> Equation-15 score-increment distribution {8: ..., 3: ..., -2: ...}.
+    increment_distributions: Dict[float, Dict[int, float]]
+    #: p0 -> mean score increment per two epochs (should be +3 for every p0).
+    mean_two_epoch_increment: Dict[float, float]
+    #: p0 -> exact mean score after 2 epochs from the discrete walk (no clamp).
+    exact_two_epoch_mean: Dict[float, float]
+
+    def rows(self) -> List[Dict[str, float]]:
+        rows = []
+        for p0 in self.p0_values:
+            row: Dict[str, float] = {"p0": p0}
+            row.update(
+                {f"path_{path}": probability for path, probability in self.path_probabilities[p0].items()}
+            )
+            row.update(
+                {
+                    f"increment_{step:+d}": probability
+                    for step, probability in sorted(self.increment_distributions[p0].items())
+                }
+            )
+            row["mean_increment_per_two_epochs"] = self.mean_two_epoch_increment[p0]
+            row["exact_walk_mean_after_two_epochs"] = self.exact_two_epoch_mean[p0]
+            rows.append(row)
+        return rows
+
+    def format_text(self) -> str:
+        lines = ["Figure 8 — Markov bounce model of honest validators"]
+        for row in self.rows():
+            lines.append(
+                f"  p0={row['p0']:<5} paths AA/AB/BA/BB = "
+                f"{row['path_AA']:.3f}/{row['path_AB']:.3f}/{row['path_BA']:.3f}/{row['path_BB']:.3f}  "
+                f"score increments +8/+3/-2 = "
+                f"{row['increment_+8']:.3f}/{row['increment_+3']:.3f}/{row['increment_-2']:.3f}  "
+                f"(mean {row['mean_increment_per_two_epochs']:.2f} per 2 epochs)"
+            )
+        return "\n".join(lines)
+
+
+def run(p0_values: Sequence[float] = (0.5, 0.55, 0.6, 0.66)) -> Figure8Result:
+    """Reproduce the Figure-8 quantities for several honest splits."""
+    paths: Dict[float, Dict[str, float]] = {}
+    increments: Dict[float, Dict[int, float]] = {}
+    means: Dict[float, float] = {}
+    exact_means: Dict[float, float] = {}
+    for p0 in p0_values:
+        model = MarkovBounceModel(p0=p0)
+        paths[p0] = model.two_epoch_path_probabilities()
+        increments[p0] = two_epoch_increment_distribution(p0)
+        means[p0] = sum(step * probability for step, probability in increments[p0].items())
+        exact_means[p0] = exact_score_distribution(2, p0, clamp_at_zero=False).mean()
+    return Figure8Result(
+        p0_values=list(p0_values),
+        path_probabilities=paths,
+        increment_distributions=increments,
+        mean_two_epoch_increment=means,
+        exact_two_epoch_mean=exact_means,
+    )

@@ -1,0 +1,110 @@
+"""Command-line entry point: run reproduction experiments and print their tables.
+
+Usage::
+
+    repro-experiments --list
+    repro-experiments table2 table3
+    repro-experiments --all
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import List, Optional, Sequence
+
+from repro.experiments import registry
+from repro.experiments.export import export_csv, export_json
+
+
+def _format_result(result: object) -> str:
+    """Render an experiment result as text (every result has format_text)."""
+    formatter = getattr(result, "format_text", None)
+    if callable(formatter):
+        return str(formatter())
+    return repr(result)
+
+
+def run_experiments(
+    experiment_ids: Sequence[str],
+    output_dir: Optional[pathlib.Path] = None,
+    formats: Sequence[str] = ("json", "csv"),
+) -> List[str]:
+    """Run the requested experiments and return their textual reports.
+
+    When ``output_dir`` is given, each result is also exported there as JSON
+    and/or CSV (see :mod:`repro.experiments.export`).
+    """
+    reports = []
+    for experiment_id in experiment_ids:
+        experiment = registry.get(experiment_id)
+        result = experiment.run()
+        reports.append(_format_result(result))
+        if output_dir is not None:
+            if "json" in formats:
+                export_json(experiment_id, result, output_dir)
+            if "csv" in formats:
+                export_csv(experiment_id, result, output_dir)
+    return reports
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description=(
+            "Reproduce the tables and figures of 'Byzantine Attacks Exploiting "
+            "Penalties in Ethereum PoS' (DSN 2024)."
+        ),
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        help="experiment ids to run (see --list)",
+    )
+    parser.add_argument("--list", action="store_true", help="list available experiments")
+    parser.add_argument("--all", action="store_true", help="run every experiment")
+    parser.add_argument(
+        "--output-dir",
+        type=pathlib.Path,
+        default=None,
+        help="directory to export results (JSON + CSV) in addition to printing them",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("json", "csv", "both"),
+        default="both",
+        help="export format used with --output-dir (default: both)",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for experiment_id in registry.list_ids():
+            print(f"{experiment_id:<20} {registry.get(experiment_id).description}")
+        return 0
+
+    experiment_ids = list(args.experiments)
+    if args.all:
+        experiment_ids = registry.list_ids()
+    if not experiment_ids:
+        parser.print_help()
+        return 1
+
+    formats = ("json", "csv") if args.format == "both" else (args.format,)
+    for report in run_experiments(
+        experiment_ids, output_dir=args.output_dir, formats=formats
+    ):
+        print(report)
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

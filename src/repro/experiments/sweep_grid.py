@@ -1,0 +1,118 @@
+"""Full (p0, beta0) sweep of the conflicting-finalization time.
+
+Figure 6 fixes p0 = 0.5 and sweeps beta0; this extension sweeps both
+parameters and reports, for each Byzantine strategy, the epoch at which the
+*slower* branch of the fork regains a supermajority — a heat-map view of
+how the honest split and the Byzantine proportion jointly determine how
+fast Safety can be lost.  It also locates, for each beta0, the worst-case
+split (which the paper argues is the even one).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.analysis.finalization_time import (
+    ByzantineStrategy,
+    threshold_epoch_non_slashing,
+    threshold_epoch_slashing,
+)
+
+
+@dataclass
+class SweepGridResult:
+    """Crossing-time grids for both Byzantine strategies."""
+
+    p0_values: Sequence[float]
+    beta0_values: Sequence[float]
+    #: grid[i][j] = slower-branch crossing epoch for (p0_values[i], beta0_values[j]).
+    slashing_grid: np.ndarray
+    non_slashing_grid: np.ndarray
+
+    def rows(self) -> List[Dict[str, float]]:
+        """One row per grid point (flattened), suitable for CSV export."""
+        rows = []
+        for i, p0 in enumerate(self.p0_values):
+            for j, beta0 in enumerate(self.beta0_values):
+                rows.append(
+                    {
+                        "p0": p0,
+                        "beta0": beta0,
+                        "epochs_slashing": float(self.slashing_grid[i, j]),
+                        "epochs_non_slashing": float(self.non_slashing_grid[i, j]),
+                    }
+                )
+        return rows
+
+    def worst_case_split(self, beta0: float, strategy: str = ByzantineStrategy.SLASHING) -> float:
+        """The p0 minimising the crossing time for a given beta0.
+
+        Several splits can tie once the ejection cap binds (every p0 ≤ 0.5
+        branch waits for the ejection); ties are broken towards the even
+        split, which is the configuration the paper singles out.
+        """
+        j = int(np.argmin([abs(b - beta0) for b in self.beta0_values]))
+        grid = (
+            self.slashing_grid
+            if strategy == ByzantineStrategy.SLASHING
+            else self.non_slashing_grid
+        )
+        column = grid[:, j]
+        minimum = float(np.min(column))
+        candidates = [
+            i for i in range(len(self.p0_values)) if column[i] <= minimum + 1e-9
+        ]
+        best = min(candidates, key=lambda i: abs(self.p0_values[i] - 0.5))
+        return float(self.p0_values[best])
+
+    def format_text(self) -> str:
+        lines = [
+            "(p0, beta0) sweep — epochs until the slower branch regains 2/3",
+            f"  grid: {len(self.p0_values)} p0 values x {len(self.beta0_values)} beta0 values",
+        ]
+        header = "  p0\\beta0 " + "".join(f"{b:>8.2f}" for b in self.beta0_values)
+        lines.append("  [slashable strategy]")
+        lines.append(header)
+        for i, p0 in enumerate(self.p0_values):
+            lines.append(
+                f"  {p0:>8.2f} "
+                + "".join(f"{self.slashing_grid[i, j]:>8.0f}" for j in range(len(self.beta0_values)))
+            )
+        lines.append("  [non-slashable strategy]")
+        lines.append(header)
+        for i, p0 in enumerate(self.p0_values):
+            lines.append(
+                f"  {p0:>8.2f} "
+                + "".join(
+                    f"{self.non_slashing_grid[i, j]:>8.0f}" for j in range(len(self.beta0_values))
+                )
+            )
+        return "\n".join(lines)
+
+
+def run(
+    p0_values: Sequence[float] = (0.3, 0.4, 0.5, 0.6, 0.7),
+    beta0_values: Sequence[float] = (0.0, 0.1, 0.2, 0.3, 0.33),
+) -> SweepGridResult:
+    """Evaluate both strategies' slower-branch crossing times over the grid."""
+    slashing = np.zeros((len(p0_values), len(beta0_values)))
+    non_slashing = np.zeros_like(slashing)
+    for i, p0 in enumerate(p0_values):
+        for j, beta0 in enumerate(beta0_values):
+            slashing[i, j] = max(
+                threshold_epoch_slashing(p0, beta0),
+                threshold_epoch_slashing(1.0 - p0, beta0),
+            )
+            non_slashing[i, j] = max(
+                threshold_epoch_non_slashing(p0, beta0),
+                threshold_epoch_non_slashing(1.0 - p0, beta0),
+            )
+    return SweepGridResult(
+        p0_values=list(p0_values),
+        beta0_values=list(beta0_values),
+        slashing_grid=slashing,
+        non_slashing_grid=non_slashing,
+    )

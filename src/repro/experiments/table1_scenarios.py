@@ -1,0 +1,77 @@
+"""Table 1: the five analysed scenarios and their outcomes.
+
+Each scenario is run end-to-end on the discrete aggregate leak simulator
+(and, for scenario 5.3, on the bouncing-attack model); the table reports
+the qualitative outcome the paper lists together with the measured numbers
+backing it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.partition_scenarios import ScenarioOutcome, run_all_scenarios
+
+#: The paper's Table 1: scenario id -> expected outcome.
+PAPER_OUTCOMES: Dict[str, str] = {
+    "5.1": "2 finalized branches",
+    "5.2.1": "2 finalized branches",
+    "5.2.2": "2 finalized branches",
+    "5.2.3": "beta > 1/3",
+    "5.3": "beta > 1/3 probably",
+}
+
+
+@dataclass
+class Table1Result:
+    """Measured scenario outcomes vs the paper's Table 1."""
+
+    outcomes: List[ScenarioOutcome]
+
+    def rows(self) -> List[Dict[str, object]]:
+        """One row per scenario."""
+        rows = []
+        for outcome in self.outcomes:
+            rows.append(
+                {
+                    "scenario": outcome.scenario_id,
+                    "description": outcome.description,
+                    "beta0": outcome.beta0,
+                    "outcome_measured": outcome.outcome,
+                    "outcome_paper": PAPER_OUTCOMES.get(outcome.scenario_id, ""),
+                    "conflicting_finalization_epoch": outcome.conflicting_finalization_epoch,
+                    "max_byzantine_proportion": outcome.max_byzantine_proportion,
+                }
+            )
+        return rows
+
+    def format_text(self) -> str:
+        lines = ["Table 1 — analysed scenarios and their outcomes"]
+        for row in self.rows():
+            lines.append(
+                f"  {row['scenario']:<6} beta0={row['beta0']:<5} -> {row['outcome_measured']} "
+                f"(paper: {row['outcome_paper']}); "
+                f"conflicting finalization at epoch {row['conflicting_finalization_epoch']}"
+            )
+        return "\n".join(lines)
+
+    def matches_paper(self) -> bool:
+        """True when every measured outcome matches the paper's Table 1."""
+        return all(
+            row["outcome_measured"] == row["outcome_paper"] for row in self.rows()
+        )
+
+
+def run(
+    beta0: float = 0.33,
+    threshold_beta0: float = 0.25,
+    p0: float = 0.5,
+    max_epochs: int = 6000,
+) -> Table1Result:
+    """Run the five Table-1 scenarios."""
+    return Table1Result(
+        outcomes=run_all_scenarios(
+            beta0=beta0, threshold_beta0=threshold_beta0, p0=p0, max_epochs=max_epochs
+        )
+    )

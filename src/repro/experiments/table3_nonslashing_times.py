@@ -1,0 +1,93 @@
+"""Table 3: epochs to conflicting finalization with non-slashable Byzantine behaviour.
+
+For p0 = 0.5 and beta0 in {0, 0.1, 0.15, 0.2, 0.33} the paper reports
+4685, 4221, 3819, 3328 and 556 epochs respectively (Equation 10, solved
+numerically).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.finalization_time import (
+    ByzantineStrategy,
+    epochs_to_conflicting_finalization,
+)
+from repro.analysis.partition_scenarios import run_non_slashable_byzantine_scenario
+
+PAPER_ROWS: Dict[float, int] = {0.0: 4685, 0.1: 4221, 0.15: 3819, 0.2: 3328, 0.33: 556}
+
+
+@dataclass
+class Table3Result:
+    """Measured vs paper epochs for the non-slashable (semi-active) strategy."""
+
+    p0: float
+    beta0_values: Sequence[float]
+    analytical_epochs: Dict[float, int]
+    simulated_threshold_epochs: Dict[float, Optional[int]]
+    paper_epochs: Dict[float, Optional[int]]
+
+    def rows(self) -> List[Dict[str, object]]:
+        """The Table-3 rows."""
+        return [
+            {
+                "beta0": beta0,
+                "epochs_analytical": self.analytical_epochs[beta0],
+                "epochs_simulated": self.simulated_threshold_epochs.get(beta0),
+                "epochs_paper": self.paper_epochs.get(beta0),
+            }
+            for beta0 in self.beta0_values
+        ]
+
+    def format_text(self) -> str:
+        lines = [
+            "Table 3 — epochs to conflicting finalization (non-slashable Byzantine, p0=0.5)",
+            f"  {'beta0':>6}  {'analytical':>10}  {'simulated':>10}  {'paper':>6}",
+        ]
+        for row in self.rows():
+            simulated = row["epochs_simulated"]
+            lines.append(
+                f"  {row['beta0']:>6}  {row['epochs_analytical']:>10}  "
+                f"{simulated if simulated is not None else '-':>10}  "
+                f"{row['epochs_paper'] if row['epochs_paper'] is not None else '-':>6}"
+            )
+        return "\n".join(lines)
+
+
+def run(
+    beta0_values: Sequence[float] = tuple(PAPER_ROWS),
+    p0: float = 0.5,
+    include_simulation: bool = True,
+    simulation_max_epochs: int = 6000,
+) -> Table3Result:
+    """Reproduce Table 3, optionally cross-checking against the discrete simulator."""
+    analytical = {
+        beta0: epochs_to_conflicting_finalization(
+            ByzantineStrategy.NON_SLASHING, p0, beta0
+        )
+        for beta0 in beta0_values
+    }
+    simulated: Dict[float, Optional[int]] = {}
+    if include_simulation:
+        for beta0 in beta0_values:
+            outcome = run_non_slashable_byzantine_scenario(
+                beta0=beta0, p0=p0, max_epochs=simulation_max_epochs
+            )
+            branches = outcome.simulation.branches if outcome.simulation else {}
+            threshold_epochs = [
+                branch.threshold_epoch
+                for branch in branches.values()
+                if branch.threshold_epoch is not None
+            ]
+            simulated[beta0] = (
+                max(threshold_epochs) if len(threshold_epochs) == len(branches) else None
+            )
+    return Table3Result(
+        p0=p0,
+        beta0_values=list(beta0_values),
+        analytical_epochs=analytical,
+        simulated_threshold_epochs=simulated,
+        paper_epochs={beta0: PAPER_ROWS.get(beta0) for beta0 in beta0_values},
+    )

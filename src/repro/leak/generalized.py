@@ -1,0 +1,161 @@
+"""A generalized inactivity-penalty mechanism.
+
+The paper closes by noting that penalty mechanisms punishing inactive
+validators exist in other PoS designs (Tezos, Polkadot) and calls for their
+study under Byzantine behaviour.  This module parameterises the Ethereum
+mechanism so the paper's analysis can be replayed under different designs:
+
+* ``score_bias``            — score increment per inactive epoch (Ethereum: 4),
+* ``score_recovery``        — score decrement per active epoch (Ethereum: 1),
+* ``penalty_quotient``      — penalty divisor (Ethereum: 2**26),
+* ``ejection_fraction``     — ejection threshold as a fraction of the initial
+                              stake (Ethereum: 16.75/32),
+* ``supermajority``         — quorum needed to finalize (Ethereum: 2/3).
+
+All the headline quantities of the paper (stake decay exponents, ejection
+epoch, the Safety upper bound of Section 5.1, the Table-2 crossing times,
+and the Figure-7 critical Byzantine proportion) become functions of these
+parameters, which the ablation benchmarks sweep.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro import constants
+
+
+@dataclass(frozen=True)
+class PenaltyMechanism:
+    """Parameters of an inactivity-penalty mechanism."""
+
+    score_bias: float = float(constants.INACTIVITY_SCORE_BIAS)
+    score_recovery: float = float(constants.INACTIVITY_SCORE_RECOVERY_PER_EPOCH)
+    penalty_quotient: float = float(constants.INACTIVITY_PENALTY_QUOTIENT)
+    ejection_fraction: float = constants.EJECTION_BALANCE_ETH / constants.MAX_EFFECTIVE_BALANCE_ETH
+    supermajority: float = 2.0 / 3.0
+    initial_stake: float = constants.MAX_EFFECTIVE_BALANCE_ETH
+
+    def __post_init__(self) -> None:
+        if self.score_bias <= 0:
+            raise ValueError("score_bias must be positive")
+        if self.score_recovery < 0:
+            raise ValueError("score_recovery must be non-negative")
+        if self.penalty_quotient <= 0:
+            raise ValueError("penalty_quotient must be positive")
+        if not 0.0 < self.ejection_fraction < 1.0:
+            raise ValueError("ejection_fraction must lie in (0, 1)")
+        if not 0.5 <= self.supermajority < 1.0:
+            raise ValueError("supermajority must lie in [0.5, 1)")
+
+    # ------------------------------------------------------------------
+    # Stake decay
+    # ------------------------------------------------------------------
+    @property
+    def inactive_decay_coefficient(self) -> float:
+        """``c`` such that an always-inactive validator has s(t) = s0 e^{-c t^2}.
+
+        The inactivity score grows as ``score_bias * t``, so the exponent is
+        ``score_bias * t^2 / (2 * quotient)``.
+        """
+        return self.score_bias / (2.0 * self.penalty_quotient)
+
+    @property
+    def semi_active_decay_coefficient(self) -> float:
+        """Decay coefficient of a validator active every other epoch.
+
+        Its score grows by ``(score_bias - score_recovery)`` every two epochs,
+        i.e. on average ``(score_bias - score_recovery)/2`` per epoch.
+        """
+        rate = (self.score_bias - self.score_recovery) / 2.0
+        return max(0.0, rate / (2.0 * self.penalty_quotient))
+
+    def inactive_stake(self, t: float) -> float:
+        """Stake of an always-inactive validator at epoch ``t``."""
+        return self.initial_stake * math.exp(-self.inactive_decay_coefficient * t * t)
+
+    def semi_active_stake(self, t: float) -> float:
+        """Stake of a semi-active validator at epoch ``t``."""
+        return self.initial_stake * math.exp(-self.semi_active_decay_coefficient * t * t)
+
+    # ------------------------------------------------------------------
+    # Ejection and Safety bound
+    # ------------------------------------------------------------------
+    def ejection_epoch_inactive(self) -> float:
+        """Epoch at which an always-inactive validator reaches the ejection threshold."""
+        return math.sqrt(
+            math.log(1.0 / self.ejection_fraction) / self.inactive_decay_coefficient
+        )
+
+    def ejection_epoch_semi_active(self) -> Optional[float]:
+        """Epoch at which a semi-active validator is ejected (None if never)."""
+        coefficient = self.semi_active_decay_coefficient
+        if coefficient <= 0:
+            return None
+        return math.sqrt(math.log(1.0 / self.ejection_fraction) / coefficient)
+
+    def honest_threshold_epoch(self, p0: float) -> float:
+        """Generalisation of Equation 6: epochs for a branch with honest-active
+        proportion ``p0`` to regain the supermajority, capped at ejection."""
+        if not 0.0 <= p0 <= 1.0:
+            raise ValueError("p0 must lie in [0, 1]")
+        cap = self.ejection_epoch_inactive()
+        if p0 >= self.supermajority:
+            return 0.0
+        if p0 <= 0.0:
+            return cap
+        # p0 / (p0 + (1-p0) e^{-c t^2}) = q  =>  e^{-c t^2} = p0 (1-q) / (q (1-p0))
+        q = self.supermajority
+        ratio = p0 * (1.0 - q) / (q * (1.0 - p0))
+        if ratio >= 1.0:
+            return 0.0
+        t = math.sqrt(-math.log(ratio) / self.inactive_decay_coefficient)
+        return min(t, cap)
+
+    def safety_bound_epochs(self, p0: float = 0.5) -> float:
+        """Generalised Section-5.1 bound: conflicting finalization epoch for a fork
+        splitting honest validators into ``p0`` / ``1 - p0``."""
+        slower = max(self.honest_threshold_epoch(p0), self.honest_threshold_epoch(1.0 - p0))
+        return slower + 1.0
+
+    # ------------------------------------------------------------------
+    # Byzantine threshold (generalised Equation 13)
+    # ------------------------------------------------------------------
+    def max_byzantine_proportion(self, p0: float, beta0: float) -> float:
+        """Peak Byzantine proportion when waiting for the honest ejection."""
+        if not 0.0 <= beta0 < 1.0:
+            raise ValueError("beta0 must lie in [0, 1)")
+        decay = self.semi_active_stake(self.ejection_epoch_inactive()) / self.initial_stake
+        byzantine = beta0 * decay
+        denominator = p0 * (1.0 - beta0) + byzantine
+        return byzantine / denominator if denominator > 0 else 0.0
+
+    def critical_beta0(self, p0: float = 0.5, threshold: float = 1.0 / 3.0) -> float:
+        """Smallest beta0 whose peak proportion reaches ``threshold``."""
+        decay = self.semi_active_stake(self.ejection_epoch_inactive()) / self.initial_stake
+        numerator = threshold * p0
+        denominator = threshold * p0 + decay * (1.0 - threshold)
+        return numerator / denominator
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def ethereum(cls) -> "PenaltyMechanism":
+        """The mainnet Ethereum mechanism analysed by the paper."""
+        return cls()
+
+    @classmethod
+    def with_quotient(cls, quotient: float) -> "PenaltyMechanism":
+        """Ethereum's mechanism with a different penalty quotient (leak speed)."""
+        return cls(penalty_quotient=quotient)
+
+    @classmethod
+    def aggressive(cls) -> "PenaltyMechanism":
+        """A much faster leak (quotient 2**20): days instead of weeks."""
+        return cls(penalty_quotient=float(2 ** 20))
+
+    @classmethod
+    def lenient(cls) -> "PenaltyMechanism":
+        """A slower leak (quotient 2**28) with gentler score growth."""
+        return cls(penalty_quotient=float(2 ** 28), score_bias=2.0)

@@ -1,0 +1,133 @@
+"""Validator groups for the epoch-level aggregate leak simulator.
+
+The paper's long-horizon scenarios only ever distinguish a handful of
+validator *classes* (honest-active-on-branch-1, honest-active-on-branch-2,
+Byzantine with some strategy).  Within a class all validators share the
+same stake trajectory, so the aggregate simulator tracks one ledger entry
+per class instead of one per validator — this is what makes simulating
+4,000–8,000 epochs at mainnet scale instantaneous while applying exactly
+the same discrete update rules as the protocol substrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Sequence
+
+from repro import constants
+from repro.spec.config import SpecConfig
+
+#: An activity pattern decides, per epoch and per branch, whether the
+#: validators of a group are deemed active on that branch.  The third
+#: argument exposes a read-only view of the branch (stake ratio and leak
+#: status) so adaptive Byzantine strategies can react to the branch state.
+ActivityPattern = Callable[[int, "BranchView"], bool]
+
+
+@dataclass(frozen=True)
+class BranchView:
+    """Read-only per-epoch information handed to activity patterns."""
+
+    branch_name: str
+    epoch: int
+    #: Ratio of the stake active in the previous epoch to the total stake
+    #: still in the active set on this branch (0 at epoch 0).
+    previous_active_ratio: float
+    #: True if the branch was in an inactivity leak during the previous epoch.
+    in_leak: bool
+    #: True once the branch has finalized a post-fork checkpoint.
+    finalized: bool
+
+
+# ----------------------------------------------------------------------
+# Stock activity patterns (Section 4.3 behaviours)
+# ----------------------------------------------------------------------
+def always_active(epoch: int, view: BranchView) -> bool:
+    """Active every epoch."""
+    return True
+
+
+def never_active(epoch: int, view: BranchView) -> bool:
+    """Inactive every epoch (e.g. honest validators stuck in the other partition)."""
+    return False
+
+
+def semi_active_even(epoch: int, view: BranchView) -> bool:
+    """Active on even epochs (the paper's semi-active behaviour)."""
+    return epoch % 2 == 0
+
+
+def semi_active_odd(epoch: int, view: BranchView) -> bool:
+    """Active on odd epochs (the complementary phase of semi-active)."""
+    return epoch % 2 == 1
+
+
+def pattern_from_name(name: str) -> ActivityPattern:
+    """Resolve a behaviour name to an activity pattern."""
+    patterns: Dict[str, ActivityPattern] = {
+        "active": always_active,
+        "inactive": never_active,
+        "semi-active": semi_active_even,
+        "semi-active-odd": semi_active_odd,
+    }
+    if name not in patterns:
+        raise ValueError(f"unknown behaviour name {name!r}")
+    return patterns[name]
+
+
+@dataclass
+class GroupSpec:
+    """Specification of a validator group on one branch.
+
+    Attributes
+    ----------
+    name:
+        Group label ("honest-1", "byzantine", ...).
+    weight:
+        The group's share of the total initial stake (the paper's
+        proportions such as ``p0 (1 - beta_0)``).  Weights of one branch
+        should sum to 1; they are normalised defensively.
+    pattern:
+        Activity pattern of the group *on this branch*.
+    byzantine:
+        Whether the group is controlled by the adversary (used when
+        computing the Byzantine stake proportion beta(t)).
+    initial_stake:
+        Per-validator initial stake (defaults to 32 ETH).
+    """
+
+    name: str
+    weight: float
+    pattern: ActivityPattern
+    byzantine: bool = False
+    initial_stake: float = constants.MAX_EFFECTIVE_BALANCE_ETH
+
+    def __post_init__(self) -> None:
+        if self.weight < 0:
+            raise ValueError("group weight must be non-negative")
+        if self.initial_stake <= 0:
+            raise ValueError("initial stake must be positive")
+
+
+@dataclass
+class GroupLedger:
+    """Mutable per-branch accounting for one group."""
+
+    spec: GroupSpec
+    stake: float
+    inactivity_score: float = 0.0
+    ejected: bool = False
+    ejection_epoch: Optional[int] = None
+
+    @property
+    def weight(self) -> float:
+        return self.spec.weight
+
+    @property
+    def effective_stake(self) -> float:
+        """Stake counting towards the branch total (0 once ejected)."""
+        return 0.0 if self.ejected else self.stake
+
+    def weighted_stake(self) -> float:
+        """Stake multiplied by the group's share of the validator set."""
+        return self.weight * self.effective_stake

@@ -1,0 +1,138 @@
+"""Post-leak recovery dynamics.
+
+The paper notes (Figure 3 discussion) that once a branch regains a 2/3
+supermajority and finalizes, the inactivity leak ends but "the ratio still
+increases several epochs after the proportion of 2/3 ... is reached.  This
+is because the penalties for inactive validators take some time to return
+to zero": the inactivity scores accumulated during the leak keep charging
+penalties until they decay (by 16 per epoch outside the leak, Section 4.1).
+
+This module models that tail: given the score reached at the end of the
+leak, it computes how many epochs of residual penalties follow, how much
+extra stake is lost, and the full post-leak stake trajectory.  It is used
+by the recovery ablation benchmark and by the leak-exit tests.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro import constants
+from repro.spec.config import SpecConfig
+
+
+@dataclass(frozen=True)
+class RecoveryTrajectory:
+    """Stake and score trajectory after the leak has ended."""
+
+    #: Score at the moment finalization resumed.
+    initial_score: float
+    #: Stake at the moment finalization resumed.
+    initial_stake: float
+    #: Per-epoch scores after the leak (index 0 = first post-leak epoch).
+    scores: List[float]
+    #: Per-epoch stakes after the leak.
+    stakes: List[float]
+
+    @property
+    def epochs_to_zero_score(self) -> int:
+        """Number of post-leak epochs until the score returns to zero."""
+        for index, score in enumerate(self.scores):
+            if score == 0:
+                return index + 1
+        return len(self.scores)
+
+    @property
+    def residual_loss(self) -> float:
+        """Stake lost after the leak ended (the recovery tail)."""
+        return self.initial_stake - self.stakes[-1] if self.stakes else 0.0
+
+    @property
+    def final_stake(self) -> float:
+        """Stake once the score has fully decayed."""
+        return self.stakes[-1] if self.stakes else self.initial_stake
+
+
+def epochs_to_clear_score(
+    score: float, config: Optional[SpecConfig] = None, active: bool = True
+) -> int:
+    """Epochs needed for an inactivity score to return to zero after the leak.
+
+    Outside the leak every score drops by ``inactivity_score_recovery_no_leak``
+    (16) per epoch, plus 1 more if the validator is active (Equation 1).
+    """
+    cfg = config or SpecConfig.mainnet()
+    per_epoch = cfg.inactivity_score_recovery_no_leak + (
+        cfg.inactivity_score_recovery if active else -cfg.inactivity_score_bias
+    )
+    if per_epoch <= 0:
+        raise ValueError("the score never clears for an inactive validator outside a leak "
+                         "with these parameters")
+    return max(0, math.ceil(score / per_epoch))
+
+
+def simulate_recovery(
+    initial_score: float,
+    initial_stake: float,
+    config: Optional[SpecConfig] = None,
+    active: bool = True,
+    leak_still_running: bool = False,
+    max_epochs: int = 10_000,
+) -> RecoveryTrajectory:
+    """Simulate the post-leak epochs until the inactivity score reaches zero.
+
+    ``leak_still_running=True`` models the paper's subtle point in
+    Section 5.1/Figure 3: on the branch that has *not* finalized yet, the
+    leak (and therefore the per-epoch penalty) continues while the score
+    decays only by 1 per active epoch.
+    """
+    cfg = config or SpecConfig.mainnet()
+    if initial_score < 0 or initial_stake < 0:
+        raise ValueError("score and stake must be non-negative")
+    score = float(initial_score)
+    stake = float(initial_stake)
+    scores: List[float] = []
+    stakes: List[float] = []
+    for _ in range(max_epochs):
+        if score <= 0:
+            break
+        if leak_still_running:
+            stake = max(0.0, stake - score * stake / cfg.inactivity_penalty_quotient)
+        if active:
+            score = max(0.0, score - cfg.inactivity_score_recovery)
+        else:
+            score += cfg.inactivity_score_bias
+        if not leak_still_running:
+            score = max(0.0, score - cfg.inactivity_score_recovery_no_leak)
+        scores.append(score)
+        stakes.append(stake)
+    if not scores:
+        scores, stakes = [score], [stake]
+    return RecoveryTrajectory(
+        initial_score=initial_score,
+        initial_stake=initial_stake,
+        scores=scores,
+        stakes=stakes,
+    )
+
+
+def leak_exit_score(leak_duration: int, config: Optional[SpecConfig] = None) -> float:
+    """Score of a validator that was inactive for the whole leak of ``leak_duration`` epochs."""
+    cfg = config or SpecConfig.mainnet()
+    if leak_duration < 0:
+        raise ValueError("leak_duration must be non-negative")
+    return float(cfg.inactivity_score_bias * leak_duration)
+
+
+def recovery_tail_epochs(leak_duration: int, config: Optional[SpecConfig] = None) -> int:
+    """How many epochs after the leak the ex-inactive validators keep a non-zero score.
+
+    This is the paper's "penalties take some time to return to zero" tail on
+    Figure 3: a validator inactive for the whole leak exits it with score
+    ``4 * leak_duration`` and clears it at ``(16 + 1)`` per epoch once it is
+    active again on the finalized branch.
+    """
+    cfg = config or SpecConfig.mainnet()
+    return epochs_to_clear_score(leak_exit_score(leak_duration, cfg), cfg, active=True)

@@ -1,0 +1,19 @@
+"""Partially-synchronous network substrate: messages, partitions, transport, adversary."""
+
+from repro.network.adversary import Adversary
+from repro.network.clock import SlotClock
+from repro.network.message import Delivery, Message, MessageKind
+from repro.network.partition import Partition, PartitionSchedule
+from repro.network.transport import Network, TransportStats
+
+__all__ = [
+    "Adversary",
+    "Delivery",
+    "Message",
+    "MessageKind",
+    "Network",
+    "Partition",
+    "PartitionSchedule",
+    "SlotClock",
+    "TransportStats",
+]

@@ -1,0 +1,101 @@
+"""The coordinating adversary.
+
+Following the paper's fault model (Section 2), the adversary controls every
+Byzantine validator, can coordinate them across network partitions (it is
+unaffected by partitions), but cannot manipulate delays between honest
+validators.  The adversary object gives attack strategies a single place to
+
+* learn which Byzantine validators exist and what they currently see,
+* direct messages at one partition only (being "active on branch 1"),
+* withhold Byzantine messages and release them at an opportune time
+  (the probabilistic bouncing attack).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from repro.network.message import Message
+from repro.network.partition import PartitionSchedule
+from repro.network.transport import Network
+
+
+@dataclass
+class Adversary:
+    """Coordinates the Byzantine validators of a simulation."""
+
+    byzantine_indices: Set[int]
+    network: Network
+    schedule: PartitionSchedule
+
+    def __post_init__(self) -> None:
+        self.byzantine_indices = set(self.byzantine_indices)
+
+    # ------------------------------------------------------------------
+    # Topology knowledge
+    # ------------------------------------------------------------------
+    def honest_members_of(self, partition_name: str) -> Set[int]:
+        """Honest validators inside the named partition."""
+        members = set(self.schedule.members_of(partition_name))
+        return members - self.byzantine_indices
+
+    def partitions(self) -> List[str]:
+        """Partition names, in order."""
+        return self.schedule.partition_names()
+
+    def controls(self, validator_index: int) -> bool:
+        """True if the validator is Byzantine (controlled by this adversary)."""
+        return validator_index in self.byzantine_indices
+
+    # ------------------------------------------------------------------
+    # Targeted message release
+    # ------------------------------------------------------------------
+    def send_to_partition(
+        self,
+        message: Message,
+        partition_name: str,
+        include_byzantine: bool = True,
+    ) -> None:
+        """Deliver a Byzantine message to one partition only.
+
+        Because Byzantine senders are bridge nodes in the partition
+        schedule, restricting the audience is how "being active on branch 1
+        but not branch 2" is realised: validators of the other partition
+        simply never receive the message before GST.
+        """
+        recipients: Set[int] = set(self.schedule.members_of(partition_name))
+        if include_byzantine:
+            recipients |= self.byzantine_indices
+        self.network.broadcast(message, recipients=recipients, exclude={message.sender})
+
+    def broadcast_everywhere(self, message: Message) -> None:
+        """Deliver a Byzantine message to every participant (both branches)."""
+        self.network.broadcast(message, exclude={message.sender})
+
+    def withhold(self, message: Message, recipients: Iterable[int]) -> None:
+        """Withhold a message addressed to ``recipients`` for later release."""
+        for recipient in recipients:
+            if recipient == message.sender:
+                continue
+            self.network.withhold(message, recipient)
+
+    def release_all(self, release_time: float) -> int:
+        """Release every withheld message; returns the number released."""
+        return self.network.release_withheld(release_time)
+
+    # ------------------------------------------------------------------
+    # Accounting helpers used by experiments
+    # ------------------------------------------------------------------
+    def byzantine_count(self) -> int:
+        """Number of Byzantine validators under the adversary's control."""
+        return len(self.byzantine_indices)
+
+    def is_unaffected_by_partition(self) -> bool:
+        """Adversary invariant: every Byzantine validator is a bridge node.
+
+        Returns True when the partition schedule indeed treats all Byzantine
+        validators as connected to both sides — a sanity check used by
+        scenario builders.
+        """
+        return all(self.schedule.is_bridge(index) for index in self.byzantine_indices)

@@ -1,0 +1,55 @@
+"""Synchronized slot clock.
+
+Validators have synchronized clocks (Section 2 of the paper: offsets are
+folded into the network delay).  The clock converts between wall-clock
+seconds, slots, and epochs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.spec.config import SpecConfig
+
+
+@dataclass
+class SlotClock:
+    """Converts simulation time (seconds) to slots and epochs."""
+
+    config: SpecConfig
+    genesis_time: float = 0.0
+
+    def slot_at(self, time: float) -> int:
+        """Slot number containing wall-clock ``time``."""
+        if time < self.genesis_time:
+            raise ValueError("time precedes genesis")
+        return int((time - self.genesis_time) // self.config.seconds_per_slot)
+
+    def epoch_at(self, time: float) -> int:
+        """Epoch number containing wall-clock ``time``."""
+        return self.config.epoch_of_slot(self.slot_at(time))
+
+    def start_of_slot(self, slot: int) -> float:
+        """Wall-clock time of the start of ``slot``."""
+        if slot < 0:
+            raise ValueError("slot must be non-negative")
+        return self.genesis_time + slot * self.config.seconds_per_slot
+
+    def start_of_epoch(self, epoch: int) -> float:
+        """Wall-clock time of the start of ``epoch``."""
+        return self.start_of_slot(self.config.start_slot_of_epoch(epoch))
+
+    def attestation_deadline(self, slot: int) -> float:
+        """Time at which attestations for ``slot`` are due (1/3 into the slot).
+
+        Ethereum validators attest a third of the way through the slot; the
+        exact offset is irrelevant for the paper's analysis but keeps the
+        simulator's event ordering realistic (block first, attestations
+        after).
+        """
+        return self.start_of_slot(slot) + self.config.seconds_per_slot / 3.0
+
+    def is_epoch_start(self, slot: int) -> bool:
+        """True if ``slot`` is the first slot of its epoch."""
+        return slot % self.config.slots_per_epoch == 0

@@ -1,0 +1,146 @@
+"""Network partitions and the partially-synchronous timing model.
+
+The paper's scenarios (Section 5.1 and 5.2) assume that before GST the
+honest validators are split into two partitions that communicate internally
+with bounded delay but cannot reach each other, while Byzantine validators
+are connected to both sides.  :class:`PartitionSchedule` captures exactly
+this: a partition assignment for every validator, a GST, and the rule that
+Byzantine (bridge) validators ignore the partition.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+
+@dataclass(frozen=True)
+class Partition:
+    """A named group of validators that can communicate internally."""
+
+    name: str
+    members: FrozenSet[int]
+
+    def __contains__(self, validator_index: int) -> bool:
+        return validator_index in self.members
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+
+@dataclass
+class PartitionSchedule:
+    """Describes who can talk to whom, and when the partition heals.
+
+    Parameters
+    ----------
+    partitions:
+        The disjoint partitions of (honest) validators.  A validator absent
+        from every partition is treated as a *bridge* node reachable from
+        and able to reach every partition — this is how the coordinated
+        Byzantine adversary of the paper is modelled.
+    gst:
+        Global Stabilization Time (seconds).  From ``gst`` onwards every
+        validator can reach every other validator within the synchronous
+        bound ``delta``.
+    delta:
+        Message delay bound that applies within a partition before GST and
+        globally after GST.
+    """
+
+    partitions: Sequence[Partition]
+    gst: float
+    delta: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.delta <= 0:
+            raise ValueError("delta must be positive")
+        if self.gst < 0:
+            raise ValueError("GST must be non-negative")
+        seen: Set[int] = set()
+        for partition in self.partitions:
+            overlap = seen & set(partition.members)
+            if overlap:
+                raise ValueError(f"validators {sorted(overlap)} appear in two partitions")
+            seen |= set(partition.members)
+        self._partition_of: Dict[int, str] = {
+            index: partition.name
+            for partition in self.partitions
+            for index in partition.members
+        }
+
+    # ------------------------------------------------------------------
+    def partition_of(self, validator_index: int) -> Optional[str]:
+        """Name of the partition containing ``validator_index`` (None = bridge)."""
+        return self._partition_of.get(validator_index)
+
+    def is_bridge(self, validator_index: int) -> bool:
+        """True if the validator is connected to every partition (adversary)."""
+        return validator_index not in self._partition_of
+
+    def can_communicate(self, sender: int, recipient: int, time: float) -> bool:
+        """True if a message sent by ``sender`` at ``time`` can reach ``recipient``.
+
+        After GST everyone can reach everyone.  Before GST, communication is
+        possible within a partition, and to/from bridge validators.
+        """
+        if time >= self.gst:
+            return True
+        if sender == recipient:
+            return True
+        if self.is_bridge(sender) or self.is_bridge(recipient):
+            return True
+        return self._partition_of[sender] == self._partition_of[recipient]
+
+    def delivery_time(self, sender: int, recipient: int, sent_at: float) -> float:
+        """Earliest time at which the message can be delivered.
+
+        Messages that cannot cross the partition before GST are delivered at
+        ``GST + delta`` (the system model: "all messages sent before GST are
+        received at most at time GST + delta").
+        """
+        if self.can_communicate(sender, recipient, sent_at):
+            return sent_at + self.delta
+        return self.gst + self.delta
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def two_way_split(
+        cls,
+        honest_indices: Sequence[int],
+        active_fraction: float,
+        gst: float,
+        delta: float = 1.0,
+        bridge_indices: Sequence[int] = (),
+    ) -> "PartitionSchedule":
+        """Split honest validators into two partitions of proportion p0 / 1-p0.
+
+        ``active_fraction`` is the paper's ``p0``: the fraction of honest
+        validators placed in partition ``"branch-1"``; the rest go to
+        ``"branch-2"``.  ``bridge_indices`` (typically the Byzantine
+        validators) are connected to both sides.
+        """
+        if not 0.0 <= active_fraction <= 1.0:
+            raise ValueError("active_fraction must lie in [0, 1]")
+        honest = [i for i in honest_indices if i not in set(bridge_indices)]
+        cut = int(round(len(honest) * active_fraction))
+        partition_1 = Partition(name="branch-1", members=frozenset(honest[:cut]))
+        partition_2 = Partition(name="branch-2", members=frozenset(honest[cut:]))
+        return cls(partitions=(partition_1, partition_2), gst=gst, delta=delta)
+
+    @classmethod
+    def fully_connected(cls, delta: float = 1.0) -> "PartitionSchedule":
+        """A degenerate schedule with no partition (GST = 0)."""
+        return cls(partitions=(), gst=0.0, delta=delta)
+
+    def partition_names(self) -> List[str]:
+        """Names of the partitions in order."""
+        return [p.name for p in self.partitions]
+
+    def members_of(self, name: str) -> FrozenSet[int]:
+        """Members of the partition called ``name``."""
+        for partition in self.partitions:
+            if partition.name == name:
+                return partition.members
+        raise KeyError(f"unknown partition {name!r}")

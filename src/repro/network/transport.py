@@ -1,0 +1,140 @@
+"""Best-effort broadcast over a partially-synchronous network.
+
+The transport schedules deliveries according to a
+:class:`~repro.network.partition.PartitionSchedule`: within a partition (or
+after GST) messages arrive within ``delta`` seconds; across partitions
+before GST they are held and delivered at ``GST + delta``.  The adversary
+(:mod:`repro.network.adversary`) can additionally withhold messages sent by
+Byzantine validators and release them at a chosen time, which is the
+capability the probabilistic bouncing attack relies on.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.network.message import Delivery, Message
+from repro.network.partition import PartitionSchedule
+
+
+@dataclass
+class TransportStats:
+    """Counters describing the traffic handled by the transport."""
+
+    sent: int = 0
+    delivered: int = 0
+    withheld: int = 0
+    delayed_across_partition: int = 0
+
+
+class Network:
+    """Message scheduling between validator nodes.
+
+    The class is intentionally independent of the simulation engine: it
+    only turns ``broadcast``/``send`` calls into :class:`Delivery` records
+    ordered by delivery time; the engine pops them and hands the payloads
+    to recipient nodes.
+    """
+
+    def __init__(
+        self,
+        schedule: PartitionSchedule,
+        participants: Sequence[int],
+    ) -> None:
+        self.schedule = schedule
+        self.participants = list(participants)
+        self._queue: List[Delivery] = []
+        self._withheld: List[Tuple[Message, int]] = []
+        self.stats = TransportStats()
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def broadcast(
+        self,
+        message: Message,
+        exclude: Iterable[int] = (),
+        recipients: Optional[Iterable[int]] = None,
+    ) -> None:
+        """Best-effort broadcast of ``message`` to every participant.
+
+        ``recipients`` restricts the audience (the adversary uses this to
+        release withheld votes to one partition only); ``exclude`` removes
+        specific recipients (usually the sender itself, which processes its
+        own messages locally).
+        """
+        audience = list(recipients) if recipients is not None else self.participants
+        excluded = set(exclude)
+        self.stats.sent += 1
+        for recipient in audience:
+            if recipient in excluded:
+                continue
+            self._schedule(message, recipient)
+
+    def send(self, message: Message, recipient: int) -> None:
+        """Point-to-point send (same timing rules as broadcast)."""
+        self.stats.sent += 1
+        self._schedule(message, recipient)
+
+    def withhold(self, message: Message, recipient: int) -> None:
+        """Hold a message outside the network until :meth:`release` is called.
+
+        Models the adversary's ability to delay the release of Byzantine
+        messages (Section 5.3 step 2: "Byzantine validators withhold their
+        messages ... releasing them at the opportune time").
+        """
+        self._withheld.append((message, recipient))
+        self.stats.withheld += 1
+
+    def release_withheld(self, release_time: float) -> int:
+        """Release every withheld message at ``release_time``.
+
+        The released messages still obey the partition schedule from the
+        release time onwards.  Returns the number of messages released.
+        """
+        count = 0
+        for message, recipient in self._withheld:
+            deliver_at = max(
+                release_time,
+                self.schedule.delivery_time(message.sender, recipient, release_time),
+            )
+            heapq.heappush(
+                self._queue, Delivery(message=message, recipient=recipient, deliver_at=deliver_at)
+            )
+            count += 1
+        self._withheld.clear()
+        return count
+
+    def _schedule(self, message: Message, recipient: int) -> None:
+        deliver_at = self.schedule.delivery_time(message.sender, recipient, message.sent_at)
+        if deliver_at > message.sent_at + self.schedule.delta:
+            self.stats.delayed_across_partition += 1
+        heapq.heappush(
+            self._queue, Delivery(message=message, recipient=recipient, deliver_at=deliver_at)
+        )
+
+    # ------------------------------------------------------------------
+    # Receiving
+    # ------------------------------------------------------------------
+    def deliveries_until(self, time: float) -> List[Delivery]:
+        """Pop and return every delivery due at or before ``time``, in order."""
+        due: List[Delivery] = []
+        while self._queue and self._queue[0].deliver_at <= time:
+            delivery = heapq.heappop(self._queue)
+            due.append(delivery)
+            self.stats.delivered += 1
+        return due
+
+    def pending(self) -> int:
+        """Number of deliveries still in flight."""
+        return len(self._queue)
+
+    def withheld_count(self) -> int:
+        """Number of messages currently withheld by the adversary."""
+        return len(self._withheld)
+
+    def next_delivery_time(self) -> Optional[float]:
+        """Delivery time of the earliest pending message, if any."""
+        return self._queue[0].deliver_at if self._queue else None

@@ -1,0 +1,34 @@
+"""Slot-level discrete-event simulator of the Ethereum PoS protocol."""
+
+from repro.sim.engine import SimulationEngine
+from repro.sim.node import Node
+from repro.sim.observers import (
+    FinalityObserver,
+    LeakObserver,
+    ObserverSet,
+    SafetyObserver,
+    StakeObserver,
+)
+from repro.sim.results import EpochSnapshot, SimulationResult
+from repro.sim.scenarios import (
+    BYZANTINE_STRATEGIES,
+    build_honest_simulation,
+    build_offline_fraction_simulation,
+    build_partitioned_simulation,
+)
+
+__all__ = [
+    "BYZANTINE_STRATEGIES",
+    "EpochSnapshot",
+    "FinalityObserver",
+    "LeakObserver",
+    "Node",
+    "ObserverSet",
+    "SafetyObserver",
+    "SimulationEngine",
+    "SimulationResult",
+    "StakeObserver",
+    "build_honest_simulation",
+    "build_offline_fraction_simulation",
+    "build_partitioned_simulation",
+]

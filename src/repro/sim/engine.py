@@ -1,0 +1,273 @@
+"""The slot-level simulation engine.
+
+The engine advances the synchronized slot clock, asks the scheduled
+proposer and attesters of each slot for their actions (through their
+agents), pushes the resulting messages through the partially-synchronous
+network, delivers due messages to every node, and runs epoch processing on
+each node at epoch boundaries.  Per-epoch global observables (finality
+progress, Byzantine proportion, Safety violations) are recorded into a
+:class:`~repro.sim.results.SimulationResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set
+
+#: Observers are called as ``observer(engine, epoch)`` after each epoch's
+#: processing (see :mod:`repro.sim.observers` for ready-made ones).
+EngineObserver = Callable[["SimulationEngine", int], None]
+
+from repro.agents.base import AgentContext, AttestationAction, ProposalAction, ValidatorAgent
+from repro.network.adversary import Adversary
+from repro.network.clock import SlotClock
+from repro.network.message import Message
+from repro.network.partition import PartitionSchedule
+from repro.network.transport import Network
+from repro.sim.node import Node
+from repro.sim.results import EpochSnapshot, SimulationResult
+from repro.spec.blocktree import BlockTree
+from repro.spec.committees import DutyScheduler
+from repro.spec.config import SpecConfig
+from repro.spec.finality import conflicting_finalized_checkpoints
+from repro.spec.validator import Validator
+
+
+class SimulationEngine:
+    """Drives validator agents through slots and epochs."""
+
+    def __init__(
+        self,
+        registry: List[Validator],
+        agents: Dict[int, ValidatorAgent],
+        schedule: Optional[PartitionSchedule] = None,
+        config: Optional[SpecConfig] = None,
+        seed: str = "repro",
+        release_withheld_at_epoch_start: bool = True,
+        observers: Optional[Sequence["EngineObserver"]] = None,
+    ) -> None:
+        if set(agents) != {validator.index for validator in registry}:
+            raise ValueError("every validator in the registry needs exactly one agent")
+        self.config = config or SpecConfig.mainnet()
+        self.registry = registry
+        self.agents = agents
+        self.schedule = schedule or PartitionSchedule.fully_connected()
+        self.clock = SlotClock(config=self.config)
+        self.scheduler = DutyScheduler(config=self.config, seed=seed)
+        self.network = Network(self.schedule, participants=[v.index for v in registry])
+        byzantine_indices = {
+            index for index, agent in agents.items() if agent.is_byzantine
+        }
+        self.adversary = Adversary(
+            byzantine_indices=byzantine_indices,
+            network=self.network,
+            schedule=self.schedule,
+        )
+        self.release_withheld_at_epoch_start = release_withheld_at_epoch_start
+        self.observers: List[EngineObserver] = list(observers or [])
+        # Global observer tree: every published block, regardless of which
+        # nodes received it.  Used to detect conflicting finalized chains
+        # even while the partition still hides one branch from the other.
+        self._global_tree = BlockTree()
+        # Every node gets its own copy of the registry: stakes evolve
+        # independently per local view (per branch), exactly as in the paper.
+        self.nodes: Dict[int, Node] = {
+            validator.index: Node(
+                validator_index=validator.index,
+                registry=[
+                    Validator(
+                        index=v.index,
+                        stake=v.stake,
+                        inactivity_score=v.inactivity_score,
+                        slashed=v.slashed,
+                        exit_epoch=v.exit_epoch,
+                        label=v.label,
+                    )
+                    for v in registry
+                ],
+                config=self.config,
+            )
+            for validator in registry
+        }
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def honest_indices(self) -> List[int]:
+        """Indices of honest validators."""
+        return [index for index, agent in self.agents.items() if not agent.is_byzantine]
+
+    def byzantine_indices(self) -> List[int]:
+        """Indices of Byzantine validators."""
+        return [index for index, agent in self.agents.items() if agent.is_byzantine]
+
+    def _context_for(self, validator_index: int, slot: int, time: float) -> AgentContext:
+        epoch = self.config.epoch_of_slot(slot)
+        duties = self.scheduler.duties_for_epoch(epoch, self.registry)
+        proposer = duties.proposer_for_slot(slot, self.config.slots_per_epoch)
+        committee = duties.committee_for_slot(slot, self.config.slots_per_epoch)
+        return AgentContext(
+            validator_index=validator_index,
+            slot=slot,
+            epoch=epoch,
+            time=time,
+            node=self.nodes[validator_index],
+            duties=duties,
+            is_proposer=proposer == validator_index,
+            is_attester=validator_index in committee,
+            partition_names=self.schedule.partition_names(),
+        )
+
+    def _deliver_due(self, time: float) -> None:
+        for delivery in self.network.deliveries_until(time):
+            node = self.nodes.get(delivery.recipient)
+            if node is not None:
+                node.receive(delivery.message)
+
+    def _publish_proposal(self, action: ProposalAction, sender: int, time: float) -> None:
+        message = Message.block(action.block, sender=sender, sent_at=time)
+        if action.block.parent_root in self._global_tree:
+            self._global_tree.add_block(action.block)
+        # The proposer processes its own block immediately.
+        self.nodes[sender].receive(message)
+        if action.audience is None:
+            self.network.broadcast(message, exclude={sender})
+        else:
+            self.adversary.send_to_partition(message, action.audience)
+
+    def _publish_attestation(
+        self, action: AttestationAction, sender: int, time: float
+    ) -> None:
+        message = Message.attestation(action.attestation, sender=sender, sent_at=time)
+        self.nodes[sender].receive(message)
+        if action.withhold:
+            recipients = [index for index in self.nodes if index != sender]
+            self.adversary.withhold(message, recipients)
+            return
+        if action.audience is None:
+            self.network.broadcast(message, exclude={sender})
+        else:
+            self.adversary.send_to_partition(message, action.audience)
+
+    # ------------------------------------------------------------------
+    # Epoch bookkeeping
+    # ------------------------------------------------------------------
+    def _process_epoch_on_all_nodes(self, epoch: int) -> None:
+        for node in self.nodes.values():
+            node.process_epoch_end(epoch)
+
+    def _finalized_chains_conflict(self) -> bool:
+        """Global Safety check over the honest nodes' finalized checkpoints.
+
+        Two finalized chains conflict when neither finalized checkpoint is an
+        ancestor of (or equal to) the other in the global block tree — the
+        paper's Safety property (one finalized chain must be a prefix of the
+        other).  Checkpoints for blocks the global tree has not recorded are
+        compared by epoch/root only.
+        """
+        honest = self.honest_indices()
+        checkpoints = [self.nodes[i].state.finalized_checkpoint for i in honest]
+        for i, first in enumerate(checkpoints):
+            for second in checkpoints[i + 1 :]:
+                if first == second:
+                    continue
+                if first.epoch == second.epoch and first.root != second.root:
+                    return True
+                low, high = sorted((first, second), key=lambda c: c.epoch)
+                if low.root not in self._global_tree or high.root not in self._global_tree:
+                    continue
+                if not self._global_tree.is_ancestor(low.root, high.root):
+                    return True
+        # Also cover conflicts at intermediate finalized epochs.
+        honest_states = [self.nodes[i].state for i in honest]
+        return bool(conflicting_finalized_checkpoints(honest_states))
+
+    def _snapshot(self, epoch: int) -> EpochSnapshot:
+        honest = self.honest_indices()
+        honest_states = [self.nodes[i].state for i in honest]
+        representative = self.nodes[honest[0]].state if honest else None
+        return EpochSnapshot(
+            epoch=epoch,
+            finalized_epoch_by_node={
+                index: self.nodes[index].state.finalized_checkpoint.epoch
+                for index in self.nodes
+            },
+            byzantine_proportion=(
+                representative.byzantine_stake_proportion() if representative else 0.0
+            ),
+            any_in_leak=any(state.is_in_inactivity_leak() for state in honest_states),
+            safety_violated=self._finalized_chains_conflict(),
+        )
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def run(self, num_epochs: int) -> SimulationResult:
+        """Run the simulation for ``num_epochs`` epochs and return the result."""
+        if num_epochs <= 0:
+            raise ValueError("num_epochs must be positive")
+        snapshots: List[EpochSnapshot] = []
+        slots_per_epoch = self.config.slots_per_epoch
+        total_slots = num_epochs * slots_per_epoch
+
+        for slot in range(total_slots):
+            slot_start = self.clock.start_of_slot(slot)
+            epoch = self.config.epoch_of_slot(slot)
+
+            if self.clock.is_epoch_start(slot):
+                if epoch > 0:
+                    # Close the books on the previous epoch on every node.
+                    self._process_epoch_on_all_nodes(epoch - 1)
+                    snapshots.append(self._snapshot(epoch - 1))
+                    for observer in self.observers:
+                        observer(self, epoch - 1)
+                if self.release_withheld_at_epoch_start and self.network.withheld_count():
+                    self.adversary.release_all(slot_start)
+                for index, agent in self.agents.items():
+                    agent.on_epoch_start(self._context_for(index, slot, slot_start))
+
+            # Deliver messages due by the start of the slot, then propose.
+            # Slot 0 is occupied by the genesis block, so proposals start at slot 1.
+            self._deliver_due(slot_start)
+            if slot > 0:
+                for index, agent in self.agents.items():
+                    ctx = self._context_for(index, slot, slot_start)
+                    if not ctx.is_proposer:
+                        continue
+                    for action in agent.propose(ctx):
+                        self._publish_proposal(action, sender=index, time=slot_start)
+
+            # Attestations are produced a third of the way into the slot.
+            attestation_time = self.clock.attestation_deadline(slot)
+            self._deliver_due(attestation_time)
+            for index, agent in self.agents.items():
+                ctx = self._context_for(index, slot, attestation_time)
+                if not ctx.is_attester:
+                    continue
+                for action in agent.attest(ctx):
+                    self._publish_attestation(action, sender=index, time=attestation_time)
+
+            # Flush deliveries due before the end of the slot.
+            self._deliver_due(self.clock.start_of_slot(slot + 1))
+
+        # Final epoch processing.
+        self._process_epoch_on_all_nodes(num_epochs - 1)
+        snapshots.append(self._snapshot(num_epochs - 1))
+        for observer in self.observers:
+            observer(self, num_epochs - 1)
+
+        slashed: Set[int] = set()
+        for index in self.honest_indices():
+            for validator in self.nodes[index].state.validators:
+                if validator.slashed:
+                    slashed.add(validator.index)
+
+        return SimulationResult(
+            epochs_run=num_epochs,
+            honest_indices=self.honest_indices(),
+            byzantine_indices=self.byzantine_indices(),
+            final_states={index: node.state for index, node in self.nodes.items()},
+            snapshots=snapshots,
+            transport_stats=self.network.stats,
+            slashed_indices=slashed,
+        )

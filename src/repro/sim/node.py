@@ -1,0 +1,275 @@
+"""A validator node: local view of the chain plus protocol bookkeeping.
+
+Each simulated validator runs a node holding its own fork-choice store,
+beacon state, FFG vote pool and slashing detector.  Nodes only learn about
+blocks and attestations through messages delivered by the network, so two
+nodes separated by a partition genuinely diverge — which is the whole point
+of the paper's scenarios.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.network.message import Message, MessageKind
+from repro.spec.attestation import Attestation
+from repro.spec.block import BeaconBlock
+from repro.spec.checkpoint import Checkpoint, FFGVote
+from repro.spec.config import SpecConfig
+from repro.spec.finality import FFGVotePool
+from repro.spec.forkchoice import Store
+from repro.spec.slashing import SlashingDetector, SlashingEvidence
+from repro.spec.state import BeaconState
+from repro.spec.state_transition import ChainHistory, EpochReport, process_epoch
+from repro.spec.types import Root
+from repro.spec.validator import Validator
+
+
+@dataclass
+class PendingQueues:
+    """Blocks and attestations whose ancestry has not been delivered yet."""
+
+    blocks: List[BeaconBlock] = field(default_factory=list)
+    attestations: List[Attestation] = field(default_factory=list)
+
+
+class Node:
+    """Local protocol instance of one validator."""
+
+    def __init__(
+        self,
+        validator_index: int,
+        registry: List[Validator],
+        config: Optional[SpecConfig] = None,
+    ) -> None:
+        self.validator_index = validator_index
+        self.config = config or SpecConfig.mainnet()
+        self.state = BeaconState.genesis(registry, self.config)
+        self.store = Store(config=self.config)
+        self.pool = FFGVotePool()
+        self.detector = SlashingDetector()
+        self.history = ChainHistory()
+        self.pending = PendingQueues()
+        #: Attestations seen but not yet included in a block this node built.
+        self.attestations_for_inclusion: List[Attestation] = []
+        #: Attestations seen, grouped by target epoch (activity accounting).
+        self.attestations_by_epoch: Dict[int, List[Attestation]] = defaultdict(list)
+        #: Evidence known to this node and not yet included in one of its blocks.
+        self.evidence_for_inclusion: List[SlashingEvidence] = []
+        #: Validators for which evidence was included in a block on this
+        #: node's chain, per epoch (consumed at epoch processing).
+        self.slashings_observed: Dict[int, Set[int]] = defaultdict(set)
+        #: All blocks received (for diagnostics).
+        self.blocks_received = 0
+        self.attestations_received = 0
+        #: Balances as of the last justified checkpoint, used to weight
+        #: fork-choice votes (the real protocol weighs LMD-GHOST votes with
+        #: the justified-state balances so diverging views still converge).
+        self._justified_stakes: Dict[int, float] = {
+            validator.index: validator.stake for validator in self.state.validators
+        }
+
+    # ------------------------------------------------------------------
+    # Message ingestion
+    # ------------------------------------------------------------------
+    def receive(self, message: Message) -> None:
+        """Process a delivered network message."""
+        if message.kind is MessageKind.BLOCK:
+            self._receive_block(message.payload)  # type: ignore[arg-type]
+        elif message.kind is MessageKind.ATTESTATION:
+            self._receive_attestation(message.payload)  # type: ignore[arg-type]
+        elif message.kind is MessageKind.SLASHING_EVIDENCE:
+            self._receive_evidence(message.payload)  # type: ignore[arg-type]
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unknown message kind {message.kind}")
+
+    def _receive_block(self, block: BeaconBlock) -> None:
+        self.blocks_received += 1
+        if block.parent_root not in self.store.tree:
+            self.pending.blocks.append(block)
+            return
+        if self.store.on_block(block):
+            # Attestations and evidence carried by the block count as seen.
+            for attestation in block.attestations:
+                self._receive_attestation(attestation)
+            for validator_index in block.slashing_evidence:
+                epoch = self.config.epoch_of_slot(block.slot)
+                self.slashings_observed[epoch].add(validator_index)
+            self._drain_pending()
+
+    def _receive_attestation(self, attestation: Attestation) -> None:
+        self.attestations_received += 1
+        if attestation.head_root not in self.store.tree:
+            self.pending.attestations.append(attestation)
+            return
+        self._ingest_attestation(attestation)
+
+    def _ingest_attestation(self, attestation: Attestation) -> None:
+        self.store.on_attestation(attestation)
+        self.pool.add_attestation(attestation)
+        self.attestations_by_epoch[attestation.target_epoch].append(attestation)
+        self.attestations_for_inclusion.append(attestation)
+        evidence = self.detector.observe(attestation)
+        if evidence is not None:
+            self.evidence_for_inclusion.append(evidence)
+
+    def _receive_evidence(self, evidence: SlashingEvidence) -> None:
+        if not self.detector.has_evidence_against(evidence.validator_index):
+            self.evidence_for_inclusion.append(evidence)
+            # Feed both attestations to the detector so duplicates are ignored.
+            self.detector.observe(evidence.first)
+            self.detector.observe(evidence.second)
+
+    def _drain_pending(self) -> None:
+        """Retry queued blocks/attestations whose dependencies may now exist."""
+        progress = True
+        while progress:
+            progress = False
+            still_pending: List[BeaconBlock] = []
+            for block in self.pending.blocks:
+                if block.parent_root in self.store.tree:
+                    if self.store.on_block(block):
+                        for attestation in block.attestations:
+                            self._ingest_attestation(attestation)
+                        for validator_index in block.slashing_evidence:
+                            epoch = self.config.epoch_of_slot(block.slot)
+                            self.slashings_observed[epoch].add(validator_index)
+                    progress = True
+                else:
+                    still_pending.append(block)
+            self.pending.blocks = still_pending
+            still_pending_attestations: List[Attestation] = []
+            for attestation in self.pending.attestations:
+                if attestation.head_root in self.store.tree:
+                    self._ingest_attestation(attestation)
+                    progress = True
+                else:
+                    still_pending_attestations.append(attestation)
+            self.pending.attestations = still_pending_attestations
+
+    # ------------------------------------------------------------------
+    # Chain views used by agents
+    # ------------------------------------------------------------------
+    def head(self) -> Root:
+        """Current fork-choice head (votes weighted by justified-state balances)."""
+        return self.store.get_head(self.state, stake_override=self._justified_stakes)
+
+    def branch_heads(self) -> List[Root]:
+        """All leaf roots of the local tree (competing branch heads)."""
+        return list(self.store.tree.leaves())
+
+    def checkpoint_of_epoch(self, epoch: int, head: Optional[Root] = None) -> Checkpoint:
+        """Checkpoint of ``epoch`` on the chain of ``head`` (default: own head)."""
+        head_root = head if head is not None else self.head()
+        return self.store.checkpoint_for_epoch(epoch, head_root)
+
+    def attestation_for(
+        self,
+        slot: int,
+        head: Optional[Root] = None,
+        source: Optional[Checkpoint] = None,
+    ) -> Attestation:
+        """Build the protocol-following attestation for ``slot``.
+
+        The block vote is the fork-choice head; the checkpoint vote links the
+        node's current justified checkpoint (or an explicit ``source``, used
+        by Byzantine agents voting on a branch whose justification history
+        differs from their own) to the current epoch's checkpoint on that
+        head's chain.
+        """
+        epoch = self.config.epoch_of_slot(slot)
+        head_root = head if head is not None else self.head()
+        if source is None:
+            source = self.state.current_justified_checkpoint
+        target = self.checkpoint_of_epoch(epoch, head_root)
+        return Attestation(
+            validator_index=self.validator_index,
+            slot=slot,
+            head_root=head_root,
+            ffg=FFGVote(source=source, target=target),
+        )
+
+    def build_block(
+        self,
+        slot: int,
+        parent: Optional[Root] = None,
+        branch_tag: str = "",
+        max_attestations: int = 128,
+        include_evidence: bool = True,
+    ) -> BeaconBlock:
+        """Build a block on ``parent`` (default: own head) including what we know.
+
+        ``include_evidence=False`` lets Byzantine proposers omit slashing
+        evidence (they have no interest in incriminating themselves).
+        """
+        parent_root = parent if parent is not None else self.head()
+        attestations = tuple(self.attestations_for_inclusion[:max_attestations])
+        self.attestations_for_inclusion = self.attestations_for_inclusion[max_attestations:]
+        if include_evidence:
+            evidence_indices = tuple(
+                evidence.validator_index for evidence in self.evidence_for_inclusion
+            )
+            self.evidence_for_inclusion = []
+        else:
+            evidence_indices = ()
+        return BeaconBlock.create(
+            slot=slot,
+            proposer_index=self.validator_index,
+            parent_root=parent_root,
+            attestations=attestations,
+            slashing_evidence=evidence_indices,
+            branch_tag=branch_tag,
+        )
+
+    # ------------------------------------------------------------------
+    # Epoch processing
+    # ------------------------------------------------------------------
+    def active_indices_for_epoch(self, epoch: int) -> Set[int]:
+        """Validators active on this node's chain at ``epoch``.
+
+        A validator is active if the node saw an attestation from it whose
+        target checkpoint matches this chain's checkpoint for the epoch
+        (Section 4.1: an attestation with a wrong target counts as inactive).
+        """
+        local_target = self.checkpoint_of_epoch(epoch)
+        active: Set[int] = set()
+        for attestation in self.attestations_by_epoch.get(epoch, []):
+            if attestation.target == local_target:
+                active.add(attestation.validator_index)
+        return active
+
+    def process_epoch_end(self, epoch: int) -> EpochReport:
+        """Run epoch processing for ``epoch`` on the local state."""
+        self.state.current_epoch = epoch
+        active = self.active_indices_for_epoch(epoch)
+        slashable = self.slashings_observed.get(epoch, set())
+        justified_before = self.state.current_justified_checkpoint
+        report = process_epoch(
+            self.state,
+            self.pool,
+            active_indices=active,
+            slashable_indices=slashable,
+            epoch=epoch,
+        )
+        self.history.append(report)
+        # Propagate finality knowledge into the fork-choice store.
+        self.store.update_checkpoints(
+            self.state.current_justified_checkpoint, self.state.finalized_checkpoint
+        )
+        # Refresh the fork-choice balances snapshot whenever justification advances.
+        if self.state.current_justified_checkpoint != justified_before:
+            self._justified_stakes = {
+                validator.index: validator.stake for validator in self.state.validators
+            }
+        return report
+
+    # ------------------------------------------------------------------
+    def finalized_epochs(self) -> Set[int]:
+        """Epochs whose checkpoint this node finalized."""
+        return set(self.state.finalized_checkpoints)
+
+    def finalized_checkpoints(self) -> Dict[int, Checkpoint]:
+        """Finalized checkpoints keyed by epoch."""
+        return dict(self.state.finalized_checkpoints)

@@ -1,0 +1,155 @@
+"""Pluggable observers for the slot-level simulation engine.
+
+Observers collect per-epoch measurements from the engine's nodes without
+the engine having to know what an experiment cares about.  They are plain
+callables invoked at every epoch boundary with the engine and the epoch
+number; the provided implementations cover the quantities the paper tracks
+(finality progress, stake of validator classes, Byzantine proportion,
+Safety) and can dump their history as rows for export.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import SimulationEngine
+
+#: An observer is called as ``observer(engine, epoch)`` after epoch processing.
+Observer = Callable[["SimulationEngine", int], None]
+
+
+@dataclass
+class FinalityObserver:
+    """Tracks justification/finalization progress of every honest node."""
+
+    history: List[Dict[str, object]] = field(default_factory=list)
+
+    def __call__(self, engine: "SimulationEngine", epoch: int) -> None:
+        finalized = {
+            index: engine.nodes[index].state.finalized_checkpoint.epoch
+            for index in engine.honest_indices()
+        }
+        justified = {
+            index: engine.nodes[index].state.current_justified_checkpoint.epoch
+            for index in engine.honest_indices()
+        }
+        self.history.append(
+            {
+                "epoch": epoch,
+                "min_finalized": min(finalized.values()) if finalized else 0,
+                "max_finalized": max(finalized.values()) if finalized else 0,
+                "min_justified": min(justified.values()) if justified else 0,
+                "max_justified": max(justified.values()) if justified else 0,
+            }
+        )
+
+    def finalization_lag(self) -> List[int]:
+        """Per-epoch lag between the epoch number and the best finalized epoch."""
+        return [int(row["epoch"]) - int(row["max_finalized"]) for row in self.history]
+
+    def rows(self) -> List[Dict[str, object]]:
+        return list(self.history)
+
+
+@dataclass
+class StakeObserver:
+    """Tracks the stake of labelled validator groups, as seen by one node."""
+
+    observer_index: int = 0
+    history: List[Dict[str, object]] = field(default_factory=list)
+
+    def __call__(self, engine: "SimulationEngine", epoch: int) -> None:
+        index = (
+            self.observer_index
+            if self.observer_index in engine.nodes
+            else engine.honest_indices()[0]
+        )
+        state = engine.nodes[index].state
+        by_label: Dict[str, float] = {}
+        for validator in state.validators:
+            by_label.setdefault(validator.label, 0.0)
+            if validator.is_active(epoch):
+                by_label[validator.label] += validator.stake
+        row: Dict[str, object] = {"epoch": epoch, "observer": index}
+        row.update({f"stake_{label}": stake for label, stake in sorted(by_label.items())})
+        row["byzantine_proportion"] = state.byzantine_stake_proportion()
+        self.history.append(row)
+
+    def byzantine_proportion_series(self) -> List[float]:
+        return [float(row["byzantine_proportion"]) for row in self.history]
+
+    def rows(self) -> List[Dict[str, object]]:
+        return list(self.history)
+
+
+@dataclass
+class SafetyObserver:
+    """Records the first epoch at which conflicting finalization is detected."""
+
+    first_violation_epoch: Optional[int] = None
+    history: List[Dict[str, object]] = field(default_factory=list)
+
+    def __call__(self, engine: "SimulationEngine", epoch: int) -> None:
+        violated = engine._finalized_chains_conflict()
+        if violated and self.first_violation_epoch is None:
+            self.first_violation_epoch = epoch
+        self.history.append({"epoch": epoch, "safety_violated": violated})
+
+    @property
+    def violated(self) -> bool:
+        return self.first_violation_epoch is not None
+
+    def rows(self) -> List[Dict[str, object]]:
+        return list(self.history)
+
+
+@dataclass
+class LeakObserver:
+    """Tracks which honest nodes are in an inactivity leak and the penalties paid."""
+
+    history: List[Dict[str, object]] = field(default_factory=list)
+
+    def __call__(self, engine: "SimulationEngine", epoch: int) -> None:
+        in_leak = [
+            index
+            for index in engine.honest_indices()
+            if engine.nodes[index].state.is_in_inactivity_leak()
+        ]
+        total_stake = sum(
+            engine.nodes[index].state.total_active_stake()
+            for index in engine.honest_indices()[:1]
+        )
+        self.history.append(
+            {
+                "epoch": epoch,
+                "nodes_in_leak": len(in_leak),
+                "observer_total_stake": total_stake,
+            }
+        )
+
+    def leak_epochs(self) -> List[int]:
+        return [int(row["epoch"]) for row in self.history if row["nodes_in_leak"]]
+
+    def rows(self) -> List[Dict[str, object]]:
+        return list(self.history)
+
+
+class ObserverSet:
+    """A bundle of observers sharing the same invocation."""
+
+    def __init__(self, observers: Optional[Sequence[Observer]] = None) -> None:
+        self.observers: List[Observer] = list(observers or [])
+
+    def add(self, observer: Observer) -> Observer:
+        """Register an observer and return it (for chaining)."""
+        self.observers.append(observer)
+        return observer
+
+    def __call__(self, engine: "SimulationEngine", epoch: int) -> None:
+        for observer in self.observers:
+            observer(engine, epoch)
+
+    def __len__(self) -> int:
+        return len(self.observers)

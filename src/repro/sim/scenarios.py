@@ -1,0 +1,140 @@
+"""Convenience builders for slot-level simulation scenarios.
+
+These assemble a registry, a partition schedule, agents, and an engine for
+the settings studied in the paper, at a scale small enough for tests and
+examples (the long-horizon numbers are produced by the aggregate engine in
+:mod:`repro.leak`; the slot-level engine demonstrates the mechanisms).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.agents.base import ValidatorAgent
+from repro.agents.byzantine import AlternatingAgent, BouncingAgent, DoubleVotingAgent
+from repro.agents.honest import HonestAgent, OfflineAgent
+from repro.network.partition import PartitionSchedule
+from repro.sim.engine import SimulationEngine
+from repro.spec.config import SpecConfig
+from repro.spec.validator import make_registry
+
+#: Names of the Byzantine strategies the builders know how to instantiate.
+BYZANTINE_STRATEGIES = ("none", "double-voting", "alternating", "alternating-finalizer", "bouncing")
+
+
+def build_honest_simulation(
+    n_validators: int = 16,
+    config: Optional[SpecConfig] = None,
+    seed: str = "repro",
+) -> SimulationEngine:
+    """A healthy network: all honest validators, no partition.
+
+    This is the Liveness baseline: the finalized chain grows every epoch.
+    """
+    cfg = config or SpecConfig.minimal()
+    registry = make_registry(n_validators, cfg)
+    agents: Dict[int, ValidatorAgent] = {
+        validator.index: HonestAgent(validator.index) for validator in registry
+    }
+    schedule = PartitionSchedule.fully_connected(delta=1.0)
+    return SimulationEngine(
+        registry=registry, agents=agents, schedule=schedule, config=cfg, seed=seed
+    )
+
+
+def build_offline_fraction_simulation(
+    n_validators: int = 16,
+    offline_fraction: float = 0.4,
+    config: Optional[SpecConfig] = None,
+    seed: str = "repro",
+) -> SimulationEngine:
+    """A network where a fraction of honest validators is simply unreachable.
+
+    With more than one-third of the stake offline, finalization stalls and
+    the inactivity leak starts — the situation the leak was designed for.
+    """
+    cfg = config or SpecConfig.minimal()
+    registry = make_registry(n_validators, cfg)
+    n_offline = int(round(n_validators * offline_fraction))
+    agents: Dict[int, ValidatorAgent] = {}
+    for validator in registry:
+        if validator.index < n_validators - n_offline:
+            agents[validator.index] = HonestAgent(validator.index)
+        else:
+            agents[validator.index] = OfflineAgent(validator.index)
+    schedule = PartitionSchedule.fully_connected(delta=1.0)
+    return SimulationEngine(
+        registry=registry, agents=agents, schedule=schedule, config=cfg, seed=seed
+    )
+
+
+def build_partitioned_simulation(
+    n_validators: int = 20,
+    p0: float = 0.5,
+    byzantine_fraction: float = 0.0,
+    byzantine_strategy: str = "none",
+    gst_epoch: int = 10 ** 6,
+    config: Optional[SpecConfig] = None,
+    seed: str = "repro",
+    delta: float = 1.0,
+) -> SimulationEngine:
+    """A partitioned network with an optional Byzantine contingent.
+
+    Parameters
+    ----------
+    p0:
+        Fraction of the honest validators placed in partition ``branch-1``.
+    byzantine_fraction:
+        Fraction of the registry controlled by the adversary (bridge nodes).
+    byzantine_strategy:
+        One of ``"none"``, ``"double-voting"`` (Section 5.2.1),
+        ``"alternating"`` (Section 5.2.3), ``"alternating-finalizer"``
+        (Section 5.2.2) or ``"bouncing"`` (Section 5.3).
+    gst_epoch:
+        Epoch at which the partition heals (GST).  The default keeps the
+        partition for the whole run.
+    """
+    if byzantine_strategy not in BYZANTINE_STRATEGIES:
+        raise ValueError(
+            f"unknown byzantine_strategy {byzantine_strategy!r}; "
+            f"expected one of {BYZANTINE_STRATEGIES}"
+        )
+    cfg = config or SpecConfig.minimal()
+    registry = make_registry(n_validators, cfg, byzantine_fraction=byzantine_fraction)
+    honest_indices = [v.index for v in registry if v.label == "honest"]
+    byzantine_indices = [v.index for v in registry if v.label == "byzantine"]
+    if byzantine_strategy != "none" and not byzantine_indices:
+        raise ValueError("a Byzantine strategy was requested but byzantine_fraction is 0")
+
+    gst_seconds = gst_epoch * cfg.seconds_per_epoch
+    schedule = PartitionSchedule.two_way_split(
+        honest_indices=honest_indices,
+        active_fraction=p0,
+        gst=gst_seconds,
+        delta=delta,
+        bridge_indices=byzantine_indices,
+    )
+    partition_members = {
+        name: set(schedule.members_of(name)) for name in schedule.partition_names()
+    }
+
+    agents: Dict[int, ValidatorAgent] = {
+        index: HonestAgent(index) for index in honest_indices
+    }
+    for index in byzantine_indices:
+        if byzantine_strategy == "double-voting":
+            agents[index] = DoubleVotingAgent(index, partition_members)
+        elif byzantine_strategy == "alternating":
+            agents[index] = AlternatingAgent(index, partition_members)
+        elif byzantine_strategy == "alternating-finalizer":
+            agents[index] = AlternatingAgent(
+                index, partition_members, finalize_when_possible=True
+            )
+        elif byzantine_strategy == "bouncing":
+            agents[index] = BouncingAgent(index, partition_members)
+        else:  # "none": Byzantine validators that just follow the protocol
+            agents[index] = HonestAgent(index)
+
+    return SimulationEngine(
+        registry=registry, agents=agents, schedule=schedule, config=cfg, seed=seed
+    )

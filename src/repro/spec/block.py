@@ -1,0 +1,76 @@
+"""Beacon blocks.
+
+A block occupies a slot, extends a parent block, and carries the
+attestations (and slashing evidence) its proposer chose to include.  Blocks
+are immutable value objects; the mutable chain structure lives in
+:mod:`repro.spec.blocktree`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.spec.attestation import Attestation
+from repro.spec.types import Root, GENESIS_ROOT
+
+
+@dataclass(frozen=True)
+class BeaconBlock:
+    """A block in the beacon chain."""
+
+    slot: int
+    proposer_index: int
+    parent_root: Root
+    root: Root
+    #: Attestations included by the proposer (may be empty).
+    attestations: Tuple[Attestation, ...] = field(default_factory=tuple)
+    #: Indices of validators for which this block includes slashing evidence.
+    slashing_evidence: Tuple[int, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.slot < 0:
+            raise ValueError(f"block slot must be non-negative, got {self.slot}")
+        if self.proposer_index < 0:
+            raise ValueError("proposer index must be non-negative")
+
+    @staticmethod
+    def genesis() -> "BeaconBlock":
+        """Return the canonical genesis block (slot 0, no parent)."""
+        return BeaconBlock(
+            slot=0,
+            proposer_index=0,
+            parent_root=GENESIS_ROOT,
+            root=GENESIS_ROOT,
+        )
+
+    @staticmethod
+    def create(
+        slot: int,
+        proposer_index: int,
+        parent_root: Root,
+        attestations: Tuple[Attestation, ...] = (),
+        slashing_evidence: Tuple[int, ...] = (),
+        branch_tag: str = "",
+    ) -> "BeaconBlock":
+        """Build a block with a deterministic content-derived root.
+
+        ``branch_tag`` lets tests and attack agents force two proposals for
+        the same slot/parent to have distinct roots (deliberate forks).
+        """
+        label = f"block|slot={slot}|proposer={proposer_index}|parent={parent_root.hex}|{branch_tag}"
+        return BeaconBlock(
+            slot=slot,
+            proposer_index=proposer_index,
+            parent_root=parent_root,
+            root=Root.from_label(label),
+            attestations=tuple(attestations),
+            slashing_evidence=tuple(slashing_evidence),
+        )
+
+    def is_genesis(self) -> bool:
+        """True for the genesis block."""
+        return self.root == GENESIS_ROOT and self.slot == 0
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"Block(slot={self.slot}, root={self.root.hex[:8]}, parent={self.parent_root.hex[:8]})"

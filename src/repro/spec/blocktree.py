@@ -1,0 +1,158 @@
+"""The block tree: every block a validator has perceived.
+
+Validators keep a local tree-like data structure containing all perceived
+blocks (Section 2 of the paper).  The fork-choice rule
+(:mod:`repro.spec.forkchoice`) selects the candidate chain out of this
+tree; the finality gadget (:mod:`repro.spec.finality`) marks a prefix of it
+as finalized.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterator, List, Optional, Set
+
+from repro.spec.block import BeaconBlock
+from repro.spec.types import Root, GENESIS_ROOT
+
+
+class UnknownBlockError(KeyError):
+    """Raised when a block root is not present in the tree."""
+
+
+class BlockTree:
+    """A rooted tree of beacon blocks keyed by block root."""
+
+    def __init__(self, genesis: Optional[BeaconBlock] = None) -> None:
+        genesis_block = genesis or BeaconBlock.genesis()
+        if not genesis_block.is_genesis():
+            raise ValueError("BlockTree must be rooted at a genesis block")
+        self._blocks: Dict[Root, BeaconBlock] = {genesis_block.root: genesis_block}
+        self._children: Dict[Root, List[Root]] = defaultdict(list)
+        self._genesis_root = genesis_block.root
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def genesis_root(self) -> Root:
+        """Root of the genesis block."""
+        return self._genesis_root
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def __contains__(self, root: Root) -> bool:
+        return root in self._blocks
+
+    def get(self, root: Root) -> BeaconBlock:
+        """Return the block with the given root, raising if unknown."""
+        try:
+            return self._blocks[root]
+        except KeyError as exc:
+            raise UnknownBlockError(f"unknown block root {root}") from exc
+
+    def blocks(self) -> Iterator[BeaconBlock]:
+        """Iterate over every block in the tree (no particular order)."""
+        return iter(self._blocks.values())
+
+    def children_of(self, root: Root) -> List[Root]:
+        """Return the roots of the direct children of ``root``."""
+        if root not in self._blocks:
+            raise UnknownBlockError(f"unknown block root {root}")
+        return list(self._children.get(root, []))
+
+    def leaves(self) -> List[Root]:
+        """Return the roots of all leaf blocks (blocks without children)."""
+        return [root for root in self._blocks if not self._children.get(root)]
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add_block(self, block: BeaconBlock) -> bool:
+        """Insert ``block`` into the tree.
+
+        Returns ``True`` if the block was new, ``False`` if it was already
+        present.  The parent must already be known; this mirrors the real
+        client behaviour of holding blocks until their ancestry is complete
+        (the network layer takes care of ordering in the simulator).
+        """
+        if block.root in self._blocks:
+            return False
+        if block.parent_root not in self._blocks:
+            raise UnknownBlockError(
+                f"parent {block.parent_root} of block {block.root} is unknown"
+            )
+        parent = self._blocks[block.parent_root]
+        if block.slot <= parent.slot and not block.is_genesis():
+            raise ValueError(
+                f"block slot {block.slot} must exceed parent slot {parent.slot}"
+            )
+        self._blocks[block.root] = block
+        self._children[block.parent_root].append(block.root)
+        return True
+
+    # ------------------------------------------------------------------
+    # Ancestry queries
+    # ------------------------------------------------------------------
+    def chain_to_genesis(self, root: Root) -> List[BeaconBlock]:
+        """Return the chain from genesis to ``root`` (inclusive, in order)."""
+        chain: List[BeaconBlock] = []
+        current = self.get(root)
+        while True:
+            chain.append(current)
+            if current.is_genesis():
+                break
+            current = self.get(current.parent_root)
+        chain.reverse()
+        return chain
+
+    def is_ancestor(self, ancestor: Root, descendant: Root) -> bool:
+        """Return True if ``ancestor`` lies on the chain from genesis to ``descendant``."""
+        if ancestor not in self._blocks:
+            raise UnknownBlockError(f"unknown block root {ancestor}")
+        current = self.get(descendant)
+        while True:
+            if current.root == ancestor:
+                return True
+            if current.is_genesis():
+                return False
+            current = self.get(current.parent_root)
+
+    def ancestor_at_slot(self, root: Root, slot: int) -> Root:
+        """Return the ancestor of ``root`` with the highest slot <= ``slot``.
+
+        This is the helper fork choice and FFG use to map a head block to
+        the checkpoint block of an epoch boundary.
+        """
+        current = self.get(root)
+        while current.slot > slot and not current.is_genesis():
+            current = self.get(current.parent_root)
+        return current.root
+
+    def descendants(self, root: Root) -> Set[Root]:
+        """Return the set of all descendants of ``root`` (excluding itself)."""
+        result: Set[Root] = set()
+        stack = list(self._children.get(root, []))
+        while stack:
+            node = stack.pop()
+            if node in result:
+                continue
+            result.add(node)
+            stack.extend(self._children.get(node, []))
+        return result
+
+    def common_ancestor(self, root_a: Root, root_b: Root) -> Root:
+        """Return the deepest common ancestor of two blocks."""
+        ancestors_a = {block.root for block in self.chain_to_genesis(root_a)}
+        current = self.get(root_b)
+        while True:
+            if current.root in ancestors_a:
+                return current.root
+            if current.is_genesis():
+                return self._genesis_root
+            current = self.get(current.parent_root)
+
+    def highest_slot(self) -> int:
+        """Return the highest slot of any block in the tree."""
+        return max(block.slot for block in self._blocks.values())

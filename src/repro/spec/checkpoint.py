@@ -1,0 +1,82 @@
+"""Checkpoints: the unit of FFG justification and finalization.
+
+A checkpoint is a pair ``(block, epoch)`` where ``block`` is (the root of)
+the block occupying the first slot of ``epoch`` (Section 3.1 of the paper).
+Checkpoint votes are cast as *links* from a source checkpoint (already
+justified from the voter's point of view) to a target checkpoint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.spec.types import Root, GENESIS_ROOT
+
+
+@dataclass(frozen=True, order=True)
+class Checkpoint:
+    """An FFG checkpoint: a block root paired with an epoch number."""
+
+    epoch: int
+    root: Root
+
+    def __post_init__(self) -> None:
+        if self.epoch < 0:
+            raise ValueError(f"checkpoint epoch must be non-negative, got {self.epoch}")
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"Checkpoint(epoch={self.epoch}, root={self.root.hex[:8]})"
+
+
+#: The genesis checkpoint, justified and finalized by definition.
+GENESIS_CHECKPOINT = Checkpoint(epoch=0, root=GENESIS_ROOT)
+
+
+@dataclass(frozen=True)
+class FFGVote:
+    """A checkpoint vote: a supermajority link ``source -> target``.
+
+    ``source`` must be a checkpoint the attester considers justified and
+    ``target`` the checkpoint of the current epoch on the attester's
+    candidate chain.  Justification of ``target`` happens when votes with
+    the same (source, target) pair accumulate more than two-thirds of the
+    stake (Section 3.2).
+    """
+
+    source: Checkpoint
+    target: Checkpoint
+
+    def __post_init__(self) -> None:
+        if self.target.epoch < self.source.epoch:
+            raise ValueError(
+                "FFG vote target epoch must not precede its source epoch "
+                f"(source={self.source.epoch}, target={self.target.epoch})"
+            )
+
+    def is_self_link(self) -> bool:
+        """Return True for degenerate votes whose source equals the target."""
+        return self.source == self.target
+
+    def span(self) -> int:
+        """Number of epochs between source and target."""
+        return self.target.epoch - self.source.epoch
+
+    def surrounds(self, other: "FFGVote") -> bool:
+        """Return True if this vote *surrounds* ``other``.
+
+        Vote A surrounds vote B when ``A.source.epoch < B.source.epoch`` and
+        ``B.target.epoch < A.target.epoch``.  Casting two votes where one
+        surrounds the other is a slashable offence (Casper FFG rule II).
+        """
+        return (
+            self.source.epoch < other.source.epoch
+            and other.target.epoch < self.target.epoch
+        )
+
+    def conflicts_as_double_vote(self, other: "FFGVote") -> bool:
+        """Return True if this vote and ``other`` form a double vote.
+
+        Two distinct votes by the same validator for the same target epoch
+        are slashable (Casper FFG rule I).
+        """
+        return self.target.epoch == other.target.epoch and self != other

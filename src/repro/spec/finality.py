@@ -1,0 +1,184 @@
+"""Casper FFG justification and finalization.
+
+Checkpoint votes (source → target links) are accumulated per target
+checkpoint and weighted by the attesting validators' stake.  A checkpoint
+becomes *justified* when links from an already-justified source reach a
+supermajority (> 2/3 of the active stake).  A justified checkpoint becomes
+*finalized* when the checkpoint of the immediately following epoch is also
+justified with the former as source — the "two consecutive justified
+checkpoints" rule the paper describes in Section 3.2.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.spec.attestation import Attestation
+from repro.spec.checkpoint import Checkpoint, FFGVote
+from repro.spec.state import BeaconState
+
+
+@dataclass
+class JustificationResult:
+    """Outcome of processing the FFG votes of one epoch."""
+
+    newly_justified: List[Checkpoint] = field(default_factory=list)
+    newly_finalized: List[Checkpoint] = field(default_factory=list)
+
+    @property
+    def justified_any(self) -> bool:
+        return bool(self.newly_justified)
+
+    @property
+    def finalized_any(self) -> bool:
+        return bool(self.newly_finalized)
+
+
+class FFGVotePool:
+    """Accumulates checkpoint votes, deduplicated per validator and target epoch.
+
+    A validator's stake counts at most once towards any given target epoch
+    (double votes are slashable, not double-counted).
+    """
+
+    def __init__(self) -> None:
+        # (target_epoch) -> validator_index -> FFGVote
+        self._votes: Dict[int, Dict[int, FFGVote]] = defaultdict(dict)
+
+    def add_attestation(self, attestation: Attestation) -> bool:
+        """Record the checkpoint vote carried by ``attestation``.
+
+        Returns ``True`` if this is the first vote of the validator for the
+        target epoch (later conflicting votes are ignored for counting
+        purposes; slashing detection is handled elsewhere).
+        """
+        target_epoch = attestation.target_epoch
+        per_validator = self._votes[target_epoch]
+        if attestation.validator_index in per_validator:
+            return False
+        per_validator[attestation.validator_index] = attestation.ffg
+        return True
+
+    def add_vote(self, validator_index: int, vote: FFGVote) -> bool:
+        """Record a bare FFG vote (used by epoch-level simulations)."""
+        per_validator = self._votes[vote.target.epoch]
+        if validator_index in per_validator:
+            return False
+        per_validator[validator_index] = vote
+        return True
+
+    def votes_for_target_epoch(self, epoch: int) -> Dict[int, FFGVote]:
+        """Return the recorded votes (validator index → vote) for ``epoch``."""
+        return dict(self._votes.get(epoch, {}))
+
+    def voters_for_link(self, source: Checkpoint, target: Checkpoint) -> Set[int]:
+        """Validator indices that voted for the exact ``source → target`` link."""
+        return {
+            index
+            for index, vote in self._votes.get(target.epoch, {}).items()
+            if vote.source == source and vote.target == target
+        }
+
+    def targets_at_epoch(self, epoch: int) -> Set[Checkpoint]:
+        """Distinct target checkpoints voted for at ``epoch``."""
+        return {vote.target for vote in self._votes.get(epoch, {}).values()}
+
+    def clear_before(self, epoch: int) -> None:
+        """Drop votes for target epochs strictly before ``epoch`` (pruning)."""
+        for target_epoch in [e for e in self._votes if e < epoch]:
+            del self._votes[target_epoch]
+
+
+def link_support(
+    state: BeaconState,
+    pool: FFGVotePool,
+    source: Checkpoint,
+    target: Checkpoint,
+    epoch: Optional[int] = None,
+) -> float:
+    """Stake supporting the supermajority link ``source → target``."""
+    voters = pool.voters_for_link(source, target)
+    return state.stake_of(sorted(voters), epoch=epoch)
+
+
+def is_supermajority(state: BeaconState, stake: float, epoch: Optional[int] = None) -> bool:
+    """True if ``stake`` exceeds the supermajority fraction of the active stake."""
+    total = state.total_active_stake(epoch)
+    if total <= 0:
+        return False
+    return stake / total > state.config.supermajority_fraction
+
+
+def process_justification(
+    state: BeaconState, pool: FFGVotePool, epoch: int
+) -> JustificationResult:
+    """Run justification and finalization for the target checkpoints of ``epoch``.
+
+    The function inspects every distinct target checkpoint voted for at
+    ``epoch``.  A target is justified when the link from an already
+    justified source gathers a supermajority of the active stake.  When the
+    source of a newly justified target is the justified checkpoint of
+    ``epoch - 1``, that source is finalized (consecutive justification).
+    """
+    result = JustificationResult()
+    for target in sorted(pool.targets_at_epoch(epoch)):
+        if state.is_justified(target.epoch) and state.justified_checkpoints.get(
+            target.epoch
+        ) == target:
+            continue
+        # Consider every justified source the votes actually used.
+        votes = pool.votes_for_target_epoch(epoch)
+        sources = {vote.source for vote in votes.values() if vote.target == target}
+        for source in sorted(sources):
+            if not state.is_justified(source.epoch):
+                continue
+            if state.justified_checkpoints.get(source.epoch) != source:
+                continue
+            support = link_support(state, pool, source, target, epoch=epoch)
+            if not is_supermajority(state, support, epoch=epoch):
+                continue
+            state.record_justification(target)
+            result.newly_justified.append(target)
+            # Finalization: source and target justified in consecutive epochs
+            # (only reported when the finalized chain actually grows).
+            if (
+                target.epoch == source.epoch + 1
+                and source.epoch > state.finalized_checkpoint.epoch
+            ):
+                state.record_finalization(source)
+                result.newly_finalized.append(source)
+            break
+    return result
+
+
+def conflicting_finalized_checkpoints(
+    states: Iterable[BeaconState],
+) -> List[Tuple[Checkpoint, Checkpoint]]:
+    """Return pairs of finalized checkpoints that conflict across states.
+
+    Two finalized checkpoints conflict when they occupy the same epoch with
+    different roots, or more generally when neither chain's finalized
+    checkpoint set is a superset of the other at the shared epochs.  This is
+    the paper's Safety-violation detector: two correct validators whose
+    finalized chains are not prefixes of one another.
+    """
+    state_list = list(states)
+    conflicts: List[Tuple[Checkpoint, Checkpoint]] = []
+    for i, state_a in enumerate(state_list):
+        for state_b in state_list[i + 1 :]:
+            shared_epochs = set(state_a.finalized_checkpoints) & set(
+                state_b.finalized_checkpoints
+            )
+            for epoch in sorted(shared_epochs):
+                checkpoint_a = state_a.finalized_checkpoints[epoch]
+                checkpoint_b = state_b.finalized_checkpoints[epoch]
+                if checkpoint_a != checkpoint_b:
+                    conflicts.append((checkpoint_a, checkpoint_b))
+    return conflicts
+
+
+def safety_violated(states: Iterable[BeaconState]) -> bool:
+    """True if any two states finalized conflicting checkpoints."""
+    return bool(conflicting_finalized_checkpoints(states))

@@ -1,0 +1,168 @@
+"""LMD-GHOST fork choice.
+
+The fork-choice rule selects the *candidate chain* (Definition 1 of the
+paper) from the local block tree: starting at the justified checkpoint's
+block, repeatedly descend into the child subtree with the greatest weight
+of latest attestations (Latest Message Driven — Greediest Heaviest
+Observed SubTree).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.spec.attestation import Attestation
+from repro.spec.block import BeaconBlock
+from repro.spec.blocktree import BlockTree
+from repro.spec.checkpoint import Checkpoint, GENESIS_CHECKPOINT
+from repro.spec.config import SpecConfig
+from repro.spec.state import BeaconState
+from repro.spec.types import Root
+
+
+@dataclass
+class LatestMessage:
+    """The latest (highest-epoch) block vote seen from a validator."""
+
+    epoch: int
+    root: Root
+
+
+@dataclass
+class Store:
+    """Fork-choice store: block tree plus per-validator latest messages.
+
+    One ``Store`` exists per simulated node.  It is deliberately close to
+    the consensus-spec ``Store`` object: ``justified_checkpoint`` anchors
+    the GHOST walk and ``latest_messages`` carries the block votes.
+    """
+
+    config: SpecConfig
+    tree: BlockTree = field(default_factory=BlockTree)
+    justified_checkpoint: Checkpoint = GENESIS_CHECKPOINT
+    finalized_checkpoint: Checkpoint = GENESIS_CHECKPOINT
+    latest_messages: Dict[int, LatestMessage] = field(default_factory=dict)
+    #: Map from checkpoint epoch to the block root of the checkpoint, as
+    #: perceived locally (filled in by the node when epochs begin).
+    checkpoint_roots: Dict[int, Root] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    def on_block(self, block: BeaconBlock) -> bool:
+        """Insert a block into the tree.  Returns True if it was new."""
+        return self.tree.add_block(block)
+
+    def on_attestation(self, attestation: Attestation) -> None:
+        """Update the latest message of the attesting validator.
+
+        Only the newest vote (by target epoch, then slot) from each
+        validator counts in LMD-GHOST.
+        """
+        if attestation.head_root not in self.tree:
+            # The voted-for block has not been delivered yet; the simulator's
+            # network layer re-delivers attestations after their block, so
+            # dropping here is safe and mirrors real client queuing.
+            return
+        current = self.latest_messages.get(attestation.validator_index)
+        if current is None or attestation.target_epoch >= current.epoch:
+            self.latest_messages[attestation.validator_index] = LatestMessage(
+                epoch=attestation.target_epoch, root=attestation.head_root
+            )
+
+    def update_checkpoints(
+        self, justified: Checkpoint, finalized: Checkpoint
+    ) -> None:
+        """Adopt newer justified/finalized checkpoints."""
+        if justified.epoch > self.justified_checkpoint.epoch:
+            self.justified_checkpoint = justified
+        if finalized.epoch > self.finalized_checkpoint.epoch:
+            self.finalized_checkpoint = finalized
+
+    # ------------------------------------------------------------------
+    # Weights and head computation
+    # ------------------------------------------------------------------
+    def _vote_weights(
+        self, state: BeaconState, stake_override: Optional[Dict[int, float]] = None
+    ) -> Dict[Root, float]:
+        """Stake-weighted latest-message counts per block root.
+
+        ``stake_override`` supplies the balances to weight votes with — the
+        real protocol uses the balances of the *justified* state, not the
+        head state, so that two views that only disagree past the justified
+        checkpoint still weigh votes identically and converge.
+        """
+        weights: Dict[Root, float] = {}
+        for validator_index, message in self.latest_messages.items():
+            if validator_index >= len(state.validators):
+                continue
+            validator = state.validators[validator_index]
+            if not validator.is_active(state.current_epoch) or validator.slashed:
+                continue
+            if message.root not in self.tree:
+                continue
+            stake = (
+                stake_override.get(validator_index, validator.stake)
+                if stake_override is not None
+                else validator.stake
+            )
+            weights[message.root] = weights.get(message.root, 0.0) + stake
+        return weights
+
+    def subtree_weight(self, root: Root, weights: Dict[Root, float]) -> float:
+        """Total vote weight of the subtree rooted at ``root``."""
+        total = weights.get(root, 0.0)
+        for child in self.tree.children_of(root):
+            total += self.subtree_weight(child, weights)
+        return total
+
+    def get_head(
+        self, state: BeaconState, stake_override: Optional[Dict[int, float]] = None
+    ) -> Root:
+        """Run LMD-GHOST from the justified checkpoint and return the head root."""
+        start = self.justified_checkpoint.root
+        if start not in self.tree:
+            start = self.tree.genesis_root
+        weights = self._vote_weights(state, stake_override)
+        head = start
+        while True:
+            children = self.tree.children_of(head)
+            if not children:
+                return head
+            # Choose the heaviest child; break ties by root for determinism.
+            head = max(
+                children,
+                key=lambda child: (self.subtree_weight(child, weights), child.hex),
+            )
+
+    def candidate_chain(self, state: BeaconState) -> List[BeaconBlock]:
+        """The candidate chain (Definition 1): genesis → head."""
+        return self.tree.chain_to_genesis(self.get_head(state))
+
+    # ------------------------------------------------------------------
+    # Checkpoint helpers
+    # ------------------------------------------------------------------
+    def checkpoint_for_epoch(self, epoch: int, head: Root) -> Checkpoint:
+        """The checkpoint of ``epoch`` on the chain ending at ``head``.
+
+        The checkpoint block is the block at (or the latest before) the
+        first slot of the epoch, on the chain of ``head``.
+        """
+        boundary_slot = self.config.start_slot_of_epoch(epoch)
+        root = self.tree.ancestor_at_slot(head, boundary_slot)
+        return Checkpoint(epoch=epoch, root=root)
+
+    def head_block(self, state: BeaconState) -> BeaconBlock:
+        """Return the head block object."""
+        return self.tree.get(self.get_head(state))
+
+
+def fork_exists(store: Store) -> bool:
+    """True when the block tree currently holds more than one leaf."""
+    return len(store.tree.leaves()) > 1
+
+
+def branch_heads(store: Store) -> Sequence[Root]:
+    """Return the leaf roots, i.e. the competing branch heads."""
+    return store.tree.leaves()

@@ -1,0 +1,211 @@
+"""Inactivity scores and the inactivity leak (Section 4 of the paper).
+
+The update rules implemented here are exactly Equations 1 and 2:
+
+* during a leak, an inactive validator's score increases by 4 per epoch and
+  an active validator's score decreases by 1 (floored at 0);
+* outside a leak every score additionally decreases by 16 per epoch;
+* during a leak, each validator is charged ``score * stake / 2**26`` per
+  epoch;
+* validators whose stake falls to or below the ejection balance
+  (16.75 ETH) are ejected from the validator set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Set
+
+from repro.spec.config import SpecConfig
+from repro.spec.state import BeaconState
+from repro.spec.validator import Validator
+
+
+@dataclass
+class InactivityUpdate:
+    """Summary of one epoch of inactivity processing."""
+
+    epoch: int
+    in_leak: bool
+    total_penalty: float = 0.0
+    ejected_indices: List[int] = field(default_factory=list)
+    #: Validator indices deemed inactive this epoch.
+    inactive_indices: List[int] = field(default_factory=list)
+
+
+def update_inactivity_scores(
+    state: BeaconState,
+    active_indices: Set[int],
+    in_leak: bool,
+) -> None:
+    """Apply Equation 1 (and the out-of-leak recovery) to every validator.
+
+    ``active_indices`` is the set of validators deemed active for the epoch
+    being processed, i.e. those whose attestation with a correct target was
+    included on this chain (Section 4.1).
+    """
+    cfg = state.config
+    for validator in state.validators:
+        if not validator.is_active(state.current_epoch):
+            continue
+        if validator.index in active_indices:
+            validator.inactivity_score = max(
+                0, validator.inactivity_score - cfg.inactivity_score_recovery
+            )
+        else:
+            validator.inactivity_score += cfg.inactivity_score_bias
+        if not in_leak:
+            validator.inactivity_score = max(
+                0,
+                validator.inactivity_score - cfg.inactivity_score_recovery_no_leak,
+            )
+
+
+def apply_inactivity_penalties(state: BeaconState) -> float:
+    """Apply Equation 2 to every active validator; returns the total burned.
+
+    The penalty uses the score and stake of the *previous* epoch, which is
+    what the state holds when this is called at the end of epoch processing
+    (scores are updated after penalties, matching ``I(t-1)·s(t-1)/2**26``).
+    """
+    cfg = state.config
+    total_penalty = 0.0
+    for validator in state.validators:
+        if not validator.is_active(state.current_epoch):
+            continue
+        penalty = validator.inactivity_score * validator.stake / cfg.inactivity_penalty_quotient
+        total_penalty += validator.apply_penalty(penalty)
+    return total_penalty
+
+
+def eject_low_balance_validators(state: BeaconState) -> List[int]:
+    """Eject validators whose stake has fallen to or below the ejection balance.
+
+    Returns the indices of the newly ejected validators.  Ejection removes
+    the validator from the active set starting at the next epoch, mirroring
+    the paper's treatment in Figure 2 and Section 5.1.
+    """
+    cfg = state.config
+    ejected: List[int] = []
+    for validator in state.validators:
+        if not validator.is_active(state.current_epoch):
+            continue
+        if validator.stake <= cfg.ejection_balance:
+            validator.exit(state.current_epoch + 1)
+            ejected.append(validator.index)
+    return ejected
+
+
+def process_inactivity_epoch(
+    state: BeaconState,
+    active_indices: Iterable[int],
+    in_leak: Optional[bool] = None,
+) -> InactivityUpdate:
+    """Run one epoch of inactivity processing (penalties, scores, ejections).
+
+    Order of operations matches Equation 2's indexing: penalties are charged
+    from the scores and stakes carried over from the previous epoch, then
+    the scores are updated from this epoch's activity, then low-balance
+    validators are ejected.
+
+    Parameters
+    ----------
+    state:
+        The chain state to update in place.
+    active_indices:
+        Indices of validators deemed active for this epoch on this chain.
+    in_leak:
+        Force the leak flag; when ``None`` it is derived from the state's
+        epochs-since-finality counter.
+    """
+    leak = state.is_in_inactivity_leak() if in_leak is None else in_leak
+    active_set = set(active_indices)
+    update = InactivityUpdate(epoch=state.current_epoch, in_leak=leak)
+    update.inactive_indices = [
+        v.index
+        for v in state.validators
+        if v.is_active(state.current_epoch) and v.index not in active_set
+    ]
+    if leak:
+        update.total_penalty = apply_inactivity_penalties(state)
+    update_inactivity_scores(state, active_set, leak)
+    update.ejected_indices = eject_low_balance_validators(state)
+    return update
+
+
+# ----------------------------------------------------------------------
+# Reference trajectories used by the analytical layer
+# ----------------------------------------------------------------------
+def discrete_stake_trajectory(
+    behavior: str,
+    epochs: int,
+    config: Optional[SpecConfig] = None,
+    initial_stake: Optional[float] = None,
+    apply_ejection: bool = True,
+) -> List[float]:
+    """Simulate Equation 1+2 for a single validator with a fixed behaviour.
+
+    ``behavior`` is one of ``"active"``, ``"semi-active"``, ``"inactive"``
+    (Section 4.3).  Returns the list of stakes ``s(0), s(1), ..., s(epochs)``.
+    Once the validator is ejected (stake <= ejection balance) the stake is
+    frozen (reported as its value at ejection), matching Figure 2 where the
+    trajectory stops at the expulsion limit.
+    """
+    if behavior not in {"active", "semi-active", "inactive"}:
+        raise ValueError(f"unknown behavior {behavior!r}")
+    cfg = config or SpecConfig.mainnet()
+    stake = cfg.max_effective_balance if initial_stake is None else initial_stake
+    score = 0
+    trajectory = [stake]
+    ejected = False
+    for epoch in range(epochs):
+        if not ejected:
+            # Penalty from previous epoch's score and stake (Equation 2).
+            stake = max(0.0, stake - score * stake / cfg.inactivity_penalty_quotient)
+            # Activity for this epoch.
+            if behavior == "active":
+                active = True
+            elif behavior == "inactive":
+                active = False
+            else:  # semi-active: active every other epoch
+                active = epoch % 2 == 0
+            if active:
+                score = max(0, score - cfg.inactivity_score_recovery)
+            else:
+                score += cfg.inactivity_score_bias
+            if apply_ejection and stake <= cfg.ejection_balance:
+                ejected = True
+        trajectory.append(stake)
+    return trajectory
+
+
+def discrete_ejection_epoch(
+    behavior: str,
+    config: Optional[SpecConfig] = None,
+    max_epochs: int = 20_000,
+) -> Optional[int]:
+    """Epoch at which a validator with the given behaviour gets ejected.
+
+    Returns ``None`` if the validator is never ejected within ``max_epochs``
+    (active validators never are).
+    """
+    cfg = config or SpecConfig.mainnet()
+    stake = cfg.max_effective_balance
+    score = 0
+    for epoch in range(1, max_epochs + 1):
+        stake = max(0.0, stake - score * stake / cfg.inactivity_penalty_quotient)
+        if behavior == "active":
+            active = True
+        elif behavior == "inactive":
+            active = False
+        elif behavior == "semi-active":
+            active = (epoch - 1) % 2 == 0
+        else:
+            raise ValueError(f"unknown behavior {behavior!r}")
+        if active:
+            score = max(0, score - cfg.inactivity_score_recovery)
+        else:
+            score += cfg.inactivity_score_bias
+        if stake <= cfg.ejection_balance:
+            return epoch
+    return None

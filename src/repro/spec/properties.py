@@ -1,0 +1,227 @@
+"""Checkers for the paper's blockchain properties (Definitions 4–6).
+
+The paper states three properties (Section 2):
+
+* **Safety** — for any two correct validators with a finalized chain, one
+  chain is a prefix of the other;
+* **Availability** — every correct validator keeps appending blocks to its
+  candidate chain regardless of failures and partitions, and the candidate
+  chains eventually grow;
+* **Liveness** — the finalized chain eventually grows.
+
+These checkers evaluate the properties over the nodes of a slot-level
+simulation (or over bare states/trees), so tests and experiments can state
+exactly which property a scenario preserves or violates — mirroring the
+paper's claims (e.g. the inactivity leak restores Liveness at the price of
+Safety during partitions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.spec.blocktree import BlockTree
+from repro.spec.checkpoint import Checkpoint
+from repro.spec.state import BeaconState
+
+
+@dataclass(frozen=True)
+class PropertyVerdict:
+    """Outcome of checking one property."""
+
+    property_name: str
+    holds: bool
+    details: str = ""
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.holds
+
+
+# ----------------------------------------------------------------------
+# Safety (Property 4)
+# ----------------------------------------------------------------------
+def check_safety(
+    states: Sequence[BeaconState],
+    tree: Optional[BlockTree] = None,
+) -> PropertyVerdict:
+    """Safety: every pair of finalized chains is prefix-ordered.
+
+    With a ``tree`` containing (at least) every finalized checkpoint block,
+    prefix order is checked by ancestry; without one, only same-epoch
+    conflicts are detectable (two different finalized checkpoints for the
+    same epoch always violate Safety).
+    """
+    checkpoints = [state.finalized_checkpoint for state in states]
+    for i, first in enumerate(checkpoints):
+        for second in checkpoints[i + 1 :]:
+            if first == second:
+                continue
+            if first.epoch == second.epoch and first.root != second.root:
+                return PropertyVerdict(
+                    "safety",
+                    False,
+                    f"two finalized checkpoints at epoch {first.epoch}: "
+                    f"{first.root.hex[:8]} vs {second.root.hex[:8]}",
+                )
+            if tree is None:
+                continue
+            low, high = sorted((first, second), key=lambda c: c.epoch)
+            if low.root in tree and high.root in tree and not tree.is_ancestor(
+                low.root, high.root
+            ):
+                return PropertyVerdict(
+                    "safety",
+                    False,
+                    f"finalized checkpoint {low.root.hex[:8]} (epoch {low.epoch}) is not "
+                    f"an ancestor of {high.root.hex[:8]} (epoch {high.epoch})",
+                )
+    # Also compare the full finalized-checkpoint maps epoch by epoch.
+    for i, state_a in enumerate(states):
+        for state_b in states[i + 1 :]:
+            shared = set(state_a.finalized_checkpoints) & set(state_b.finalized_checkpoints)
+            for epoch in shared:
+                if state_a.finalized_checkpoints[epoch] != state_b.finalized_checkpoints[epoch]:
+                    return PropertyVerdict(
+                        "safety",
+                        False,
+                        f"conflicting finalized checkpoints at epoch {epoch}",
+                    )
+    return PropertyVerdict("safety", True, "all finalized chains are prefix-ordered")
+
+
+# ----------------------------------------------------------------------
+# Liveness (Property 6)
+# ----------------------------------------------------------------------
+def check_liveness(
+    states: Sequence[BeaconState],
+    min_growth_epochs: int = 1,
+    since_epoch: int = 0,
+) -> PropertyVerdict:
+    """Liveness: the finalized chain of every correct validator grew.
+
+    ``min_growth_epochs`` is the number of epochs the finalized checkpoint
+    must have advanced past ``since_epoch`` for the property to be declared
+    held over the observation window.
+    """
+    laggards = [
+        state.finalized_checkpoint.epoch
+        for state in states
+        if state.finalized_checkpoint.epoch < since_epoch + min_growth_epochs
+    ]
+    if laggards:
+        return PropertyVerdict(
+            "liveness",
+            False,
+            f"{len(laggards)} validator(s) finalized at most epoch {max(laggards, default=0)} "
+            f"(required growth: {min_growth_epochs} past {since_epoch})",
+        )
+    return PropertyVerdict("liveness", True, "every finalized chain grew")
+
+
+# ----------------------------------------------------------------------
+# Availability (Property 5)
+# ----------------------------------------------------------------------
+def check_availability(
+    trees: Sequence[BlockTree],
+    observation_slots: int,
+    max_gap_slots: Optional[int] = None,
+) -> PropertyVerdict:
+    """Availability: every candidate chain kept growing during the window.
+
+    ``observation_slots`` is the number of slots simulated; the candidate
+    chain of each validator must reach within ``max_gap_slots`` (default:
+    one epoch's worth of slots, 32) of the end of the window.
+    """
+    gap = 32 if max_gap_slots is None else max_gap_slots
+    for index, tree in enumerate(trees):
+        if tree.highest_slot() < observation_slots - gap:
+            return PropertyVerdict(
+                "availability",
+                False,
+                f"validator {index}'s candidate chain stalled at slot {tree.highest_slot()} "
+                f"out of {observation_slots}",
+            )
+    return PropertyVerdict("availability", True, "all candidate chains kept growing")
+
+
+# ----------------------------------------------------------------------
+# Byzantine-threshold property (the paper's second notion of Safety loss)
+# ----------------------------------------------------------------------
+def check_byzantine_threshold(
+    states: Sequence[BeaconState],
+    threshold: float = 1.0 / 3.0,
+) -> PropertyVerdict:
+    """Check that the Byzantine stake proportion stays below ``threshold``.
+
+    The paper treats the Byzantine proportion exceeding one-third of the
+    (remaining) stake as a Safety-threshold break even when no conflicting
+    finalization has happened yet.
+    """
+    worst = 0.0
+    for state in states:
+        worst = max(worst, state.byzantine_stake_proportion())
+    if worst >= threshold:
+        return PropertyVerdict(
+            "byzantine-threshold",
+            False,
+            f"Byzantine proportion reached {worst:.4f} >= {threshold:.4f}",
+        )
+    return PropertyVerdict(
+        "byzantine-threshold", True, f"maximum Byzantine proportion {worst:.4f}"
+    )
+
+
+@dataclass
+class PropertyReport:
+    """All property verdicts for one simulation run."""
+
+    verdicts: List[PropertyVerdict] = field(default_factory=list)
+
+    def add(self, verdict: PropertyVerdict) -> None:
+        self.verdicts.append(verdict)
+
+    def holds(self, property_name: str) -> bool:
+        """True if the named property was checked and held."""
+        for verdict in self.verdicts:
+            if verdict.property_name == property_name:
+                return verdict.holds
+        raise KeyError(f"property {property_name!r} was not checked")
+
+    def all_hold(self) -> bool:
+        return all(verdict.holds for verdict in self.verdicts)
+
+    def format_text(self) -> str:
+        lines = ["Property report"]
+        for verdict in self.verdicts:
+            status = "HOLDS" if verdict.holds else "VIOLATED"
+            lines.append(f"  {verdict.property_name:<20} {status:<9} {verdict.details}")
+        return "\n".join(lines)
+
+
+def check_simulation_properties(
+    engine,
+    result,
+    min_finalized_growth: int = 1,
+) -> PropertyReport:
+    """Run all property checkers over a finished slot-level simulation.
+
+    ``engine`` is the :class:`repro.sim.engine.SimulationEngine` that
+    produced ``result``; honest nodes only are considered (the properties
+    quantify over correct validators).
+    """
+    report = PropertyReport()
+    honest_states = [engine.nodes[i].state for i in result.honest_indices]
+    honest_trees = [engine.nodes[i].store.tree for i in result.honest_indices]
+    observation_slots = result.epochs_run * engine.config.slots_per_epoch
+    report.add(check_safety(honest_states, tree=engine._global_tree))
+    report.add(check_liveness(honest_states, min_growth_epochs=min_finalized_growth))
+    report.add(
+        check_availability(
+            honest_trees,
+            observation_slots=observation_slots,
+            max_gap_slots=2 * engine.config.slots_per_epoch,
+        )
+    )
+    report.add(check_byzantine_threshold(honest_states))
+    return report

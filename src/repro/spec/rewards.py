@@ -1,0 +1,82 @@
+"""Attestation rewards and penalties (Section 3.3, incentive type ii).
+
+Outside the inactivity leak, timely and correct attestations are rewarded
+and missing/late attestations are penalized.  During the leak no attester
+rewards are paid (only proposers and sync committees keep theirs, which we
+do not model because the paper's analysis ignores them as negligible).
+
+These rewards are *not* what drives the paper's results — the inactivity
+penalties dominate during a leak — but they are part of the protocol and
+are exercised by the simulator so that the "no leak" baseline behaves
+realistically (stakes stay pinned near 32 ETH).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.spec.config import SpecConfig
+from repro.spec.state import BeaconState
+
+
+@dataclass
+class RewardSummary:
+    """Totals of one epoch of attestation reward/penalty processing."""
+
+    epoch: int
+    total_rewards: float = 0.0
+    total_penalties: float = 0.0
+    rewarded_indices: List[int] = field(default_factory=list)
+    penalized_indices: List[int] = field(default_factory=list)
+
+
+def base_reward(state: BeaconState, validator_index: int) -> float:
+    """Per-epoch base reward of a validator, proportional to its stake."""
+    validator = state.validators[validator_index]
+    return validator.stake * state.config.base_reward_fraction
+
+
+def attestation_penalty(state: BeaconState, validator_index: int) -> float:
+    """Per-epoch penalty for a missing or incorrect attestation."""
+    validator = state.validators[validator_index]
+    return validator.stake * state.config.attestation_penalty_fraction
+
+
+def process_attestation_rewards(
+    state: BeaconState,
+    active_indices: Iterable[int],
+    in_leak: Optional[bool] = None,
+) -> RewardSummary:
+    """Apply attestation rewards/penalties for one epoch.
+
+    ``active_indices`` are the validators whose timely, correct attestation
+    was included on this chain.  During an inactivity leak no rewards are
+    paid (Section 4), but attestation penalties still apply to inactive
+    validators; they are orders of magnitude smaller than the inactivity
+    penalties, matching the paper's remark that they "tend to be less
+    significant".
+    """
+    leak = state.is_in_inactivity_leak() if in_leak is None else in_leak
+    cfg = state.config
+    active_set = set(active_indices)
+    summary = RewardSummary(epoch=state.current_epoch)
+    for validator in state.validators:
+        if not validator.is_active(state.current_epoch) or validator.slashed:
+            continue
+        if validator.index in active_set:
+            if not leak:
+                credited = validator.apply_reward(
+                    base_reward(state, validator.index),
+                    cap=cfg.max_effective_balance,
+                )
+                summary.total_rewards += credited
+                if credited > 0:
+                    summary.rewarded_indices.append(validator.index)
+        else:
+            deducted = validator.apply_penalty(
+                attestation_penalty(state, validator.index)
+            )
+            summary.total_penalties += deducted
+            summary.penalized_indices.append(validator.index)
+    return summary

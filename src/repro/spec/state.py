@@ -1,0 +1,170 @@
+"""The beacon state: validator registry plus finality bookkeeping.
+
+The state tracks, per validator view (one state per node in the simulator,
+or one per branch in branch-level experiments):
+
+* the validator registry (stakes, inactivity scores, exits),
+* the justified and finalized checkpoints,
+* how many epochs have elapsed since the last finalization, which decides
+  whether the chain is in an inactivity leak (Section 3.3 / Section 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.spec.checkpoint import Checkpoint, GENESIS_CHECKPOINT
+from repro.spec.config import SpecConfig
+from repro.spec.validator import Validator, total_stake
+
+
+@dataclass
+class BeaconState:
+    """Mutable protocol state as perceived along one chain."""
+
+    config: SpecConfig
+    validators: List[Validator]
+    #: Current epoch being processed.
+    current_epoch: int = 0
+    #: Most recently justified checkpoint.
+    current_justified_checkpoint: Checkpoint = GENESIS_CHECKPOINT
+    #: Justified checkpoint of the previous epoch (needed for the
+    #: consecutive-justification finalization rule).
+    previous_justified_checkpoint: Checkpoint = GENESIS_CHECKPOINT
+    #: Most recently finalized checkpoint.
+    finalized_checkpoint: Checkpoint = GENESIS_CHECKPOINT
+    #: Epochs that have been justified on this chain.
+    justified_epochs: Set[int] = field(default_factory=lambda: {0})
+    #: Checkpoints justified on this chain, keyed by epoch.
+    justified_checkpoints: Dict[int, Checkpoint] = field(
+        default_factory=lambda: {0: GENESIS_CHECKPOINT}
+    )
+    #: Checkpoints finalized on this chain, keyed by epoch.
+    finalized_checkpoints: Dict[int, Checkpoint] = field(
+        default_factory=lambda: {0: GENESIS_CHECKPOINT}
+    )
+    #: Epoch at which the last finalization happened.
+    last_finalized_epoch: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.validators:
+            raise ValueError("BeaconState requires at least one validator")
+
+    # ------------------------------------------------------------------
+    # Registry helpers
+    # ------------------------------------------------------------------
+    def validator(self, index: int) -> Validator:
+        """Return the validator with registry ``index``."""
+        return self.validators[index]
+
+    def active_validators(self, epoch: Optional[int] = None) -> List[Validator]:
+        """Validators that are part of the active set at ``epoch``."""
+        at_epoch = self.current_epoch if epoch is None else epoch
+        return [v for v in self.validators if v.is_active(at_epoch)]
+
+    def total_active_stake(self, epoch: Optional[int] = None) -> float:
+        """Total stake of active validators at ``epoch``."""
+        at_epoch = self.current_epoch if epoch is None else epoch
+        return total_stake(self.validators, at_epoch)
+
+    def stake_of(self, indices: Sequence[int], epoch: Optional[int] = None) -> float:
+        """Combined stake of the active validators with the given indices."""
+        at_epoch = self.current_epoch if epoch is None else epoch
+        return sum(
+            self.validators[i].stake
+            for i in indices
+            if self.validators[i].is_active(at_epoch)
+        )
+
+    def byzantine_stake_proportion(self, epoch: Optional[int] = None) -> float:
+        """Proportion of active stake held by validators labelled byzantine."""
+        at_epoch = self.current_epoch if epoch is None else epoch
+        total = self.total_active_stake(at_epoch)
+        if total == 0:
+            return 0.0
+        byz = sum(
+            v.stake
+            for v in self.validators
+            if v.label == "byzantine" and v.is_active(at_epoch)
+        )
+        return byz / total
+
+    # ------------------------------------------------------------------
+    # Finality / leak bookkeeping
+    # ------------------------------------------------------------------
+    @property
+    def epochs_since_finality(self) -> int:
+        """Number of epochs elapsed since the last finalized epoch."""
+        return max(0, self.current_epoch - self.last_finalized_epoch)
+
+    def is_in_inactivity_leak(self) -> bool:
+        """True when the chain has gone too long without finalization.
+
+        The leak starts after ``min_epochs_to_inactivity_penalty`` (4)
+        consecutive epochs without finalization (Section 3.3).
+        """
+        return self.epochs_since_finality > self.config.min_epochs_to_inactivity_penalty
+
+    def record_justification(self, checkpoint: Checkpoint) -> None:
+        """Mark ``checkpoint`` as justified on this chain."""
+        self.justified_epochs.add(checkpoint.epoch)
+        self.justified_checkpoints[checkpoint.epoch] = checkpoint
+        if checkpoint.epoch >= self.current_justified_checkpoint.epoch:
+            self.previous_justified_checkpoint = self.current_justified_checkpoint
+            self.current_justified_checkpoint = checkpoint
+
+    def record_finalization(self, checkpoint: Checkpoint) -> None:
+        """Mark ``checkpoint`` as finalized on this chain."""
+        self.finalized_checkpoints[checkpoint.epoch] = checkpoint
+        if checkpoint.epoch >= self.finalized_checkpoint.epoch:
+            self.finalized_checkpoint = checkpoint
+            self.last_finalized_epoch = max(self.last_finalized_epoch, checkpoint.epoch)
+
+    def is_justified(self, epoch: int) -> bool:
+        """True if a checkpoint of ``epoch`` is justified on this chain."""
+        return epoch in self.justified_epochs
+
+    def is_finalized(self, epoch: int) -> bool:
+        """True if a checkpoint of ``epoch`` is finalized on this chain."""
+        return epoch in self.finalized_checkpoints
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def genesis(
+        cls, validators: List[Validator], config: Optional[SpecConfig] = None
+    ) -> "BeaconState":
+        """Return a fresh state at epoch 0 with the genesis checkpoint finalized."""
+        return cls(config=config or SpecConfig.mainnet(), validators=validators)
+
+    def copy_registry(self) -> List[Validator]:
+        """Deep-copy the validator registry (used to fork a state per branch)."""
+        return [
+            Validator(
+                index=v.index,
+                stake=v.stake,
+                inactivity_score=v.inactivity_score,
+                slashed=v.slashed,
+                exit_epoch=v.exit_epoch,
+                label=v.label,
+            )
+            for v in self.validators
+        ]
+
+    def fork(self) -> "BeaconState":
+        """Return an independent copy of this state (used when a branch splits)."""
+        forked = BeaconState(
+            config=self.config,
+            validators=self.copy_registry(),
+            current_epoch=self.current_epoch,
+            current_justified_checkpoint=self.current_justified_checkpoint,
+            previous_justified_checkpoint=self.previous_justified_checkpoint,
+            finalized_checkpoint=self.finalized_checkpoint,
+            justified_epochs=set(self.justified_epochs),
+            justified_checkpoints=dict(self.justified_checkpoints),
+            finalized_checkpoints=dict(self.finalized_checkpoints),
+            last_finalized_epoch=self.last_finalized_epoch,
+        )
+        return forked

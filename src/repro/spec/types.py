@@ -1,0 +1,66 @@
+"""Primitive types shared across the protocol substrate.
+
+The Ethereum consensus specification works with dedicated integer types
+(``Slot``, ``Epoch``, ``Gwei``, ``ValidatorIndex``) and 32-byte roots.  We
+keep the same vocabulary with lightweight Python aliases plus a tiny
+``Root`` helper so that block identifiers remain readable in logs and test
+failures while still being hashable and comparable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import NewType
+
+Slot = NewType("Slot", int)
+Epoch = NewType("Epoch", int)
+ValidatorIndex = NewType("ValidatorIndex", int)
+
+#: Stake amounts are tracked in ETH (floating point), matching the paper's
+#: continuous treatment of balances rather than the spec's integer Gwei.
+Eth = float
+
+
+@dataclass(frozen=True, order=True)
+class Root:
+    """A content identifier for a block or checkpoint.
+
+    Real Ethereum uses 32-byte SSZ hash tree roots.  For the simulator we
+    derive a short hex digest from a human-readable label, which keeps
+    equality/hashing semantics while making traces debuggable.
+    """
+
+    hex: str
+
+    @staticmethod
+    def from_label(label: str) -> "Root":
+        """Create a root by hashing an arbitrary label."""
+        digest = hashlib.sha256(label.encode("utf-8")).hexdigest()[:16]
+        return Root(hex=digest)
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.hex
+
+
+#: The root of the genesis block, fixed so every simulation agrees on it.
+GENESIS_ROOT = Root.from_label("genesis")
+
+
+def compute_epoch_at_slot(slot: int, slots_per_epoch: int) -> int:
+    """Return the epoch containing ``slot``."""
+    if slot < 0:
+        raise ValueError(f"slot must be non-negative, got {slot}")
+    return slot // slots_per_epoch
+
+
+def compute_start_slot_at_epoch(epoch: int, slots_per_epoch: int) -> int:
+    """Return the first slot of ``epoch``."""
+    if epoch < 0:
+        raise ValueError(f"epoch must be non-negative, got {epoch}")
+    return epoch * slots_per_epoch
+
+
+def is_epoch_boundary_slot(slot: int, slots_per_epoch: int) -> bool:
+    """Return ``True`` when ``slot`` is the first slot of its epoch."""
+    return slot % slots_per_epoch == 0

@@ -1,0 +1,141 @@
+"""Validator registry entries.
+
+Each validator owns a stake (initially 32 ETH), an inactivity score, and a
+handful of lifecycle flags (slashed, exited).  The registry-wide helpers at
+the bottom compute stake-weighted proportions, which is the notion of
+"proportion" used throughout the paper (Section 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence
+
+from repro.spec.config import SpecConfig
+
+
+@dataclass
+class Validator:
+    """A single validator registry entry."""
+
+    index: int
+    stake: float
+    #: Inactivity score, always non-negative (Equation 1).
+    inactivity_score: int = 0
+    #: Whether the validator has been slashed.
+    slashed: bool = False
+    #: Epoch at which the validator exited (ejected or slashed); ``None``
+    #: while the validator is still part of the active set.
+    exit_epoch: Optional[int] = None
+    #: Free-form tag used by experiments to group validators (e.g. "honest",
+    #: "byzantine").  The protocol itself never reads it.
+    label: str = "honest"
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ValueError(f"validator index must be non-negative, got {self.index}")
+        if self.stake < 0:
+            raise ValueError(f"validator stake must be non-negative, got {self.stake}")
+        if self.inactivity_score < 0:
+            raise ValueError("inactivity score must be non-negative")
+
+    # ------------------------------------------------------------------
+    def is_active(self, epoch: int) -> bool:
+        """Return True if the validator is part of the active set at ``epoch``."""
+        return self.exit_epoch is None or epoch < self.exit_epoch
+
+    def exit(self, epoch: int) -> None:
+        """Mark the validator as exited starting at ``epoch`` (idempotent)."""
+        if self.exit_epoch is None or epoch < self.exit_epoch:
+            self.exit_epoch = epoch
+
+    def apply_penalty(self, amount: float) -> float:
+        """Subtract ``amount`` from the stake (floored at zero).
+
+        Returns the amount actually deducted.
+        """
+        if amount < 0:
+            raise ValueError("penalty amount must be non-negative")
+        deducted = min(self.stake, amount)
+        self.stake -= deducted
+        return deducted
+
+    def apply_reward(self, amount: float, cap: Optional[float] = None) -> float:
+        """Add ``amount`` to the stake, optionally capping at ``cap``.
+
+        Returns the amount actually credited.
+        """
+        if amount < 0:
+            raise ValueError("reward amount must be non-negative")
+        new_stake = self.stake + amount
+        if cap is not None:
+            new_stake = min(new_stake, cap)
+        credited = new_stake - self.stake
+        self.stake = new_stake
+        return credited
+
+
+def make_registry(
+    n_validators: int,
+    config: Optional[SpecConfig] = None,
+    byzantine_fraction: float = 0.0,
+) -> List[Validator]:
+    """Create a fresh validator registry.
+
+    Parameters
+    ----------
+    n_validators:
+        Total number of validators.
+    config:
+        Protocol configuration (defaults to mainnet); sets the initial stake.
+    byzantine_fraction:
+        Fraction of the registry to label ``"byzantine"``.  The Byzantine
+        validators are placed at the end of the registry, which matches the
+        paper's convention of a proportion ``beta_0`` of Byzantine stake.
+    """
+    cfg = config or SpecConfig.mainnet()
+    if n_validators <= 0:
+        raise ValueError("n_validators must be positive")
+    if not 0.0 <= byzantine_fraction < 1.0:
+        raise ValueError("byzantine_fraction must lie in [0, 1)")
+    n_byzantine = int(round(n_validators * byzantine_fraction))
+    registry = []
+    for index in range(n_validators):
+        label = "byzantine" if index >= n_validators - n_byzantine else "honest"
+        registry.append(
+            Validator(index=index, stake=cfg.max_effective_balance, label=label)
+        )
+    return registry
+
+
+def total_stake(validators: Iterable[Validator], epoch: Optional[int] = None) -> float:
+    """Total stake of the given validators.
+
+    If ``epoch`` is provided, only validators active at that epoch count.
+    """
+    if epoch is None:
+        return sum(v.stake for v in validators)
+    return sum(v.stake for v in validators if v.is_active(epoch))
+
+
+def stake_proportion(
+    subset: Sequence[Validator],
+    registry: Sequence[Validator],
+    epoch: Optional[int] = None,
+) -> float:
+    """Stake-weighted proportion of ``subset`` within ``registry``.
+
+    This is the paper's notion of "proportion" (Section 2): the ratio of the
+    subset's combined stake to the total staked value.  Returns 0 when the
+    registry holds no stake.
+    """
+    denominator = total_stake(registry, epoch)
+    if denominator == 0:
+        return 0.0
+    return total_stake(subset, epoch) / denominator
+
+
+def byzantine_proportion(registry: Sequence[Validator], epoch: Optional[int] = None) -> float:
+    """Stake proportion of validators labelled ``"byzantine"``."""
+    byzantine = [v for v in registry if v.label == "byzantine"]
+    return stake_proportion(byzantine, registry, epoch)

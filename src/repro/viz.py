@@ -1,0 +1,122 @@
+"""Minimal text-based plotting helpers.
+
+The reproduction has no plotting dependency (the environment is offline),
+so the examples and experiment reports render series as ASCII charts and
+sparklines.  The functions are deliberately simple: fixed-size canvas,
+monotone x grid, no axes beyond min/max labels.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+#: Unicode blocks used by :func:`sparkline`, from lowest to highest.
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], width: Optional[int] = None) -> str:
+    """Render ``values`` as a one-line unicode sparkline.
+
+    ``width`` resamples the series to at most that many characters.
+    """
+    series = [float(v) for v in values]
+    if not series:
+        return ""
+    if width is not None and width > 0 and len(series) > width:
+        step = len(series) / width
+        series = [series[int(i * step)] for i in range(width)]
+    low, high = min(series), max(series)
+    span = high - low
+    if span == 0:
+        return _SPARK_LEVELS[0] * len(series)
+    chars = []
+    for value in series:
+        level = int((value - low) / span * (len(_SPARK_LEVELS) - 1))
+        chars.append(_SPARK_LEVELS[level])
+    return "".join(chars)
+
+
+def ascii_plot(
+    series: Dict[str, Tuple[Sequence[float], Sequence[float]]],
+    width: int = 72,
+    height: int = 16,
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Render one or more (x, y) series on a shared ASCII canvas.
+
+    ``series`` maps a label to an ``(x_values, y_values)`` pair.  Each series
+    is drawn with its own marker character (cycling through ``*+o#@``).
+    Returns the chart as a multi-line string.
+    """
+    if width < 10 or height < 4:
+        raise ValueError("canvas too small")
+    markers = "*+o#@%&"
+    all_x = [float(x) for xs, _ in series.values() for x in xs]
+    all_y = [float(y) for _, ys in series.values() for y in ys]
+    if not all_x or not all_y:
+        return "(empty plot)"
+    x_min, x_max = min(all_x), max(all_x)
+    y_min, y_max = min(all_y), max(all_y)
+    x_span = x_max - x_min or 1.0
+    y_span = y_max - y_min or 1.0
+
+    canvas = [[" "] * width for _ in range(height)]
+    for index, (label, (xs, ys)) in enumerate(series.items()):
+        marker = markers[index % len(markers)]
+        for x, y in zip(xs, ys):
+            column = int((float(x) - x_min) / x_span * (width - 1))
+            row = int((float(y) - y_min) / y_span * (height - 1))
+            canvas[height - 1 - row][column] = marker
+
+    lines = []
+    top_label = f"{y_max:.3g}"
+    bottom_label = f"{y_min:.3g}"
+    gutter = max(len(top_label), len(bottom_label)) + 1
+    for row_index, row in enumerate(canvas):
+        if row_index == 0:
+            prefix = top_label.rjust(gutter)
+        elif row_index == height - 1:
+            prefix = bottom_label.rjust(gutter)
+        else:
+            prefix = " " * gutter
+        lines.append(f"{prefix}|{''.join(row)}")
+    lines.append(" " * gutter + "+" + "-" * width)
+    x_axis = f"{x_min:.3g}".ljust(width // 2) + f"{x_max:.3g}".rjust(width - width // 2)
+    lines.append(" " * (gutter + 1) + x_axis)
+    if x_label or y_label:
+        lines.append(" " * (gutter + 1) + f"x: {x_label}   y: {y_label}".strip())
+    legend = "   ".join(
+        f"{markers[i % len(markers)]} {label}" for i, label in enumerate(series)
+    )
+    lines.append(" " * (gutter + 1) + legend)
+    return "\n".join(lines)
+
+
+def format_table(rows: List[Dict[str, object]], columns: Optional[Sequence[str]] = None) -> str:
+    """Render a list of row dictionaries as a fixed-width text table."""
+    if not rows:
+        return "(empty table)"
+    headers = list(columns) if columns is not None else list(rows[0].keys())
+    rendered_rows = [
+        [_format_cell(row.get(column)) for column in headers] for row in rows
+    ]
+    widths = [
+        max(len(header), *(len(row[i]) for row in rendered_rows))
+        for i, header in enumerate(headers)
+    ]
+    lines = [
+        "  ".join(header.ljust(width) for header, width in zip(headers, widths)),
+        "  ".join("-" * width for width in widths),
+    ]
+    for row in rendered_rows:
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _format_cell(value: object) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)

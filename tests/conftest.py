@@ -1,0 +1,32 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.spec.config import SpecConfig
+from repro.spec.validator import make_registry
+
+
+@pytest.fixture
+def mainnet_config() -> SpecConfig:
+    """The mainnet-like configuration used by the paper."""
+    return SpecConfig.mainnet()
+
+
+@pytest.fixture
+def minimal_config() -> SpecConfig:
+    """The scaled-down configuration for fast protocol-level tests."""
+    return SpecConfig.minimal()
+
+
+@pytest.fixture
+def small_registry(mainnet_config: SpecConfig):
+    """Ten honest validators at 32 ETH."""
+    return make_registry(10, mainnet_config)
+
+
+@pytest.fixture
+def mixed_registry(mainnet_config: SpecConfig):
+    """Ten validators, three of which are Byzantine."""
+    return make_registry(10, mainnet_config, byzantine_fraction=0.3)

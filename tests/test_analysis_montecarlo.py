@@ -1,0 +1,108 @@
+"""Tests for the Monte-Carlo bouncing-attack simulator."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.bouncing import BouncingAttackModel, attack_duration_probability
+from repro.analysis.montecarlo import BouncingMonteCarlo
+from repro.spec.config import SpecConfig
+
+
+#: A faster-leaking configuration so the interesting dynamics (stake decay,
+#: threshold crossing) show up within a few hundred epochs in tests.
+FAST = SpecConfig.mainnet().with_overrides(inactivity_penalty_quotient=2 ** 16)
+
+
+class TestConstruction:
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            BouncingMonteCarlo(beta0=1.2)
+        with pytest.raises(ValueError):
+            BouncingMonteCarlo(beta0=0.3, p0=1.0)
+        with pytest.raises(ValueError):
+            BouncingMonteCarlo(beta0=0.3, n_honest=0)
+
+    def test_invalid_run_arguments(self):
+        mc = BouncingMonteCarlo(beta0=0.3, n_honest=10)
+        with pytest.raises(ValueError):
+            mc.run(n_trials=0, horizon=10)
+        with pytest.raises(ValueError):
+            mc.run(n_trials=1, horizon=0)
+
+
+class TestStoppingTime:
+    def test_survival_matches_closed_form(self):
+        # With stake-proportional proposer election and beta0 = 1/3, the
+        # per-epoch continuation probability is 1 - (2/3)^8; over a short
+        # horizon the stakes barely move, so the empirical survival matches
+        # the closed form (1 - (1-beta)^j)^k.
+        mc = BouncingMonteCarlo(beta0=1 / 3, n_honest=50, seed=3)
+        result = mc.run(n_trials=400, horizon=20, record_epochs=[10, 20])
+        expected = attack_duration_probability(1 / 3, 20)
+        assert result.survival_probability(20) == pytest.approx(expected, abs=0.06)
+
+    def test_small_beta_dies_quickly(self):
+        mc = BouncingMonteCarlo(beta0=0.05, n_honest=20, seed=1)
+        result = mc.run(n_trials=200, horizon=50)
+        assert result.mean_stop_epoch() < 10
+        assert result.survival_probability(50) < 0.05
+
+    def test_no_stopping_when_disabled(self):
+        mc = BouncingMonteCarlo(beta0=0.05, n_honest=20, enforce_stopping=False, seed=1)
+        result = mc.run(n_trials=20, horizon=30)
+        assert result.survival_probability(30) == 1.0
+        assert result.mean_stop_epoch() == 30
+
+
+class TestByzantineProportion:
+    def test_beta_starts_near_beta0(self):
+        mc = BouncingMonteCarlo(beta0=0.3, n_honest=200, enforce_stopping=False, seed=2)
+        result = mc.run(n_trials=10, horizon=4, record_epochs=[2])
+        for trial in result.trials:
+            assert trial.byzantine_proportion_branch_a[2] == pytest.approx(0.3, abs=0.03)
+            assert trial.byzantine_proportion_branch_b[2] == pytest.approx(0.3, abs=0.03)
+
+    def test_exceed_probability_half_at_one_third(self):
+        # The discrete per-validator dynamics reproduce the paper's headline:
+        # at beta0 = 1/3 the probability of exceeding the threshold on a
+        # given branch hovers around 1/2 (and is ~1 on at least one branch).
+        mc = BouncingMonteCarlo(
+            beta0=1 / 3, n_honest=300, config=FAST, enforce_stopping=False, seed=5
+        )
+        result = mc.run(n_trials=60, horizon=120, record_epochs=[120])
+        either = result.exceed_probability(120)
+        assert 0.5 <= either <= 1.0
+
+    def test_low_beta_rarely_exceeds(self):
+        mc = BouncingMonteCarlo(
+            beta0=0.25, n_honest=300, config=FAST, enforce_stopping=False, seed=6
+        )
+        result = mc.run(n_trials=40, horizon=120, record_epochs=[120])
+        assert result.exceed_probability(120) < 0.2
+
+    def test_conditional_probability_at_least_unconditional(self):
+        mc = BouncingMonteCarlo(beta0=0.33, n_honest=100, config=FAST, seed=7)
+        result = mc.run(n_trials=100, horizon=60, record_epochs=[60])
+        assert result.conditional_exceed_probability(60) >= result.exceed_probability(60)
+
+
+class TestHonestStakeSample:
+    def test_sample_matches_closed_form_median(self):
+        mc = BouncingMonteCarlo(beta0=1 / 3, p0=0.5, n_honest=10, seed=11)
+        stakes = mc.honest_stake_sample(epoch=2000, n_samples=4000)
+        model = BouncingAttackModel(beta0=1 / 3, p0=0.5)
+        median = float(np.median(stakes))
+        assert median == pytest.approx(model.distribution.mean_stake(2000.0), rel=0.01)
+
+    def test_sample_respects_bounds(self):
+        mc = BouncingMonteCarlo(beta0=0.3, p0=0.5, n_honest=10, seed=12)
+        stakes = mc.honest_stake_sample(epoch=500, n_samples=1000)
+        assert float(stakes.max()) <= 32.0 + 1e-9
+        assert float(stakes.min()) >= 0.0
+
+    def test_ejected_validators_have_zero_stake(self):
+        mc = BouncingMonteCarlo(beta0=0.3, p0=0.5, n_honest=10, config=FAST, seed=13)
+        stakes = mc.honest_stake_sample(epoch=400, n_samples=2000)
+        # With the fast-leak config, a visible fraction has been ejected.
+        assert (stakes == 0.0).mean() > 0.0
+        assert not ((stakes > 0) & (stakes < 10.0)).any()  # below ~ejection -> zeroed

@@ -1,0 +1,121 @@
+"""Tests for repro.analysis.randomwalk (Equations 15-16)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.randomwalk import (
+    diffusion_coefficient,
+    drift_per_epoch,
+    exact_score_distribution,
+    gaussian_score_density,
+    gaussian_score_mean,
+    gaussian_score_std,
+    sample_walks,
+    two_epoch_increment_distribution,
+)
+
+
+class TestEquation15:
+    def test_probabilities_sum_to_one(self):
+        distribution = two_epoch_increment_distribution(0.3)
+        assert sum(distribution.values()) == pytest.approx(1.0)
+
+    def test_even_split_values(self):
+        distribution = two_epoch_increment_distribution(0.5)
+        assert distribution[8] == pytest.approx(0.25)
+        assert distribution[3] == pytest.approx(0.5)
+        assert distribution[-2] == pytest.approx(0.25)
+
+    def test_mean_increment_is_three(self):
+        for p0 in (0.3, 0.5, 0.7):
+            distribution = two_epoch_increment_distribution(p0)
+            mean = sum(step * probability for step, probability in distribution.items())
+            assert mean == pytest.approx(3.0)
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            two_epoch_increment_distribution(1.5)
+
+
+class TestDriftAndDiffusion:
+    def test_drift_is_three_halves(self):
+        assert drift_per_epoch(0.5) == pytest.approx(1.5)
+        assert drift_per_epoch(0.3) == pytest.approx(1.5)
+
+    def test_diffusion_paper_value(self):
+        assert diffusion_coefficient(0.5) == pytest.approx(6.25)
+        assert diffusion_coefficient(0.2) == pytest.approx(25 * 0.2 * 0.8)
+
+    def test_diffusion_maximal_at_even_split(self):
+        assert diffusion_coefficient(0.5) >= diffusion_coefficient(0.3)
+        assert diffusion_coefficient(0.5) >= diffusion_coefficient(0.7)
+
+
+class TestExactDistribution:
+    def test_zero_epochs_is_point_mass(self):
+        distribution = exact_score_distribution(0, 0.5)
+        assert distribution.probabilities == {0: 1.0}
+
+    def test_probabilities_sum_to_one(self):
+        distribution = exact_score_distribution(12, 0.4)
+        assert sum(distribution.probabilities.values()) == pytest.approx(1.0)
+
+    def test_clamped_scores_never_negative(self):
+        distribution = exact_score_distribution(15, 0.8, clamp_at_zero=True)
+        assert min(distribution.support()) >= 0
+
+    def test_unclamped_mean_matches_drift(self):
+        # Without the clamp, the mean per epoch is 4(1-p) - p = 4 - 5p.
+        epochs, p0 = 20, 0.4
+        distribution = exact_score_distribution(epochs, p0, clamp_at_zero=False)
+        assert distribution.mean() == pytest.approx((4 - 5 * p0) * epochs)
+
+    def test_probability_at_least(self):
+        distribution = exact_score_distribution(2, 0.5, clamp_at_zero=False)
+        assert distribution.probability_at_least(8) == pytest.approx(0.25)
+
+    def test_negative_epochs_rejected(self):
+        with pytest.raises(ValueError):
+            exact_score_distribution(-1, 0.5)
+
+
+class TestGaussianApproximation:
+    def test_density_integrates_to_one(self):
+        t, p0 = 200.0, 0.5
+        grid = np.linspace(-500, 1500, 20001)
+        density = [gaussian_score_density(float(x), t, p0) for x in grid]
+        assert np.trapezoid(density, grid) == pytest.approx(1.0, abs=1e-3)
+
+    def test_density_peaks_at_mean(self):
+        t = 100.0
+        mean = gaussian_score_mean(t)
+        assert gaussian_score_density(mean, t) > gaussian_score_density(mean + 50, t)
+        assert gaussian_score_density(mean, t) > gaussian_score_density(mean - 50, t)
+
+    def test_mean_and_std(self):
+        assert gaussian_score_mean(100.0) == pytest.approx(150.0)
+        assert gaussian_score_std(100.0, 0.5) == pytest.approx(math.sqrt(2 * 6.25 * 100))
+
+    def test_zero_time_rejected(self):
+        with pytest.raises(ValueError):
+            gaussian_score_density(0.0, 0.0)
+
+
+class TestMonteCarlo:
+    def test_sampled_mean_matches_model(self):
+        # On one branch the expected increment per epoch is 4(1-p) - p.
+        epochs, p0 = 400, 0.5
+        samples = sample_walks(epochs, p0, n_samples=4000, seed=1, clamp_at_zero=False)
+        assert samples.mean() == pytest.approx((4 - 5 * p0) * epochs, rel=0.05)
+
+    def test_sampled_std_matches_diffusion(self):
+        epochs, p0 = 400, 0.5
+        samples = sample_walks(epochs, p0, n_samples=4000, seed=2, clamp_at_zero=False)
+        expected_std = math.sqrt(25 * p0 * (1 - p0) * epochs)
+        assert samples.std() == pytest.approx(expected_std, rel=0.1)
+
+    def test_clamped_samples_non_negative(self):
+        samples = sample_walks(50, 0.9, n_samples=500, seed=3, clamp_at_zero=True)
+        assert (samples >= 0).all()

@@ -1,0 +1,116 @@
+"""Tests for the extension experiments (Monte-Carlo validation, generalized
+mechanisms, recovery tail) and their registry entries."""
+
+import pytest
+
+from repro.experiments import (
+    fig10_montecarlo,
+    generalized_mechanism,
+    recovery_tail,
+    registry,
+)
+from repro.leak.generalized import PenaltyMechanism
+
+
+class TestFigure10MonteCarlo:
+    def test_small_run_matches_closed_form_at_one_third(self):
+        result = fig10_montecarlo.run(
+            beta0_values=(1 / 3,), horizon=1500, n_trials=30, n_honest=100, seed=1
+        )
+        row = result.rows()[0]
+        assert row["closed_form_single_branch"] == pytest.approx(0.5, abs=1e-3)
+        assert row["closed_form_both_branches"] == pytest.approx(1.0, abs=1e-3)
+        # With two symmetric branches, at least one of them exceeds the
+        # threshold in almost every trial.
+        assert row["empirical_either_branch"] > 0.8
+        assert "Figure 10" in result.format_text()
+
+    def test_lower_beta_gives_lower_probability(self):
+        result = fig10_montecarlo.run(
+            beta0_values=(1 / 3, 0.31), horizon=1500, n_trials=20, n_honest=80, seed=2
+        )
+        rows = {row["beta0"]: row for row in result.rows()}
+        assert (
+            rows[0.31]["empirical_either_branch"]
+            <= rows[1 / 3]["empirical_either_branch"]
+        )
+
+    def test_gap_metric(self):
+        result = fig10_montecarlo.run(
+            beta0_values=(1 / 3,), horizon=1000, n_trials=20, n_honest=80, seed=3
+        )
+        assert 0.0 <= result.max_gap_to_both_branches_form() <= 1.0
+
+
+class TestGeneralizedMechanismExperiment:
+    def test_default_run_contains_ethereum(self):
+        result = generalized_mechanism.run()
+        names = [row["mechanism"] for row in result.rows()]
+        assert any("ethereum" in name for name in names)
+        assert "Generalized penalty mechanisms" in result.format_text()
+
+    def test_ethereum_row_matches_paper_scale(self):
+        result = generalized_mechanism.run()
+        ethereum_row = next(row for row in result.rows() if "ethereum" in row["mechanism"])
+        assert ethereum_row["safety_bound_epochs"] == pytest.approx(4661, abs=5)
+        assert ethereum_row["critical_beta0"] == pytest.approx(0.2421, abs=2e-3)
+
+    def test_faster_leak_has_smaller_bound(self):
+        result = generalized_mechanism.run()
+        rows = {row["mechanism"]: row for row in result.rows()}
+        assert (
+            rows["aggressive (2**20)"]["safety_bound_epochs"]
+            < rows["ethereum (2**26)"]["safety_bound_epochs"]
+            < rows["lenient (2**28)"]["safety_bound_epochs"]
+        )
+
+    def test_custom_mechanism_dict(self):
+        result = generalized_mechanism.run(
+            mechanisms={"custom": PenaltyMechanism.with_quotient(float(2 ** 22))}
+        )
+        assert len(result.rows()) == 1
+        assert result.rows()[0]["penalty_quotient"] == float(2 ** 22)
+
+    def test_stricter_quorum_needs_longer_leak(self):
+        result = generalized_mechanism.run()
+        rows = {row["mechanism"]: row for row in result.rows()}
+        assert (
+            rows["strict quorum (3/4)"]["safety_bound_epochs"]
+            >= rows["ethereum (2**26)"]["safety_bound_epochs"]
+        )
+
+
+class TestRecoveryTailExperiment:
+    def test_rows_and_text(self):
+        result = recovery_tail.run(p0_values=(0.6, 0.62))
+        assert len(result.rows()) == 2
+        assert "recovery tail" in result.format_text().lower()
+
+    def test_tail_is_shorter_than_leak(self):
+        result = recovery_tail.run(p0_values=(0.6,))
+        row = result.rows()[0]
+        assert 0 < row["recovery_tail_epochs"] < row["leak_duration_epochs"]
+
+    def test_longer_leak_longer_tail(self):
+        result = recovery_tail.run(p0_values=(0.6, 0.65))
+        rows = {row["p0"]: row for row in result.rows()}
+        # p0 = 0.6 leaks longer than p0 = 0.65, so its tail is longer too.
+        assert rows[0.6]["leak_duration_epochs"] > rows[0.65]["leak_duration_epochs"]
+        assert rows[0.6]["recovery_tail_epochs"] >= rows[0.65]["recovery_tail_epochs"]
+
+    def test_exit_stake_above_ejection(self):
+        result = recovery_tail.run(p0_values=(0.6,))
+        assert result.rows()[0]["stake_at_leak_exit"] > 16.75
+
+
+class TestRegistryExtensions:
+    def test_new_ids_registered(self):
+        ids = registry.list_ids()
+        for expected in ("fig10-montecarlo", "generalized-mechanism", "recovery-tail"):
+            assert expected in ids
+
+    def test_registry_dispatch(self):
+        result = registry.run("recovery-tail")
+        assert hasattr(result, "rows")
+        result = registry.run("generalized-mechanism")
+        assert hasattr(result, "format_text")

@@ -1,0 +1,42 @@
+"""Tests for the (p0, beta0) sweep-grid extension experiment."""
+
+import pytest
+
+from repro.experiments import registry, sweep_grid
+from repro.analysis.finalization_time import ByzantineStrategy
+
+
+class TestSweepGrid:
+    def test_grid_shapes_and_rows(self):
+        result = sweep_grid.run(p0_values=(0.4, 0.5), beta0_values=(0.0, 0.2))
+        assert result.slashing_grid.shape == (2, 2)
+        assert len(result.rows()) == 4
+        assert "sweep" in result.format_text()
+
+    def test_even_split_is_worst_case_for_every_beta(self):
+        result = sweep_grid.run()
+        for beta0 in result.beta0_values:
+            assert result.worst_case_split(beta0) == pytest.approx(0.5)
+            assert result.worst_case_split(
+                beta0, strategy=ByzantineStrategy.NON_SLASHING
+            ) == pytest.approx(0.5)
+
+    def test_symmetric_in_p0(self):
+        result = sweep_grid.run(p0_values=(0.3, 0.7), beta0_values=(0.1,))
+        assert result.slashing_grid[0, 0] == pytest.approx(result.slashing_grid[1, 0])
+        assert result.non_slashing_grid[0, 0] == pytest.approx(result.non_slashing_grid[1, 0])
+
+    def test_monotone_in_beta0(self):
+        result = sweep_grid.run(p0_values=(0.5,), beta0_values=(0.0, 0.1, 0.2, 0.3))
+        row = result.slashing_grid[0]
+        assert all(b <= a + 1e-9 for a, b in zip(row, row[1:]))
+
+    def test_paper_corner_values(self):
+        result = sweep_grid.run(p0_values=(0.5,), beta0_values=(0.0, 0.2, 0.33))
+        assert result.slashing_grid[0, 0] == pytest.approx(4685.0)
+        assert result.slashing_grid[0, 1] == pytest.approx(3107, abs=1)
+        assert result.slashing_grid[0, 2] == pytest.approx(502, abs=1)
+
+    def test_registered(self):
+        assert "sweep-grid" in registry.list_ids()
+        assert hasattr(registry.run("sweep-grid"), "rows")

@@ -1,0 +1,136 @@
+"""Integration tests: the paper's headline numbers, end to end.
+
+These tests go through the public API (the ``repro`` top-level package and
+the experiment runners) and check every quantitative claim of the paper
+that the reproduction targets:
+
+* Table 2 and Table 3 rows,
+* the 4685/4686-epoch Safety bound of Section 5.1,
+* the 0.2421 critical Byzantine proportion of Section 5.2.3,
+* the ejection epochs of Figure 2,
+* the bouncing-attack numbers of Section 5.3 (probability 0.5 at
+  beta0 = 1/3, the 1e-121 duration estimate, ejection at ~7653),
+* the ~10x / ~8x acceleration factors quoted in Sections 5.2.1 / 5.2.2.
+"""
+
+import pytest
+
+import repro
+from repro import constants
+from repro.analysis import speedup_over_honest_baseline
+from repro.analysis.finalization_time import ByzantineStrategy
+
+
+class TestHeadlineTables:
+    def test_table2(self):
+        expected = {0.0: 4685, 0.1: 4066, 0.15: 3622, 0.2: 3107, 0.33: 502}
+        for beta0, epochs in expected.items():
+            assert (
+                repro.epochs_to_conflicting_finalization(
+                    ByzantineStrategy.SLASHING, 0.5, beta0
+                )
+                == epochs
+            )
+
+    def test_table3(self):
+        expected = {0.0: 4685, 0.1: 4221, 0.15: 3819, 0.2: 3328, 0.33: 556}
+        for beta0, epochs in expected.items():
+            measured = repro.epochs_to_conflicting_finalization(
+                ByzantineStrategy.NON_SLASHING, 0.5, beta0
+            )
+            assert abs(measured - epochs) / epochs < 0.01
+
+    def test_acceleration_factors(self):
+        assert speedup_over_honest_baseline(ByzantineStrategy.SLASHING, 0.33) == pytest.approx(
+            9.3, abs=1.0
+        )
+        assert speedup_over_honest_baseline(
+            ByzantineStrategy.NON_SLASHING, 0.33
+        ) == pytest.approx(8.4, abs=1.0)
+
+
+class TestSafetyBound:
+    def test_conflicting_finalization_bound_is_4686(self):
+        result = repro.conflicting_finalization_time(ByzantineStrategy.NONE, p0=0.5)
+        assert result.threshold_epoch == pytest.approx(4685.0)
+        assert result.finalization_epoch == pytest.approx(4686.0)
+
+    def test_even_split_is_the_fastest_honest_configuration(self):
+        even = repro.conflicting_finalization_time(ByzantineStrategy.NONE, p0=0.5)
+        for p0 in (0.3, 0.4, 0.45, 0.6):
+            other = repro.conflicting_finalization_time(ByzantineStrategy.NONE, p0=p0)
+            assert other.threshold_epoch >= even.threshold_epoch - 1e-9
+
+
+class TestThresholdAndEjections:
+    def test_critical_beta0(self):
+        assert repro.critical_beta0(0.5) == pytest.approx(0.2421, abs=5e-4)
+
+    def test_figure2_ejection_epochs(self):
+        from repro.spec.inactivity import discrete_ejection_epoch
+
+        assert discrete_ejection_epoch("inactive") == pytest.approx(
+            constants.PAPER_INACTIVE_EJECTION_EPOCH, rel=0.01
+        )
+        assert discrete_ejection_epoch("semi-active") == pytest.approx(
+            constants.PAPER_SEMI_ACTIVE_EJECTION_EPOCH, rel=0.01
+        )
+
+
+class TestBouncingAttackNumbers:
+    def test_probability_half_at_one_third(self):
+        model = repro.BouncingAttackModel(beta0=1 / 3, p0=0.5)
+        assert model.exceed_threshold_probability(4000.0) == pytest.approx(0.5, abs=1e-3)
+
+    def test_duration_estimate(self):
+        model = repro.BouncingAttackModel(beta0=1 / 3, p0=0.5)
+        assert model.log10_duration_probability(7000) == pytest.approx(-121.0, abs=0.5)
+
+    def test_byzantine_ejection_epoch(self):
+        model = repro.BouncingAttackModel(beta0=0.33, p0=0.5)
+        assert model.byzantine_ejection_epoch() == pytest.approx(
+            constants.PAPER_BOUNCING_BYZANTINE_EJECTION_EPOCH, rel=0.01
+        )
+
+    def test_equation14_window_at_one_third(self):
+        model = repro.BouncingAttackModel(beta0=1 / 3, p0=0.55)
+        lower, upper = model.feasible_p0_window()
+        assert lower == pytest.approx(0.5)
+        assert upper == pytest.approx(1.0)
+
+
+class TestTable1EndToEnd:
+    def test_all_scenarios_reproduce_their_outcomes(self):
+        outcomes = repro.run_all_scenarios(beta0=0.33, threshold_beta0=0.25, max_epochs=5000)
+        by_id = {outcome.scenario_id: outcome for outcome in outcomes}
+        assert by_id["5.1"].conflicting_finalization_epoch is not None
+        assert by_id["5.2.1"].conflicting_finalization_epoch is not None
+        assert (
+            by_id["5.2.1"].conflicting_finalization_epoch
+            < by_id["5.1"].conflicting_finalization_epoch
+        )
+        assert by_id["5.2.2"].conflicting_finalization_epoch is not None
+        assert (
+            by_id["5.2.2"].conflicting_finalization_epoch
+            >= by_id["5.2.1"].conflicting_finalization_epoch
+        )
+        assert by_id["5.2.3"].threshold_exceeded
+        assert by_id["5.3"].outcome == "beta > 1/3 probably"
+
+
+class TestPublicApiSurface:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_key_symbols_exported(self):
+        for name in (
+            "SpecConfig",
+            "BeaconState",
+            "Store",
+            "LeakSimulation",
+            "BouncingAttackModel",
+            "SimulationEngine",
+            "build_partitioned_simulation",
+            "conflicting_finalization_time",
+        ):
+            assert hasattr(repro, name), name

@@ -1,0 +1,193 @@
+"""Tests for repro.leak.dynamics and repro.leak.groups."""
+
+import pytest
+
+from repro import constants
+from repro.leak.dynamics import BranchSimulation, LeakSimulation
+from repro.leak.groups import (
+    BranchView,
+    GroupSpec,
+    always_active,
+    never_active,
+    pattern_from_name,
+    semi_active_even,
+    semi_active_odd,
+)
+from repro.spec.config import SpecConfig
+
+
+def view(epoch: int = 0) -> BranchView:
+    return BranchView(
+        branch_name="b", epoch=epoch, previous_active_ratio=0.0, in_leak=True, finalized=False
+    )
+
+
+class TestPatterns:
+    def test_stock_patterns(self):
+        assert always_active(0, view())
+        assert not never_active(0, view())
+        assert semi_active_even(0, view()) and not semi_active_even(1, view())
+        assert semi_active_odd(1, view()) and not semi_active_odd(0, view())
+
+    def test_pattern_from_name(self):
+        assert pattern_from_name("active") is always_active
+        assert pattern_from_name("inactive") is never_active
+        with pytest.raises(ValueError):
+            pattern_from_name("sometimes")
+
+    def test_group_spec_validation(self):
+        with pytest.raises(ValueError):
+            GroupSpec(name="x", weight=-1.0, pattern=always_active)
+        with pytest.raises(ValueError):
+            GroupSpec(name="x", weight=0.5, pattern=always_active, initial_stake=0.0)
+
+
+class TestBranchSimulation:
+    def test_requires_groups(self):
+        with pytest.raises(ValueError):
+            BranchSimulation(name="b", groups=())
+
+    def test_rejects_duplicate_group_names(self):
+        with pytest.raises(ValueError):
+            BranchSimulation(
+                name="b",
+                groups=(
+                    GroupSpec(name="g", weight=0.5, pattern=always_active),
+                    GroupSpec(name="g", weight=0.5, pattern=never_active),
+                ),
+            )
+
+    def test_weights_are_normalised(self):
+        branch = BranchSimulation(
+            name="b",
+            groups=(
+                GroupSpec(name="a", weight=2.0, pattern=always_active),
+                GroupSpec(name="i", weight=2.0, pattern=never_active),
+            ),
+        )
+        record = branch.step(0)
+        assert record.active_ratio == pytest.approx(0.5)
+
+    def test_all_active_branch_finalizes_immediately(self):
+        branch = BranchSimulation(
+            name="b", groups=(GroupSpec(name="a", weight=1.0, pattern=always_active),)
+        )
+        result = branch.run(3)
+        assert result.threshold_epoch == 0
+        assert result.finalization_epoch == 1
+
+    def test_majority_below_supermajority_does_not_finalize_quickly(self):
+        branch = BranchSimulation(
+            name="b",
+            groups=(
+                GroupSpec(name="a", weight=0.5, pattern=always_active),
+                GroupSpec(name="i", weight=0.5, pattern=never_active),
+            ),
+        )
+        result = branch.run(10)
+        assert result.finalization_epoch is None
+
+    def test_inactive_stake_decays_and_ejects(self):
+        branch = BranchSimulation(
+            name="b",
+            groups=(
+                GroupSpec(name="a", weight=0.5, pattern=always_active),
+                GroupSpec(name="i", weight=0.5, pattern=never_active),
+            ),
+        )
+        result = branch.run(5000)
+        inactive_series = result.stake_series("i")
+        assert inactive_series[-1] == 0.0  # ejected, no longer counted
+        assert result.ejections  # the ejection epoch was recorded
+        ejection_epoch = next(iter(result.ejections))
+        assert abs(ejection_epoch - constants.PAPER_INACTIVE_EJECTION_EPOCH) < 60
+
+    def test_ratio_reaches_supermajority_at_ejection_for_even_split(self):
+        branch = BranchSimulation(
+            name="b",
+            groups=(
+                GroupSpec(name="a", weight=0.5, pattern=always_active),
+                GroupSpec(name="i", weight=0.5, pattern=never_active),
+            ),
+        )
+        result = branch.run(5000)
+        assert result.threshold_epoch is not None
+        # The paper's analytical crossing for p0=0.5 is the ejection epoch.
+        assert abs(result.threshold_epoch - constants.PAPER_INACTIVE_EJECTION_EPOCH) < 60
+        assert result.finalization_epoch == result.threshold_epoch + 1
+
+    def test_no_leak_before_leak_from_epoch(self):
+        branch = BranchSimulation(
+            name="b",
+            groups=(
+                GroupSpec(name="a", weight=0.5, pattern=always_active),
+                GroupSpec(name="i", weight=0.5, pattern=never_active),
+            ),
+            leak_from_epoch=10,
+        )
+        branch.run(10)
+        assert branch.ledgers["i"].stake == pytest.approx(32.0)
+
+    def test_byzantine_proportion_series(self):
+        branch = BranchSimulation(
+            name="b",
+            groups=(
+                GroupSpec(name="h", weight=0.75, pattern=always_active),
+                GroupSpec(name="b", weight=0.25, pattern=semi_active_even, byzantine=True),
+            ),
+        )
+        result = branch.run(10)
+        series = result.byzantine_proportion_series()
+        assert series[0] == pytest.approx(0.25, abs=0.01)
+
+    def test_stake_series_lengths(self):
+        branch = BranchSimulation(
+            name="b", groups=(GroupSpec(name="a", weight=1.0, pattern=always_active),)
+        )
+        result = branch.run(7)
+        assert len(result.records) == 7
+        assert len(result.active_ratio_series()) == 7
+
+
+class TestLeakSimulation:
+    def _even_split_spec(self):
+        return {
+            "branch-1": (
+                GroupSpec(name="h1", weight=0.5, pattern=always_active),
+                GroupSpec(name="h2", weight=0.5, pattern=never_active),
+            ),
+            "branch-2": (
+                GroupSpec(name="h1", weight=0.5, pattern=never_active),
+                GroupSpec(name="h2", weight=0.5, pattern=always_active),
+            ),
+        }
+
+    def test_conflicting_finalization_requires_both_branches(self):
+        simulation = LeakSimulation(branch_specs=self._even_split_spec())
+        result = simulation.run(100)
+        assert result.conflicting_finalization_epoch() is None
+        assert not result.safety_violated()
+
+    def test_long_partition_finalizes_both_branches(self):
+        simulation = LeakSimulation(branch_specs=self._even_split_spec())
+        result = simulation.run(5200)
+        epoch = result.conflicting_finalization_epoch()
+        assert epoch is not None
+        assert result.safety_violated()
+        # Both branches are symmetric: they finalize at the same epoch,
+        # within 2% of the paper's 4686-epoch bound.
+        assert abs(epoch - 4686) / 4686 < 0.02
+
+    def test_stop_on_all_finalized(self):
+        simulation = LeakSimulation(branch_specs=self._even_split_spec())
+        result = simulation.run(6000, stop_on_all_finalized=True)
+        # The run stops shortly after both branches finalize.
+        lengths = [len(branch.records) for branch in result.branches.values()]
+        assert max(lengths) < 5000
+
+    def test_branch_accessor(self):
+        simulation = LeakSimulation(branch_specs=self._even_split_spec())
+        result = simulation.run(10)
+        assert result.branch("branch-1").name == "branch-1"
+        with pytest.raises(KeyError):
+            result.branch("nope")

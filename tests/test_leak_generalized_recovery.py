@@ -1,0 +1,161 @@
+"""Tests for the generalized penalty mechanism and the post-leak recovery model."""
+
+import math
+
+import pytest
+
+from repro import constants
+from repro.analysis.finalization_time import threshold_epoch_honest_only
+from repro.leak.generalized import PenaltyMechanism
+from repro.leak.recovery import (
+    epochs_to_clear_score,
+    leak_exit_score,
+    recovery_tail_epochs,
+    simulate_recovery,
+)
+from repro.leak.stake import Behavior, continuous_ejection_epoch, inactive_stake, semi_active_stake
+from repro.spec.config import SpecConfig
+
+
+class TestPenaltyMechanismEthereum:
+    def test_ethereum_preset_matches_paper_formulas(self):
+        mechanism = PenaltyMechanism.ethereum()
+        for t in (500.0, 2000.0, 4000.0):
+            assert mechanism.inactive_stake(t) == pytest.approx(inactive_stake(t))
+            assert mechanism.semi_active_stake(t) == pytest.approx(semi_active_stake(t))
+
+    def test_ejection_epochs_match_continuous_model(self):
+        mechanism = PenaltyMechanism.ethereum()
+        assert mechanism.ejection_epoch_inactive() == pytest.approx(
+            continuous_ejection_epoch(Behavior.INACTIVE)
+        )
+        assert mechanism.ejection_epoch_semi_active() == pytest.approx(
+            continuous_ejection_epoch(Behavior.SEMI_ACTIVE)
+        )
+
+    def test_honest_threshold_epoch_matches_equation6_below_cap(self):
+        mechanism = PenaltyMechanism.ethereum()
+        # Below the ejection cap the two formulas coincide (the library's
+        # Equation 6 uses the paper's 4685 cap; p0=0.6 crosses well before).
+        assert mechanism.honest_threshold_epoch(0.6) == pytest.approx(
+            threshold_epoch_honest_only(0.6), rel=1e-9
+        )
+
+    def test_safety_bound_shape(self):
+        mechanism = PenaltyMechanism.ethereum()
+        assert mechanism.safety_bound_epochs(0.5) == pytest.approx(
+            mechanism.ejection_epoch_inactive() + 1.0
+        )
+
+    def test_critical_beta0_close_to_paper(self):
+        mechanism = PenaltyMechanism.ethereum()
+        # Using the derived ejection epoch (4661) instead of the paper's 4685
+        # moves the critical proportion by well under 1%.
+        assert mechanism.critical_beta0(0.5) == pytest.approx(0.2421, abs=2e-3)
+
+    def test_max_byzantine_proportion_monotone(self):
+        mechanism = PenaltyMechanism.ethereum()
+        values = [mechanism.max_byzantine_proportion(0.5, b) for b in (0.1, 0.2, 0.3)]
+        assert values == sorted(values)
+
+
+class TestPenaltyMechanismVariants:
+    def test_faster_leak_shortens_every_timescale(self):
+        ethereum = PenaltyMechanism.ethereum()
+        aggressive = PenaltyMechanism.aggressive()
+        assert aggressive.ejection_epoch_inactive() < ethereum.ejection_epoch_inactive()
+        assert aggressive.safety_bound_epochs(0.5) < ethereum.safety_bound_epochs(0.5)
+        assert aggressive.honest_threshold_epoch(0.6) < ethereum.honest_threshold_epoch(0.6)
+
+    def test_quotient_scaling_is_sqrt(self):
+        # The ejection epoch scales as sqrt(quotient): four times the quotient
+        # doubles the time scale.
+        base = PenaltyMechanism.with_quotient(float(2 ** 24))
+        slower = PenaltyMechanism.with_quotient(float(2 ** 26))
+        assert slower.ejection_epoch_inactive() == pytest.approx(
+            2.0 * base.ejection_epoch_inactive()
+        )
+
+    def test_critical_beta0_insensitive_to_quotient(self):
+        # The critical proportion depends on the *ratio* of semi-active to
+        # inactive decay at the ejection time, which is quotient-independent.
+        fast = PenaltyMechanism.with_quotient(float(2 ** 20)).critical_beta0(0.5)
+        slow = PenaltyMechanism.with_quotient(float(2 ** 28)).critical_beta0(0.5)
+        assert fast == pytest.approx(slow, rel=1e-9)
+
+    def test_lenient_mechanism_semi_active_decays_slower(self):
+        lenient = PenaltyMechanism.lenient()
+        ethereum = PenaltyMechanism.ethereum()
+        assert lenient.semi_active_stake(4000.0) > ethereum.semi_active_stake(4000.0)
+
+    def test_supermajority_parameter(self):
+        half = PenaltyMechanism(supermajority=0.5)
+        ethereum = PenaltyMechanism.ethereum()
+        # A lower quorum is regained earlier.
+        assert half.honest_threshold_epoch(0.4) < ethereum.honest_threshold_epoch(0.4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PenaltyMechanism(score_bias=0.0)
+        with pytest.raises(ValueError):
+            PenaltyMechanism(ejection_fraction=1.5)
+        with pytest.raises(ValueError):
+            PenaltyMechanism(supermajority=0.3)
+        with pytest.raises(ValueError):
+            PenaltyMechanism.ethereum().honest_threshold_epoch(1.5)
+
+
+class TestRecovery:
+    def test_leak_exit_score(self):
+        assert leak_exit_score(100) == 400.0
+        with pytest.raises(ValueError):
+            leak_exit_score(-1)
+
+    def test_epochs_to_clear_score(self):
+        # Outside the leak an active validator clears 17 points per epoch.
+        assert epochs_to_clear_score(170.0) == 10
+        assert epochs_to_clear_score(0.0) == 0
+
+    def test_epochs_to_clear_score_inactive_still_clears_outside_leak(self):
+        # Outside the leak even an inactive validator's score decays (by
+        # 16 - 4 = 12 per epoch), just slower than an active one's.
+        assert epochs_to_clear_score(120.0, active=False) == 10
+        assert epochs_to_clear_score(120.0, active=True) < 10
+
+    def test_epochs_to_clear_score_raises_when_score_cannot_decay(self):
+        config = SpecConfig.mainnet().with_overrides(inactivity_score_recovery_no_leak=2)
+        with pytest.raises(ValueError):
+            epochs_to_clear_score(100.0, config=config, active=False)
+
+    def test_recovery_tail_epochs(self):
+        # A validator inactive for a 1000-epoch leak exits with score 4000 and
+        # clears it in ceil(4000/17) = 236 epochs.
+        assert recovery_tail_epochs(1000) == math.ceil(4000 / 17)
+
+    def test_simulate_recovery_score_reaches_zero_without_further_loss(self):
+        trajectory = simulate_recovery(initial_score=800.0, initial_stake=20.0)
+        assert trajectory.scores[-1] == 0.0
+        # Outside the leak there are no inactivity penalties: no extra loss.
+        assert trajectory.residual_loss == pytest.approx(0.0)
+        assert trajectory.epochs_to_zero_score == math.ceil(800 / 17)
+
+    def test_simulate_recovery_with_leak_still_running_keeps_charging(self):
+        trajectory = simulate_recovery(
+            initial_score=800.0, initial_stake=20.0, leak_still_running=True
+        )
+        assert trajectory.residual_loss > 0.0
+        assert trajectory.final_stake < 20.0
+        # The score only decays by 1 per epoch while the leak is running.
+        assert trajectory.epochs_to_zero_score == 800
+
+    def test_simulate_recovery_validation(self):
+        with pytest.raises(ValueError):
+            simulate_recovery(initial_score=-1.0, initial_stake=10.0)
+
+    def test_recovery_explains_figure3_tail(self):
+        # Figure 3 (p0 = 0.6): the ratio keeps rising for a while after the
+        # 2/3 crossing because the ex-inactive validators still carry a score.
+        crossing = threshold_epoch_honest_only(0.6)
+        tail = recovery_tail_epochs(int(crossing))
+        assert tail > 100  # several hundred epochs of residual penalties
+        assert tail < crossing  # but far shorter than the leak itself

@@ -1,0 +1,139 @@
+"""Tests for repro.leak.stake (Section 4.3 continuous stake functions)."""
+
+import math
+
+import pytest
+
+from repro import constants
+from repro.leak.stake import (
+    Behavior,
+    active_stake,
+    continuous_ejection_epoch,
+    inactive_stake,
+    inactivity_score,
+    integrate_stake,
+    sample_trajectory,
+    semi_active_stake,
+    stake,
+    stake_decay_exponent,
+)
+
+
+class TestInactivityScoreProfiles:
+    def test_active_score_zero(self):
+        assert inactivity_score(Behavior.ACTIVE, 100.0) == 0.0
+
+    def test_semi_active_score_three_halves_t(self):
+        assert inactivity_score(Behavior.SEMI_ACTIVE, 100.0) == pytest.approx(150.0)
+
+    def test_inactive_score_four_t(self):
+        assert inactivity_score(Behavior.INACTIVE, 100.0) == pytest.approx(400.0)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            inactivity_score(Behavior.ACTIVE, -1.0)
+
+
+class TestStakeClosedForms:
+    def test_initial_values(self):
+        assert active_stake(0.0) == 32.0
+        assert semi_active_stake(0.0) == 32.0
+        assert inactive_stake(0.0) == 32.0
+
+    def test_active_constant(self):
+        assert active_stake(5000.0) == 32.0
+
+    def test_paper_formulas(self):
+        t = 1000.0
+        assert inactive_stake(t) == pytest.approx(32.0 * math.exp(-t * t / 2 ** 25))
+        assert semi_active_stake(t) == pytest.approx(32.0 * math.exp(-3 * t * t / 2 ** 28))
+
+    def test_ordering_inactive_loses_fastest(self):
+        t = 2000.0
+        assert inactive_stake(t) < semi_active_stake(t) < active_stake(t)
+
+    def test_dispatch_helper(self):
+        assert stake(Behavior.INACTIVE, 100.0) == inactive_stake(100.0)
+        assert stake(Behavior.SEMI_ACTIVE, 100.0) == semi_active_stake(100.0)
+        assert stake(Behavior.ACTIVE, 100.0) == active_stake(100.0)
+
+    def test_decay_exponents(self):
+        assert stake_decay_exponent(Behavior.ACTIVE) == 0.0
+        assert stake_decay_exponent(Behavior.INACTIVE) == pytest.approx(1 / 2 ** 25)
+        assert stake_decay_exponent(Behavior.SEMI_ACTIVE) == pytest.approx(3 / 2 ** 28)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            inactive_stake(-1.0)
+
+
+class TestEjectionEpochs:
+    def test_active_never_ejected(self):
+        assert continuous_ejection_epoch(Behavior.ACTIVE) is None
+
+    def test_inactive_ejection_near_paper_value(self):
+        epoch = continuous_ejection_epoch(Behavior.INACTIVE)
+        # Derived value ~4661; the paper's reference constant is 4685 (<1% off).
+        assert epoch == pytest.approx(
+            math.sqrt(2 ** 25 * math.log(32.0 / 16.75)), rel=1e-9
+        )
+        assert abs(epoch - constants.PAPER_INACTIVE_EJECTION_EPOCH) / 4685 < 0.01
+
+    def test_semi_active_ejection_near_paper_value(self):
+        epoch = continuous_ejection_epoch(Behavior.SEMI_ACTIVE)
+        assert abs(epoch - constants.PAPER_SEMI_ACTIVE_EJECTION_EPOCH) / 7652 < 0.01
+
+    def test_stake_at_ejection_equals_threshold(self):
+        epoch = continuous_ejection_epoch(Behavior.INACTIVE)
+        assert inactive_stake(epoch) == pytest.approx(16.75, rel=1e-6)
+
+
+class TestTrajectorySampling:
+    def test_trajectory_shape(self):
+        trajectory = sample_trajectory(Behavior.INACTIVE, max_epoch=100, step=10)
+        assert list(trajectory.epochs) == list(range(0, 101, 10))
+        assert len(trajectory.stakes) == len(trajectory.epochs)
+
+    def test_trajectory_monotonically_decreasing(self):
+        trajectory = sample_trajectory(Behavior.INACTIVE, max_epoch=6000, step=50)
+        stakes = list(trajectory.stakes)
+        assert all(b <= a + 1e-12 for a, b in zip(stakes, stakes[1:]))
+
+    def test_freeze_after_ejection(self):
+        trajectory = sample_trajectory(Behavior.INACTIVE, max_epoch=8000, step=100)
+        assert trajectory.final_stake() == pytest.approx(16.75, rel=1e-3)
+
+    def test_no_freeze_keeps_decaying(self):
+        trajectory = sample_trajectory(
+            Behavior.INACTIVE, max_epoch=8000, step=100, freeze_after_ejection=False
+        )
+        assert trajectory.final_stake() < 16.75
+
+    def test_as_arrays(self):
+        trajectory = sample_trajectory(Behavior.ACTIVE, max_epoch=10)
+        epochs, stakes = trajectory.as_arrays()
+        assert epochs.shape == stakes.shape
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            sample_trajectory(Behavior.ACTIVE, max_epoch=-1)
+        with pytest.raises(ValueError):
+            sample_trajectory(Behavior.ACTIVE, max_epoch=10, step=0)
+
+
+class TestGenericIntegrator:
+    def test_matches_closed_form_for_inactive(self):
+        stakes = integrate_stake(lambda t: 4.0 * t, max_epoch=2000)
+        assert stakes[2000] == pytest.approx(inactive_stake(2000.0), rel=1e-6)
+
+    def test_matches_closed_form_for_semi_active(self):
+        stakes = integrate_stake(lambda t: 1.5 * t, max_epoch=2000)
+        assert stakes[2000] == pytest.approx(semi_active_stake(2000.0), rel=1e-6)
+
+    def test_zero_score_keeps_stake_constant(self):
+        stakes = integrate_stake(lambda t: 0.0, max_epoch=100)
+        assert stakes[-1] == pytest.approx(32.0)
+
+    def test_rejects_negative_horizon(self):
+        with pytest.raises(ValueError):
+            integrate_stake(lambda t: 0.0, max_epoch=-5)

@@ -1,0 +1,146 @@
+"""Property-based tests (hypothesis) for the leak and analysis layers."""
+
+import math
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.distributions import BouncingStakeDistribution
+from repro.analysis.finalization_time import (
+    threshold_epoch_honest_only,
+    threshold_epoch_non_slashing,
+    threshold_epoch_slashing,
+)
+from repro.analysis.randomwalk import exact_score_distribution
+from repro.leak.ratios import (
+    active_ratio_honest_only,
+    active_ratio_with_semi_active_byzantine,
+    active_ratio_with_slashing_byzantine,
+    byzantine_proportion,
+    max_byzantine_proportion,
+)
+from repro.leak.stake import Behavior, inactive_stake, semi_active_stake
+
+probabilities = st.floats(min_value=0.01, max_value=0.99)
+beta0s = st.floats(min_value=0.0, max_value=0.33)
+times = st.floats(min_value=0.0, max_value=8000.0)
+
+
+class TestStakeFunctionProperties:
+    @given(t=times)
+    @settings(max_examples=60, deadline=None)
+    def test_stakes_bounded_and_ordered(self, t):
+        inactive = inactive_stake(t)
+        semi = semi_active_stake(t)
+        assert 0.0 < inactive <= 32.0
+        assert 0.0 < semi <= 32.0
+        assert inactive <= semi + 1e-12
+
+    @given(t1=times, t2=times)
+    @settings(max_examples=60, deadline=None)
+    def test_stakes_monotone_decreasing(self, t1, t2):
+        low, high = sorted((t1, t2))
+        assert inactive_stake(high) <= inactive_stake(low) + 1e-12
+        assert semi_active_stake(high) <= semi_active_stake(low) + 1e-12
+
+
+class TestRatioProperties:
+    @given(t=times, p0=probabilities)
+    @settings(max_examples=80, deadline=None)
+    def test_equation5_bounded(self, t, p0):
+        ratio = active_ratio_honest_only(t, p0)
+        assert 0.0 <= ratio <= 1.0
+        assert ratio >= p0 - 1e-12  # inactivity penalties only help the active side
+
+    @given(t=times, p0=probabilities, beta0=beta0s)
+    @settings(max_examples=80, deadline=None)
+    def test_equation8_dominates_equation10_dominates_equation5(self, t, p0, beta0):
+        honest = active_ratio_honest_only(t, p0)
+        semi = active_ratio_with_semi_active_byzantine(t, p0, beta0)
+        slashing = active_ratio_with_slashing_byzantine(t, p0, beta0)
+        assert slashing >= semi - 1e-9
+        assert semi >= honest - 1e-9
+
+    @given(t=times, p0=probabilities, beta0=beta0s)
+    @settings(max_examples=80, deadline=None)
+    def test_byzantine_proportion_bounded(self, t, p0, beta0):
+        beta = byzantine_proportion(t, p0, beta0)
+        assert 0.0 <= beta <= 1.0
+
+    @given(p0=probabilities, beta0=st.floats(min_value=0.01, max_value=0.33))
+    @settings(max_examples=60, deadline=None)
+    def test_beta_max_bounded_and_decreasing_in_p0(self, p0, beta0):
+        peak = max_byzantine_proportion(p0, beta0)
+        assert 0.0 <= peak <= 1.0
+        # Fewer honest-active validators on the branch can only help the attacker.
+        smaller_p0 = p0 / 2
+        assert max_byzantine_proportion(smaller_p0, beta0) >= peak - 1e-12
+
+    @given(beta0=st.floats(min_value=0.01, max_value=0.33))
+    @settings(max_examples=40, deadline=None)
+    def test_beta_max_exceeds_initial_for_even_split(self, beta0):
+        # For the paper's even split, waiting for the honest ejection always
+        # increases the Byzantine proportion.
+        assert max_byzantine_proportion(0.5, beta0) >= beta0 - 1e-9
+
+
+class TestCrossingTimeProperties:
+    @given(p0=st.floats(min_value=0.05, max_value=0.63), beta0=beta0s)
+    @settings(max_examples=60, deadline=None)
+    def test_byzantine_never_slow_down_crossing(self, p0, beta0):
+        honest = threshold_epoch_honest_only(p0)
+        slashing = threshold_epoch_slashing(p0, beta0)
+        non_slashing = threshold_epoch_non_slashing(p0, beta0)
+        assert slashing <= honest + 1e-6
+        assert non_slashing <= honest + 1e-6
+        assert slashing <= non_slashing + 1e-6
+
+    @given(p0=st.floats(min_value=0.05, max_value=0.63), beta0=beta0s)
+    @settings(max_examples=40, deadline=None)
+    def test_crossing_times_bounded_by_ejection_cap(self, p0, beta0):
+        for value in (
+            threshold_epoch_honest_only(p0),
+            threshold_epoch_slashing(p0, beta0),
+            threshold_epoch_non_slashing(p0, beta0),
+        ):
+            assert 0.0 <= value <= 4685.0
+
+
+class TestDistributionProperties:
+    @given(
+        p0=st.floats(min_value=0.2, max_value=0.8),
+        t=st.floats(min_value=100.0, max_value=7000.0),
+        s=st.floats(min_value=0.1, max_value=32.0),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_capped_cdf_bounded_and_dominates_raw_cdf(self, p0, t, s):
+        distribution = BouncingStakeDistribution(p0=p0)
+        capped = distribution.capped_cdf(s, t)
+        assert 0.0 <= capped <= 1.0
+        assert capped >= distribution.cdf(s, t) - 1e-9 or s < distribution.ejection_balance
+
+    @given(
+        p0=st.floats(min_value=0.2, max_value=0.8),
+        t=st.floats(min_value=1500.0, max_value=7000.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_capped_law_mass_is_one(self, p0, t):
+        # For very small t the continuous body is a spike just below 32 ETH
+        # that a fixed grid cannot resolve, so the check starts once the
+        # distribution has spread out.
+        distribution = BouncingStakeDistribution(p0=p0)
+        assert abs(distribution.total_mass(t, grid_points=801) - 1.0) < 2e-2
+
+
+class TestRandomWalkProperties:
+    @given(
+        epochs=st.integers(min_value=0, max_value=12),
+        p0=probabilities,
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_exact_distribution_is_a_probability_law(self, epochs, p0):
+        distribution = exact_score_distribution(epochs, p0)
+        total = sum(distribution.probabilities.values())
+        assert abs(total - 1.0) < 1e-9
+        assert all(p >= 0 for p in distribution.probabilities.values())
+        assert min(distribution.support() or [0]) >= 0

@@ -1,0 +1,163 @@
+"""Property-based tests (hypothesis) for the protocol substrate."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spec.block import BeaconBlock
+from repro.spec.blocktree import BlockTree
+from repro.spec.checkpoint import Checkpoint, FFGVote, GENESIS_CHECKPOINT
+from repro.spec.config import SpecConfig
+from repro.spec.finality import FFGVotePool, process_justification
+from repro.spec.inactivity import process_inactivity_epoch
+from repro.spec.state import BeaconState
+from repro.spec.types import GENESIS_ROOT, Root
+from repro.spec.validator import make_registry
+
+
+# ----------------------------------------------------------------------
+# Block tree properties
+# ----------------------------------------------------------------------
+@st.composite
+def random_trees(draw):
+    """Build a random block tree by repeatedly extending random blocks."""
+    tree = BlockTree()
+    roots = [GENESIS_ROOT]
+    n_blocks = draw(st.integers(min_value=1, max_value=30))
+    for i in range(n_blocks):
+        parent_index = draw(st.integers(min_value=0, max_value=len(roots) - 1))
+        parent = roots[parent_index]
+        parent_slot = tree.get(parent).slot
+        slot = parent_slot + draw(st.integers(min_value=1, max_value=3))
+        block = BeaconBlock.create(
+            slot=slot, proposer_index=i % 7, parent_root=parent, branch_tag=str(i)
+        )
+        tree.add_block(block)
+        roots.append(block.root)
+    return tree, roots
+
+
+@given(random_trees())
+@settings(max_examples=50, deadline=None)
+def test_every_block_chains_back_to_genesis(tree_and_roots):
+    tree, roots = tree_and_roots
+    for root in roots:
+        chain = tree.chain_to_genesis(root)
+        assert chain[0].is_genesis()
+        assert chain[-1].root == root
+        # Slots strictly increase along the chain.
+        slots = [block.slot for block in chain]
+        assert all(b > a for a, b in zip(slots[1:], slots[2:])) or len(slots) <= 2
+        # Parent links are consistent.
+        for parent, child in zip(chain, chain[1:]):
+            assert child.parent_root == parent.root
+
+
+@given(random_trees())
+@settings(max_examples=50, deadline=None)
+def test_ancestor_relation_is_consistent_with_chains(tree_and_roots):
+    tree, roots = tree_and_roots
+    for root in roots[-5:]:
+        chain_roots = {block.root for block in tree.chain_to_genesis(root)}
+        for candidate in roots:
+            assert tree.is_ancestor(candidate, root) == (candidate in chain_roots)
+
+
+@given(random_trees())
+@settings(max_examples=50, deadline=None)
+def test_common_ancestor_is_an_ancestor_of_both(tree_and_roots):
+    tree, roots = tree_and_roots
+    a, b = roots[0], roots[-1]
+    ancestor = tree.common_ancestor(a, b)
+    assert tree.is_ancestor(ancestor, a)
+    assert tree.is_ancestor(ancestor, b)
+
+
+@given(random_trees())
+@settings(max_examples=50, deadline=None)
+def test_leaves_partition_descendant_relation(tree_and_roots):
+    tree, roots = tree_and_roots
+    leaves = tree.leaves()
+    assert leaves
+    # Every block is an ancestor of at least one leaf.
+    for root in roots:
+        assert any(tree.is_ancestor(root, leaf) for leaf in leaves)
+
+
+# ----------------------------------------------------------------------
+# Inactivity-leak properties
+# ----------------------------------------------------------------------
+@given(
+    activity=st.lists(
+        st.lists(st.booleans(), min_size=6, max_size=6), min_size=1, max_size=40
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_inactivity_scores_never_negative_and_stakes_never_grow_in_leak(activity):
+    state = BeaconState.genesis(make_registry(6), SpecConfig.mainnet())
+    previous_stakes = [v.stake for v in state.validators]
+    for epoch, flags in enumerate(activity):
+        state.current_epoch = epoch + 100  # force the leak
+        active = {i for i, flag in enumerate(flags) if flag}
+        process_inactivity_epoch(state, active, in_leak=True)
+        for validator, previous in zip(state.validators, previous_stakes):
+            assert validator.inactivity_score >= 0
+            assert validator.stake <= previous + 1e-12
+            assert validator.stake >= 0
+        previous_stakes = [v.stake for v in state.validators]
+
+
+@given(
+    activity=st.lists(
+        st.lists(st.booleans(), min_size=5, max_size=5), min_size=1, max_size=30
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_always_active_validator_never_penalized(activity):
+    state = BeaconState.genesis(make_registry(5), SpecConfig.mainnet())
+    for epoch, flags in enumerate(activity):
+        state.current_epoch = epoch + 100
+        active = {0} | {i for i, flag in enumerate(flags) if flag}
+        process_inactivity_epoch(state, active, in_leak=True)
+    assert state.validators[0].stake == 32.0
+    assert state.validators[0].inactivity_score == 0
+
+
+# ----------------------------------------------------------------------
+# FFG properties
+# ----------------------------------------------------------------------
+@given(
+    voters=st.sets(st.integers(min_value=0, max_value=9), max_size=10),
+)
+@settings(max_examples=60, deadline=None)
+def test_justification_requires_strict_supermajority(voters):
+    state = BeaconState.genesis(make_registry(10), SpecConfig.mainnet())
+    pool = FFGVotePool()
+    target = Checkpoint(epoch=1, root=Root.from_label("target"))
+    for voter in voters:
+        pool.add_vote(voter, FFGVote(source=GENESIS_CHECKPOINT, target=target))
+    result = process_justification(state, pool, 1)
+    expected = len(voters) / 10 > 2 / 3
+    assert result.justified_any == expected
+    assert state.is_justified(1) == expected
+
+
+@given(
+    split=st.integers(min_value=0, max_value=12),
+)
+@settings(max_examples=30, deadline=None)
+def test_conflicting_targets_cannot_both_be_justified(split):
+    state = BeaconState.genesis(make_registry(12), SpecConfig.mainnet())
+    pool = FFGVotePool()
+    target_a = Checkpoint(epoch=1, root=Root.from_label("a"))
+    target_b = Checkpoint(epoch=1, root=Root.from_label("b"))
+    for voter in range(split):
+        pool.add_vote(voter, FFGVote(source=GENESIS_CHECKPOINT, target=target_a))
+    for voter in range(split, 12):
+        pool.add_vote(voter, FFGVote(source=GENESIS_CHECKPOINT, target=target_b))
+    process_justification(state, pool, 1)
+    justified_targets = [
+        checkpoint
+        for epoch, checkpoint in state.justified_checkpoints.items()
+        if epoch == 1
+    ]
+    assert len(justified_targets) <= 1

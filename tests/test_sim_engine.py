@@ -1,0 +1,155 @@
+"""Tests for the slot-level simulation engine and scenario builders."""
+
+import pytest
+
+from repro.agents.honest import HonestAgent
+from repro.sim.engine import SimulationEngine
+from repro.sim.scenarios import (
+    build_honest_simulation,
+    build_offline_fraction_simulation,
+    build_partitioned_simulation,
+)
+from repro.spec.config import SpecConfig
+from repro.spec.validator import make_registry
+
+
+class TestEngineConstruction:
+    def test_requires_agent_per_validator(self):
+        registry = make_registry(4, SpecConfig.minimal())
+        agents = {0: HonestAgent(0)}
+        with pytest.raises(ValueError):
+            SimulationEngine(registry=registry, agents=agents, config=SpecConfig.minimal())
+
+    def test_rejects_nonpositive_epochs(self):
+        engine = build_honest_simulation(n_validators=6)
+        with pytest.raises(ValueError):
+            engine.run(0)
+
+    def test_honest_and_byzantine_indices(self):
+        engine = build_partitioned_simulation(
+            n_validators=10, byzantine_fraction=0.2, byzantine_strategy="double-voting"
+        )
+        assert len(engine.byzantine_indices()) == 2
+        assert len(engine.honest_indices()) == 8
+
+
+class TestHealthyNetwork:
+    def test_liveness_finalized_chain_grows(self):
+        engine = build_honest_simulation(n_validators=10)
+        result = engine.run(6)
+        assert result.liveness_held(min_progress=2)
+        assert not result.safety_violated()
+
+    def test_all_honest_nodes_agree_on_finalized_chain(self):
+        engine = build_honest_simulation(n_validators=8)
+        result = engine.run(5)
+        finalized = {state.finalized_checkpoint for state in result.honest_states()}
+        assert len(finalized) == 1
+
+    def test_no_leak_in_healthy_network(self):
+        engine = build_honest_simulation(n_validators=8)
+        result = engine.run(7)
+        assert result.leak_epochs() == []
+
+    def test_stakes_do_not_collapse(self):
+        engine = build_honest_simulation(n_validators=8)
+        result = engine.run(5)
+        representative = result.honest_states()[0]
+        assert all(v.stake > 31.0 for v in representative.validators)
+
+    def test_snapshots_recorded_each_epoch(self):
+        engine = build_honest_simulation(n_validators=8)
+        result = engine.run(4)
+        assert [s.epoch for s in result.snapshots] == [0, 1, 2, 3]
+
+
+class TestOfflineValidators:
+    def test_large_offline_fraction_stalls_finality_and_starts_leak(self):
+        engine = build_offline_fraction_simulation(n_validators=10, offline_fraction=0.4)
+        result = engine.run(8)
+        # Finality cannot progress with only 60% of the stake attesting...
+        assert result.max_finalized_epoch() == 0
+        # ...so the inactivity leak eventually starts.
+        assert result.leak_epochs()
+
+    def test_small_offline_fraction_keeps_liveness(self):
+        engine = build_offline_fraction_simulation(n_validators=10, offline_fraction=0.2)
+        result = engine.run(6)
+        assert result.liveness_held(min_progress=1)
+
+    def test_offline_validators_leak_stake(self):
+        engine = build_offline_fraction_simulation(n_validators=10, offline_fraction=0.4)
+        result = engine.run(10)
+        state = result.honest_states()[0]
+        offline_stakes = [v.stake for v in state.validators[6:]]
+        online_stakes = [v.stake for v in state.validators[:6]]
+        assert max(offline_stakes) < min(online_stakes)
+
+
+class TestPartitionedNetwork:
+    def test_partition_halts_finalization(self):
+        engine = build_partitioned_simulation(n_validators=12, p0=0.5)
+        result = engine.run(6)
+        assert result.max_finalized_epoch() == 0
+        assert result.leak_epochs()
+
+    def test_each_side_builds_its_own_branch(self):
+        engine = build_partitioned_simulation(n_validators=12, p0=0.5)
+        engine.run(4)
+        node_side_1 = engine.nodes[engine.honest_indices()[0]]
+        node_side_2 = engine.nodes[engine.honest_indices()[-1]]
+        assert node_side_1.head() != node_side_2.head()
+
+    def test_gst_heals_partition_and_finality_resumes(self):
+        engine = build_partitioned_simulation(n_validators=12, p0=0.5, gst_epoch=2)
+        result = engine.run(8)
+        assert result.max_finalized_epoch() > 0
+        assert not result.safety_violated()
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            build_partitioned_simulation(byzantine_strategy="teleporting")
+
+    def test_strategy_without_byzantine_rejected(self):
+        with pytest.raises(ValueError):
+            build_partitioned_simulation(byzantine_fraction=0.0, byzantine_strategy="bouncing")
+
+
+class TestDoubleVotingAttack:
+    def test_double_voters_get_slashed_after_gst(self):
+        engine = build_partitioned_simulation(
+            n_validators=12,
+            p0=0.5,
+            byzantine_fraction=0.25,
+            byzantine_strategy="double-voting",
+            gst_epoch=3,
+        )
+        result = engine.run(8)
+        # After the partition heals, honest nodes see the conflicting
+        # attestations and slash the equivocating validators.
+        assert result.slashed_indices
+        assert result.slashed_indices <= set(result.byzantine_indices)
+
+    def test_double_voters_not_slashed_before_gst(self):
+        engine = build_partitioned_simulation(
+            n_validators=12,
+            p0=0.5,
+            byzantine_fraction=0.25,
+            byzantine_strategy="double-voting",
+            gst_epoch=10 ** 6,
+        )
+        result = engine.run(4)
+        assert not result.slashed_indices
+
+
+class TestBouncingAttack:
+    def test_withheld_votes_flow_through_adversary(self):
+        engine = build_partitioned_simulation(
+            n_validators=12,
+            p0=0.5,
+            byzantine_fraction=0.25,
+            byzantine_strategy="bouncing",
+            gst_epoch=1,
+        )
+        result = engine.run(5)
+        assert result.transport_stats.withheld > 0

@@ -1,0 +1,145 @@
+"""Tests for repro.sim.node."""
+
+import pytest
+
+from repro.network.message import Message
+from repro.sim.node import Node
+from repro.spec.block import BeaconBlock
+from repro.spec.config import SpecConfig
+from repro.spec.types import GENESIS_ROOT
+from repro.spec.validator import make_registry
+
+
+@pytest.fixture
+def config():
+    return SpecConfig.minimal()
+
+
+@pytest.fixture
+def node(config):
+    return Node(validator_index=0, registry=make_registry(8, config), config=config)
+
+
+def block_at(slot: int, parent=GENESIS_ROOT, proposer: int = 1, tag: str = "") -> BeaconBlock:
+    return BeaconBlock.create(slot=slot, proposer_index=proposer, parent_root=parent, branch_tag=tag)
+
+
+class TestMessageIngestion:
+    def test_receive_block(self, node):
+        block = block_at(1)
+        node.receive(Message.block(block, sender=1, sent_at=0.0))
+        assert block.root in node.store.tree
+        assert node.blocks_received == 1
+
+    def test_out_of_order_blocks_are_queued_then_applied(self, node):
+        first = block_at(1)
+        second = block_at(2, parent=first.root)
+        node.receive(Message.block(second, sender=1, sent_at=0.0))
+        assert second.root not in node.store.tree
+        node.receive(Message.block(first, sender=1, sent_at=0.0))
+        assert first.root in node.store.tree
+        assert second.root in node.store.tree
+
+    def test_receive_attestation_updates_store_and_pool(self, node):
+        block = block_at(1)
+        node.receive(Message.block(block, sender=1, sent_at=0.0))
+        attestation = node.attestation_for(slot=1, head=block.root)
+        node.receive(Message.attestation(attestation, sender=0, sent_at=1.0))
+        assert node.store.latest_messages[0].root == block.root
+        assert node.attestations_by_epoch[attestation.target_epoch]
+
+    def test_attestation_for_unknown_block_queued(self, node):
+        block = block_at(1)
+        other = Node(validator_index=1, registry=make_registry(8, SpecConfig.minimal()), config=node.config)
+        other.receive(Message.block(block, sender=1, sent_at=0.0))
+        attestation = other.attestation_for(slot=1, head=block.root)
+        node.receive(Message.attestation(attestation, sender=1, sent_at=1.0))
+        assert node.pending.attestations
+        node.receive(Message.block(block, sender=1, sent_at=2.0))
+        assert not node.pending.attestations
+        assert node.store.latest_messages[1].root == block.root
+
+    def test_block_attestations_count_as_seen(self, node):
+        parent = block_at(1)
+        node.receive(Message.block(parent, sender=1, sent_at=0.0))
+        attestation = node.attestation_for(slot=1, head=parent.root)
+        child = BeaconBlock.create(
+            slot=2, proposer_index=2, parent_root=parent.root, attestations=(attestation,)
+        )
+        node.receive(Message.block(child, sender=2, sent_at=1.0))
+        assert node.attestations_by_epoch[attestation.target_epoch]
+
+    def test_slashing_evidence_in_block_recorded(self, node):
+        block = BeaconBlock.create(
+            slot=1, proposer_index=1, parent_root=GENESIS_ROOT, slashing_evidence=(5,)
+        )
+        node.receive(Message.block(block, sender=1, sent_at=0.0))
+        epoch = node.config.epoch_of_slot(1)
+        assert 5 in node.slashings_observed[epoch]
+
+
+class TestChainViews:
+    def test_head_follows_blocks(self, node):
+        first = block_at(1)
+        second = block_at(2, parent=first.root)
+        node.receive(Message.block(first, sender=1, sent_at=0.0))
+        node.receive(Message.block(second, sender=1, sent_at=1.0))
+        assert node.head() == second.root
+
+    def test_branch_heads_on_fork(self, node):
+        a = block_at(1, tag="a")
+        b = block_at(1, tag="b", proposer=2)
+        node.receive(Message.block(a, sender=1, sent_at=0.0))
+        node.receive(Message.block(b, sender=2, sent_at=0.0))
+        assert set(node.branch_heads()) == {a.root, b.root}
+
+    def test_attestation_for_uses_own_head_and_checkpoints(self, node):
+        block = block_at(1)
+        node.receive(Message.block(block, sender=1, sent_at=0.0))
+        attestation = node.attestation_for(slot=1)
+        assert attestation.validator_index == 0
+        assert attestation.head_root == block.root
+        assert attestation.source == node.state.current_justified_checkpoint
+
+    def test_build_block_includes_known_attestations_and_evidence(self, node):
+        block = block_at(1)
+        node.receive(Message.block(block, sender=1, sent_at=0.0))
+        attestation = node.attestation_for(slot=1, head=block.root)
+        node.receive(Message.attestation(attestation, sender=3, sent_at=1.0))
+        built = node.build_block(slot=2)
+        assert attestation in built.attestations
+        assert built.parent_root == block.root
+        # The included attestations are not re-included in the next block.
+        assert node.attestations_for_inclusion == []
+
+
+class TestEpochProcessing:
+    def test_active_indices_require_correct_target(self, node, config):
+        block = block_at(1)
+        node.receive(Message.block(block, sender=1, sent_at=0.0))
+        good = node.attestation_for(slot=1, head=block.root)
+        node.receive(Message.attestation(good, sender=0, sent_at=1.0))
+        active = node.active_indices_for_epoch(0)
+        assert 0 in active
+
+    def test_process_epoch_end_progresses_state(self, node, config):
+        # Build a block and have everyone attest correctly for epoch 0.
+        block = block_at(1)
+        node.receive(Message.block(block, sender=1, sent_at=0.0))
+        for validator in range(8):
+            attestation = node.attestation_for(slot=1, head=block.root)
+            attestation = type(attestation)(
+                validator_index=validator,
+                slot=attestation.slot,
+                head_root=attestation.head_root,
+                ffg=attestation.ffg,
+            )
+            node.receive(Message.attestation(attestation, sender=validator, sent_at=1.0))
+        report = node.process_epoch_end(0)
+        assert report.epoch == 0
+        assert node.history.reports
+        assert node.state.current_epoch == 0
+
+    def test_finalized_accessors(self, node):
+        assert node.finalized_epochs() == {0}
+        assert 0 in node.finalized_checkpoints()

@@ -1,0 +1,95 @@
+"""Tests for the simulation observers."""
+
+import pytest
+
+from repro.sim.observers import (
+    FinalityObserver,
+    LeakObserver,
+    ObserverSet,
+    SafetyObserver,
+    StakeObserver,
+)
+from repro.sim.scenarios import build_honest_simulation, build_partitioned_simulation
+from repro.spec.config import SpecConfig
+
+
+def run_with_observers(engine, epochs, *observers):
+    engine.observers.extend(observers)
+    return engine.run(epochs)
+
+
+class TestFinalityObserver:
+    def test_tracks_progress_on_healthy_network(self):
+        observer = FinalityObserver()
+        engine = build_honest_simulation(n_validators=10)
+        run_with_observers(engine, 6, observer)
+        assert len(observer.history) == 6
+        assert observer.history[-1]["max_finalized"] >= 4
+        # The lag settles at the FFG pipeline depth (2 epochs).
+        assert observer.finalization_lag()[-1] <= 2
+
+    def test_stalls_under_partition(self):
+        observer = FinalityObserver()
+        engine = build_partitioned_simulation(n_validators=10, p0=0.5)
+        run_with_observers(engine, 6, observer)
+        assert observer.history[-1]["max_finalized"] == 0
+        assert observer.rows()
+
+
+class TestStakeObserver:
+    def test_labels_and_proportions(self):
+        observer = StakeObserver()
+        engine = build_partitioned_simulation(
+            n_validators=12, p0=0.5, byzantine_fraction=0.25, byzantine_strategy="alternating"
+        )
+        run_with_observers(engine, 6, observer)
+        row = observer.history[-1]
+        assert "stake_honest" in row and "stake_byzantine" in row
+        assert len(observer.byzantine_proportion_series()) == 6
+
+    def test_observer_index_fallback(self):
+        observer = StakeObserver(observer_index=999)
+        engine = build_honest_simulation(n_validators=8)
+        run_with_observers(engine, 3, observer)
+        assert observer.history  # fell back to the first honest node
+
+
+class TestSafetyObserver:
+    def test_no_violation_on_healthy_network(self):
+        observer = SafetyObserver()
+        engine = build_honest_simulation(n_validators=8)
+        run_with_observers(engine, 5, observer)
+        assert not observer.violated
+        assert observer.first_violation_epoch is None
+
+    def test_detects_conflicting_finalization(self):
+        observer = SafetyObserver()
+        config = SpecConfig.minimal().with_overrides(inactivity_penalty_quotient=2 ** 7)
+        engine = build_partitioned_simulation(n_validators=12, p0=0.5, config=config)
+        result = run_with_observers(engine, 14, observer)
+        assert observer.violated
+        assert observer.first_violation_epoch == result.first_safety_violation_epoch()
+
+
+class TestLeakObserver:
+    def test_leak_epochs_match_result(self):
+        observer = LeakObserver()
+        engine = build_partitioned_simulation(n_validators=10, p0=0.5)
+        result = run_with_observers(engine, 8, observer)
+        assert observer.leak_epochs() == result.leak_epochs()
+        assert observer.rows()
+
+
+class TestObserverSet:
+    def test_bundles_observers(self):
+        finality = FinalityObserver()
+        leak = LeakObserver()
+        bundle = ObserverSet()
+        bundle.add(finality)
+        bundle.add(leak)
+        assert len(bundle) == 2
+        engine = build_honest_simulation(n_validators=8)
+        engine.observers.append(bundle)
+        engine.run(4)
+        assert len(finality.history) == 4
+        assert len(leak.history) == 4

@@ -1,0 +1,113 @@
+"""Tests for repro.spec.block and repro.spec.attestation."""
+
+import pytest
+
+from repro.spec.attestation import Attestation
+from repro.spec.block import BeaconBlock
+from repro.spec.checkpoint import Checkpoint, FFGVote
+from repro.spec.types import GENESIS_ROOT, Root
+
+
+def cp(epoch: int, label: str = "") -> Checkpoint:
+    return Checkpoint(epoch=epoch, root=Root.from_label(label or f"block-{epoch}"))
+
+
+def att(validator: int, slot: int, head: str, src: int, tgt: int, tgt_label: str = "") -> Attestation:
+    return Attestation(
+        validator_index=validator,
+        slot=slot,
+        head_root=Root.from_label(head),
+        ffg=FFGVote(source=cp(src), target=cp(tgt, tgt_label or f"block-{tgt}")),
+    )
+
+
+class TestBeaconBlock:
+    def test_genesis_block(self):
+        genesis = BeaconBlock.genesis()
+        assert genesis.is_genesis()
+        assert genesis.root == GENESIS_ROOT
+        assert genesis.slot == 0
+
+    def test_create_derives_root_from_content(self):
+        a = BeaconBlock.create(slot=1, proposer_index=0, parent_root=GENESIS_ROOT)
+        b = BeaconBlock.create(slot=1, proposer_index=0, parent_root=GENESIS_ROOT)
+        assert a.root == b.root
+
+    def test_branch_tag_forces_distinct_roots(self):
+        a = BeaconBlock.create(slot=1, proposer_index=0, parent_root=GENESIS_ROOT, branch_tag="x")
+        b = BeaconBlock.create(slot=1, proposer_index=0, parent_root=GENESIS_ROOT, branch_tag="y")
+        assert a.root != b.root
+
+    def test_rejects_negative_slot(self):
+        with pytest.raises(ValueError):
+            BeaconBlock(slot=-1, proposer_index=0, parent_root=GENESIS_ROOT, root=GENESIS_ROOT)
+
+    def test_rejects_negative_proposer(self):
+        with pytest.raises(ValueError):
+            BeaconBlock(slot=1, proposer_index=-1, parent_root=GENESIS_ROOT, root=GENESIS_ROOT)
+
+    def test_block_carries_attestations_and_evidence(self):
+        attestation = att(3, 1, "head", 0, 1)
+        block = BeaconBlock.create(
+            slot=2,
+            proposer_index=1,
+            parent_root=GENESIS_ROOT,
+            attestations=(attestation,),
+            slashing_evidence=(7,),
+        )
+        assert block.attestations == (attestation,)
+        assert block.slashing_evidence == (7,)
+
+
+class TestAttestation:
+    def test_fields(self):
+        attestation = att(1, 5, "head", 0, 1)
+        assert attestation.target_epoch == 1
+        assert attestation.source.epoch == 0
+
+    def test_rejects_negative_validator(self):
+        with pytest.raises(ValueError):
+            att(-1, 0, "h", 0, 0)
+
+    def test_rejects_negative_slot(self):
+        with pytest.raises(ValueError):
+            att(0, -1, "h", 0, 0)
+
+    def test_double_vote_detection(self):
+        a = att(1, 33, "head-a", 0, 1, "branch-a")
+        b = att(1, 34, "head-b", 0, 1, "branch-b")
+        assert a.is_double_vote_with(b)
+        assert a.is_slashable_with(b)
+
+    def test_double_vote_requires_same_validator(self):
+        a = att(1, 33, "head-a", 0, 1, "branch-a")
+        b = att(2, 34, "head-b", 0, 1, "branch-b")
+        assert not a.is_double_vote_with(b)
+        assert not a.is_slashable_with(b)
+
+    def test_surround_vote_detection(self):
+        outer = Attestation(
+            validator_index=1,
+            slot=160,
+            head_root=Root.from_label("h1"),
+            ffg=FFGVote(source=cp(1), target=cp(5)),
+        )
+        inner = Attestation(
+            validator_index=1,
+            slot=128,
+            head_root=Root.from_label("h2"),
+            ffg=FFGVote(source=cp(2), target=cp(4)),
+        )
+        assert outer.is_surround_vote_with(inner)
+        assert inner.is_surround_vote_with(outer)
+        assert outer.is_slashable_with(inner)
+
+    def test_honest_consecutive_votes_not_slashable(self):
+        first = att(1, 33, "head", 0, 1)
+        second = Attestation(
+            validator_index=1,
+            slot=65,
+            head_root=Root.from_label("head2"),
+            ffg=FFGVote(source=cp(1), target=cp(2)),
+        )
+        assert not first.is_slashable_with(second)

@@ -1,0 +1,69 @@
+"""Tests for repro.spec.checkpoint."""
+
+import pytest
+
+from repro.spec.checkpoint import Checkpoint, FFGVote, GENESIS_CHECKPOINT
+from repro.spec.types import Root
+
+
+def cp(epoch: int, label: str = "") -> Checkpoint:
+    return Checkpoint(epoch=epoch, root=Root.from_label(label or f"block-{epoch}"))
+
+
+class TestCheckpoint:
+    def test_genesis_checkpoint_epoch_zero(self):
+        assert GENESIS_CHECKPOINT.epoch == 0
+
+    def test_rejects_negative_epoch(self):
+        with pytest.raises(ValueError):
+            Checkpoint(epoch=-1, root=Root.from_label("x"))
+
+    def test_checkpoints_are_hashable_and_comparable(self):
+        assert cp(1) == cp(1)
+        assert cp(1) != cp(2)
+        assert len({cp(1), cp(1), cp(2)}) == 2
+
+    def test_ordering_by_epoch(self):
+        assert cp(1) < cp(2)
+
+
+class TestFFGVote:
+    def test_valid_vote(self):
+        vote = FFGVote(source=cp(1), target=cp(2))
+        assert vote.span() == 1
+
+    def test_rejects_target_before_source(self):
+        with pytest.raises(ValueError):
+            FFGVote(source=cp(3), target=cp(2))
+
+    def test_self_link(self):
+        vote = FFGVote(source=cp(2, "a"), target=cp(2, "a"))
+        assert vote.is_self_link()
+
+    def test_surround_detection(self):
+        outer = FFGVote(source=cp(1), target=cp(5))
+        inner = FFGVote(source=cp(2), target=cp(4))
+        assert outer.surrounds(inner)
+        assert not inner.surrounds(outer)
+
+    def test_surround_requires_strict_nesting(self):
+        a = FFGVote(source=cp(1), target=cp(4))
+        b = FFGVote(source=cp(1), target=cp(3))
+        assert not a.surrounds(b)
+        assert not b.surrounds(a)
+
+    def test_double_vote_same_target_epoch_different_vote(self):
+        a = FFGVote(source=cp(1), target=cp(2, "branch-a"))
+        b = FFGVote(source=cp(1), target=cp(2, "branch-b"))
+        assert a.conflicts_as_double_vote(b)
+        assert b.conflicts_as_double_vote(a)
+
+    def test_identical_votes_are_not_double_votes(self):
+        a = FFGVote(source=cp(1), target=cp(2, "same"))
+        b = FFGVote(source=cp(1), target=cp(2, "same"))
+        assert not a.conflicts_as_double_vote(b)
+
+    def test_different_target_epochs_not_double_vote(self):
+        a = FFGVote(source=cp(1), target=cp(2))
+        b = FFGVote(source=cp(1), target=cp(3))
+        assert not a.conflicts_as_double_vote(b)

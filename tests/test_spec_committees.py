@@ -1,0 +1,106 @@
+"""Tests for repro.spec.committees."""
+
+import pytest
+
+from repro.spec.committees import DutyScheduler, EpochDuties
+from repro.spec.config import SpecConfig
+from repro.spec.validator import make_registry
+
+
+@pytest.fixture
+def scheduler():
+    return DutyScheduler(config=SpecConfig.minimal(), seed="test-seed")
+
+
+@pytest.fixture
+def registry():
+    return make_registry(12, SpecConfig.minimal())
+
+
+class TestDutyScheduler:
+    def test_every_active_validator_attests_once(self, scheduler, registry):
+        duties = scheduler.duties_for_epoch(0, registry)
+        assigned = [i for committee in duties.attestation_committees for i in committee]
+        assert sorted(assigned) == [v.index for v in registry]
+
+    def test_one_proposer_per_slot(self, scheduler, registry):
+        duties = scheduler.duties_for_epoch(0, registry)
+        assert len(duties.proposers) == SpecConfig.minimal().slots_per_epoch
+        assert all(p in {v.index for v in registry} for p in duties.proposers)
+
+    def test_deterministic_given_seed(self, registry):
+        a = DutyScheduler(SpecConfig.minimal(), seed="s").duties_for_epoch(3, registry)
+        b = DutyScheduler(SpecConfig.minimal(), seed="s").duties_for_epoch(3, registry)
+        assert a.proposers == b.proposers
+        assert a.attestation_committees == b.attestation_committees
+
+    def test_different_seeds_differ(self, registry):
+        a = DutyScheduler(SpecConfig.minimal(), seed="s1").duties_for_epoch(0, registry)
+        b = DutyScheduler(SpecConfig.minimal(), seed="s2").duties_for_epoch(0, registry)
+        assert a.proposers != b.proposers or a.attestation_committees != b.attestation_committees
+
+    def test_different_epochs_reshuffle(self, scheduler, registry):
+        a = scheduler.duties_for_epoch(0, registry)
+        b = scheduler.duties_for_epoch(1, registry)
+        assert a.proposers != b.proposers or a.attestation_committees != b.attestation_committees
+
+    def test_exited_validators_excluded(self, scheduler, registry):
+        registry[0].exit(1)
+        duties = scheduler.duties_for_epoch(5, registry)
+        assigned = {i for committee in duties.attestation_committees for i in committee}
+        assert 0 not in assigned
+        assert 0 not in set(duties.proposers)
+
+    def test_no_active_validators_raises(self, scheduler, registry):
+        for validator in registry:
+            validator.exit(0)
+        with pytest.raises(ValueError):
+            scheduler.duties_for_epoch(3, registry)
+
+    def test_cache_and_clear(self, scheduler, registry):
+        first = scheduler.duties_for_epoch(0, registry)
+        assert scheduler.duties_for_epoch(0, registry) is first
+        scheduler.clear_cache()
+        assert scheduler.duties_for_epoch(0, registry) is not first
+
+
+class TestEpochDuties:
+    def test_proposer_for_absolute_slot(self, scheduler, registry):
+        cfg = SpecConfig.minimal()
+        duties = scheduler.duties_for_epoch(2, registry)
+        slot = cfg.start_slot_of_epoch(2) + 1
+        assert duties.proposer_for_slot(slot, cfg.slots_per_epoch) == duties.proposers[1]
+
+    def test_committee_for_absolute_slot(self, scheduler, registry):
+        cfg = SpecConfig.minimal()
+        duties = scheduler.duties_for_epoch(1, registry)
+        slot = cfg.start_slot_of_epoch(1) + 2
+        assert duties.committee_for_slot(slot, cfg.slots_per_epoch) == duties.attestation_committees[2]
+
+    def test_attestation_slot_of(self, scheduler, registry):
+        cfg = SpecConfig.minimal()
+        duties = scheduler.duties_for_epoch(0, registry)
+        for validator in registry:
+            offset = duties.attestation_slot_of(validator.index, cfg.slots_per_epoch)
+            assert offset is not None
+            assert validator.index in duties.attestation_committees[offset]
+
+    def test_attestation_slot_of_unknown_validator(self, scheduler, registry):
+        duties = scheduler.duties_for_epoch(0, registry)
+        assert duties.attestation_slot_of(999, SpecConfig.minimal().slots_per_epoch) is None
+
+
+class TestBouncingWindow:
+    def test_proposer_in_first_slots_detects_byzantine_proposer(self, registry):
+        scheduler = DutyScheduler(SpecConfig.minimal(), seed="window")
+        duties = scheduler.duties_for_epoch(0, registry)
+        first_proposer = duties.proposers[0]
+        assert scheduler.proposer_in_first_slots(0, registry, [first_proposer], window=1)
+
+    def test_proposer_in_first_slots_false_when_absent(self, registry):
+        scheduler = DutyScheduler(SpecConfig.minimal(), seed="window")
+        duties = scheduler.duties_for_epoch(0, registry)
+        not_first = [i for i in range(12) if i not in duties.proposers[:2]]
+        assert not scheduler.proposer_in_first_slots(0, registry, not_first[:1], window=2) or (
+            not_first[0] in duties.proposers[:2]
+        )

@@ -1,0 +1,166 @@
+"""Tests for repro.spec.finality (FFG justification/finalization)."""
+
+import pytest
+
+from repro.spec.attestation import Attestation
+from repro.spec.checkpoint import Checkpoint, FFGVote, GENESIS_CHECKPOINT
+from repro.spec.config import SpecConfig
+from repro.spec.finality import (
+    FFGVotePool,
+    conflicting_finalized_checkpoints,
+    is_supermajority,
+    link_support,
+    process_justification,
+    safety_violated,
+)
+from repro.spec.state import BeaconState
+from repro.spec.types import Root
+from repro.spec.validator import make_registry
+
+
+def cp(epoch: int, label: str = "") -> Checkpoint:
+    return Checkpoint(epoch=epoch, root=Root.from_label(label or f"checkpoint-{epoch}"))
+
+
+@pytest.fixture
+def state():
+    return BeaconState.genesis(make_registry(9), SpecConfig.mainnet())
+
+
+def vote_for(pool: FFGVotePool, validators, source: Checkpoint, target: Checkpoint):
+    for validator in validators:
+        pool.add_vote(validator, FFGVote(source=source, target=target))
+
+
+class TestFFGVotePool:
+    def test_first_vote_counts(self):
+        pool = FFGVotePool()
+        assert pool.add_vote(0, FFGVote(source=GENESIS_CHECKPOINT, target=cp(1)))
+
+    def test_second_vote_same_target_epoch_ignored(self):
+        pool = FFGVotePool()
+        pool.add_vote(0, FFGVote(source=GENESIS_CHECKPOINT, target=cp(1, "a")))
+        assert not pool.add_vote(0, FFGVote(source=GENESIS_CHECKPOINT, target=cp(1, "b")))
+        assert pool.voters_for_link(GENESIS_CHECKPOINT, cp(1, "a")) == {0}
+        assert pool.voters_for_link(GENESIS_CHECKPOINT, cp(1, "b")) == set()
+
+    def test_add_attestation(self):
+        pool = FFGVotePool()
+        attestation = Attestation(
+            validator_index=4,
+            slot=33,
+            head_root=Root.from_label("head"),
+            ffg=FFGVote(source=GENESIS_CHECKPOINT, target=cp(1)),
+        )
+        assert pool.add_attestation(attestation)
+        assert 4 in pool.voters_for_link(GENESIS_CHECKPOINT, cp(1))
+
+    def test_targets_at_epoch(self):
+        pool = FFGVotePool()
+        vote_for(pool, range(3), GENESIS_CHECKPOINT, cp(1, "a"))
+        vote_for(pool, range(3, 5), GENESIS_CHECKPOINT, cp(1, "b"))
+        assert pool.targets_at_epoch(1) == {cp(1, "a"), cp(1, "b")}
+
+    def test_clear_before_prunes(self):
+        pool = FFGVotePool()
+        vote_for(pool, range(3), GENESIS_CHECKPOINT, cp(1))
+        vote_for(pool, range(3), cp(1), cp(2))
+        pool.clear_before(2)
+        assert pool.votes_for_target_epoch(1) == {}
+        assert len(pool.votes_for_target_epoch(2)) == 3
+
+
+class TestSupermajority:
+    def test_link_support_sums_stake(self, state):
+        pool = FFGVotePool()
+        vote_for(pool, range(4), GENESIS_CHECKPOINT, cp(1))
+        assert link_support(state, pool, GENESIS_CHECKPOINT, cp(1)) == pytest.approx(4 * 32.0)
+
+    def test_is_supermajority_boundary(self, state):
+        total = state.total_active_stake()
+        assert not is_supermajority(state, total * 2 / 3)
+        assert is_supermajority(state, total * 2 / 3 + 1.0)
+
+    def test_is_supermajority_zero_stake(self, state):
+        for validator in state.validators:
+            validator.exit(0)
+        assert not is_supermajority(state, 100.0)
+
+
+class TestJustificationFinalization:
+    def test_supermajority_justifies_target(self, state):
+        pool = FFGVotePool()
+        vote_for(pool, range(7), GENESIS_CHECKPOINT, cp(1))  # 7/9 > 2/3
+        result = process_justification(state, pool, 1)
+        assert result.justified_any
+        assert state.is_justified(1)
+
+    def test_minority_does_not_justify(self, state):
+        pool = FFGVotePool()
+        vote_for(pool, range(6), GENESIS_CHECKPOINT, cp(1))  # 6/9 == 2/3, not strictly more
+        result = process_justification(state, pool, 1)
+        assert not result.justified_any
+        assert not state.is_justified(1)
+
+    def test_consecutive_justification_finalizes_source(self, state):
+        pool = FFGVotePool()
+        vote_for(pool, range(7), GENESIS_CHECKPOINT, cp(1))
+        process_justification(state, pool, 1)
+        vote_for(pool, range(7), cp(1), cp(2))
+        result = process_justification(state, pool, 2)
+        assert result.finalized_any
+        assert state.is_finalized(1)
+        assert state.finalized_checkpoint == cp(1)
+
+    def test_gap_justification_does_not_finalize(self, state):
+        pool = FFGVotePool()
+        vote_for(pool, range(7), GENESIS_CHECKPOINT, cp(1))
+        process_justification(state, pool, 1)
+        # Skip epoch 2: justify epoch 3 directly from epoch 1.
+        vote_for(pool, range(7), cp(1), cp(3))
+        result = process_justification(state, pool, 3)
+        assert result.justified_any
+        assert not result.finalized_any
+        assert not state.is_finalized(1) or state.finalized_checkpoint.epoch == 0
+
+    def test_votes_from_unjustified_source_ignored(self, state):
+        pool = FFGVotePool()
+        vote_for(pool, range(7), cp(1), cp(2))  # source epoch 1 was never justified
+        result = process_justification(state, pool, 2)
+        assert not result.justified_any
+
+    def test_exited_validators_do_not_count(self, state):
+        pool = FFGVotePool()
+        for index in range(7):
+            state.validators[index].exit(0)
+        vote_for(pool, range(7), GENESIS_CHECKPOINT, cp(1))
+        result = process_justification(state, pool, 1)
+        assert not result.justified_any
+
+    def test_split_vote_justifies_neither(self, state):
+        pool = FFGVotePool()
+        vote_for(pool, range(5), GENESIS_CHECKPOINT, cp(1, "a"))
+        vote_for(pool, range(5, 9), GENESIS_CHECKPOINT, cp(1, "b"))
+        result = process_justification(state, pool, 1)
+        assert not result.justified_any
+
+
+class TestSafetyDetector:
+    def test_no_conflict_for_prefix_chains(self, state):
+        other = state.fork()
+        state.record_finalization(cp(1, "shared"))
+        other.record_finalization(cp(1, "shared"))
+        other.record_finalization(cp(2, "further"))
+        assert not safety_violated([state, other])
+
+    def test_conflict_detected_same_epoch_different_root(self, state):
+        other = state.fork()
+        state.record_finalization(cp(3, "branch-a"))
+        other.record_finalization(cp(3, "branch-b"))
+        conflicts = conflicting_finalized_checkpoints([state, other])
+        assert conflicts
+        assert safety_violated([state, other])
+
+    def test_single_state_never_conflicts(self, state):
+        state.record_finalization(cp(5, "x"))
+        assert not safety_violated([state])

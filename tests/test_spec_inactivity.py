@@ -1,0 +1,158 @@
+"""Tests for repro.spec.inactivity (Equations 1 and 2, ejection)."""
+
+import math
+
+import pytest
+
+from repro import constants
+from repro.spec.config import SpecConfig
+from repro.spec.inactivity import (
+    apply_inactivity_penalties,
+    discrete_ejection_epoch,
+    discrete_stake_trajectory,
+    eject_low_balance_validators,
+    process_inactivity_epoch,
+    update_inactivity_scores,
+)
+from repro.spec.state import BeaconState
+from repro.spec.validator import make_registry
+
+
+@pytest.fixture
+def state():
+    return BeaconState.genesis(make_registry(6), SpecConfig.mainnet())
+
+
+class TestScoreUpdates:
+    def test_inactive_score_increases_by_4(self, state):
+        update_inactivity_scores(state, active_indices=set(), in_leak=True)
+        assert all(v.inactivity_score == 4 for v in state.validators)
+
+    def test_active_score_decreases_by_1_floored(self, state):
+        state.validators[0].inactivity_score = 3
+        update_inactivity_scores(state, active_indices={0, 1}, in_leak=True)
+        assert state.validators[0].inactivity_score == 2
+        assert state.validators[1].inactivity_score == 0  # floored at zero
+
+    def test_out_of_leak_recovery_subtracts_16(self, state):
+        for validator in state.validators:
+            validator.inactivity_score = 20
+        update_inactivity_scores(state, active_indices=set(), in_leak=False)
+        # +4 for inactivity, then -16 recovery.
+        assert all(v.inactivity_score == 8 for v in state.validators)
+
+    def test_out_of_leak_recovery_floors_at_zero(self, state):
+        for validator in state.validators:
+            validator.inactivity_score = 2
+        update_inactivity_scores(state, active_indices=set(), in_leak=False)
+        assert all(v.inactivity_score == 0 for v in state.validators)
+
+    def test_exited_validators_untouched(self, state):
+        state.validators[0].exit(0)
+        update_inactivity_scores(state, active_indices=set(), in_leak=True)
+        assert state.validators[0].inactivity_score == 0
+
+
+class TestPenalties:
+    def test_penalty_formula(self, state):
+        state.validators[0].inactivity_score = 100
+        before = state.validators[0].stake
+        total = apply_inactivity_penalties(state)
+        expected = 100 * before / 2 ** 26
+        assert state.validators[0].stake == pytest.approx(before - expected)
+        assert total == pytest.approx(expected)
+
+    def test_zero_score_no_penalty(self, state):
+        total = apply_inactivity_penalties(state)
+        assert total == 0.0
+        assert all(v.stake == pytest.approx(32.0) for v in state.validators)
+
+    def test_exited_validators_not_penalized(self, state):
+        state.validators[0].inactivity_score = 1000
+        state.validators[0].exit(0)
+        apply_inactivity_penalties(state)
+        assert state.validators[0].stake == pytest.approx(32.0)
+
+
+class TestEjection:
+    def test_low_balance_validators_ejected(self, state):
+        state.validators[2].stake = 16.75
+        ejected = eject_low_balance_validators(state)
+        assert ejected == [2]
+        assert not state.validators[2].is_active(state.current_epoch + 1)
+
+    def test_healthy_validators_not_ejected(self, state):
+        assert eject_low_balance_validators(state) == []
+
+    def test_already_exited_not_reejected(self, state):
+        state.validators[2].stake = 1.0
+        state.validators[2].exit(0)
+        assert eject_low_balance_validators(state) == []
+
+
+class TestProcessEpoch:
+    def test_full_epoch_in_leak(self, state):
+        state.current_epoch = 10  # leak active
+        for validator in state.validators:
+            validator.inactivity_score = 8
+        update = process_inactivity_epoch(state, active_indices={0, 1, 2})
+        assert update.in_leak
+        assert update.total_penalty > 0
+        assert set(update.inactive_indices) == {3, 4, 5}
+        # Scores: actives 8-1=7, inactives 8+4=12.
+        assert state.validators[0].inactivity_score == 7
+        assert state.validators[5].inactivity_score == 12
+
+    def test_no_penalty_outside_leak(self, state):
+        state.current_epoch = 1
+        for validator in state.validators:
+            validator.inactivity_score = 8
+        update = process_inactivity_epoch(state, active_indices=set())
+        assert not update.in_leak
+        assert update.total_penalty == 0.0
+        assert all(v.stake == pytest.approx(32.0) for v in state.validators)
+
+    def test_forced_leak_flag(self, state):
+        state.current_epoch = 0
+        for validator in state.validators:
+            validator.inactivity_score = 8
+        update = process_inactivity_epoch(state, active_indices=set(), in_leak=True)
+        assert update.in_leak
+        assert update.total_penalty > 0
+
+
+class TestReferenceTrajectories:
+    def test_active_trajectory_constant(self):
+        trajectory = discrete_stake_trajectory("active", 100)
+        assert trajectory[0] == trajectory[-1] == pytest.approx(32.0)
+
+    def test_inactive_trajectory_decreases(self):
+        trajectory = discrete_stake_trajectory("inactive", 100)
+        assert trajectory[-1] < trajectory[0]
+        assert all(b <= a + 1e-12 for a, b in zip(trajectory, trajectory[1:]))
+
+    def test_semi_active_decays_slower_than_inactive(self):
+        semi = discrete_stake_trajectory("semi-active", 2000)
+        inactive = discrete_stake_trajectory("inactive", 2000)
+        assert semi[-1] > inactive[-1]
+
+    def test_unknown_behavior_rejected(self):
+        with pytest.raises(ValueError):
+            discrete_stake_trajectory("lazy", 10)
+
+    def test_discrete_ejection_epochs_close_to_paper(self):
+        inactive = discrete_ejection_epoch("inactive")
+        semi = discrete_ejection_epoch("semi-active")
+        # Paper reports 4685 and 7652; the discrete recurrence lands within 1%.
+        assert abs(inactive - constants.PAPER_INACTIVE_EJECTION_EPOCH) / 4685 < 0.01
+        assert abs(semi - constants.PAPER_SEMI_ACTIVE_EJECTION_EPOCH) / 7652 < 0.01
+
+    def test_active_never_ejected(self):
+        assert discrete_ejection_epoch("active", max_epochs=2000) is None
+
+    def test_trajectory_matches_continuous_model_early(self):
+        # Before ejection the discrete trajectory should track s0*exp(-t^2/2^25).
+        trajectory = discrete_stake_trajectory("inactive", 1000)
+        t = 1000
+        continuous = 32.0 * math.exp(-(t ** 2) / 2 ** 25)
+        assert trajectory[t] == pytest.approx(continuous, rel=0.01)

@@ -1,0 +1,165 @@
+"""Tests for the blockchain property checkers (Definitions 4-6 of the paper)."""
+
+import pytest
+
+from repro.spec.block import BeaconBlock
+from repro.spec.blocktree import BlockTree
+from repro.spec.checkpoint import Checkpoint
+from repro.spec.config import SpecConfig
+from repro.spec.properties import (
+    PropertyReport,
+    check_availability,
+    check_byzantine_threshold,
+    check_liveness,
+    check_safety,
+    check_simulation_properties,
+)
+from repro.spec.state import BeaconState
+from repro.spec.types import GENESIS_ROOT, Root
+from repro.spec.validator import make_registry
+from repro.sim.scenarios import build_honest_simulation, build_partitioned_simulation
+
+
+def cp(epoch: int, label: str) -> Checkpoint:
+    return Checkpoint(epoch=epoch, root=Root.from_label(label))
+
+
+def make_state(byzantine_fraction: float = 0.0) -> BeaconState:
+    return BeaconState.genesis(
+        make_registry(9, byzantine_fraction=byzantine_fraction), SpecConfig.mainnet()
+    )
+
+
+class TestSafetyChecker:
+    def test_identical_finalized_chains_are_safe(self):
+        a, b = make_state(), make_state()
+        a.record_finalization(cp(2, "x"))
+        b.record_finalization(cp(2, "x"))
+        assert check_safety([a, b]).holds
+
+    def test_same_epoch_conflict_detected(self):
+        a, b = make_state(), make_state()
+        a.record_finalization(cp(2, "x"))
+        b.record_finalization(cp(2, "y"))
+        verdict = check_safety([a, b])
+        assert not verdict.holds
+        assert "epoch 2" in verdict.details
+
+    def test_prefix_ordered_chains_with_tree_are_safe(self):
+        tree = BlockTree()
+        first = BeaconBlock.create(slot=32, proposer_index=0, parent_root=GENESIS_ROOT)
+        second = BeaconBlock.create(slot=64, proposer_index=1, parent_root=first.root)
+        tree.add_block(first)
+        tree.add_block(second)
+        a, b = make_state(), make_state()
+        a.record_finalization(Checkpoint(epoch=1, root=first.root))
+        b.record_finalization(Checkpoint(epoch=2, root=second.root))
+        assert check_safety([a, b], tree=tree).holds
+
+    def test_forked_finalized_chains_with_tree_are_unsafe(self):
+        tree = BlockTree()
+        branch_a = BeaconBlock.create(slot=32, proposer_index=0, parent_root=GENESIS_ROOT, branch_tag="a")
+        branch_b = BeaconBlock.create(slot=64, proposer_index=1, parent_root=GENESIS_ROOT, branch_tag="b")
+        tree.add_block(branch_a)
+        tree.add_block(branch_b)
+        a, b = make_state(), make_state()
+        a.record_finalization(Checkpoint(epoch=1, root=branch_a.root))
+        b.record_finalization(Checkpoint(epoch=2, root=branch_b.root))
+        verdict = check_safety([a, b], tree=tree)
+        assert not verdict.holds
+
+    def test_single_state_is_safe(self):
+        state = make_state()
+        state.record_finalization(cp(5, "x"))
+        assert check_safety([state]).holds
+
+
+class TestLivenessChecker:
+    def test_grown_chain_holds(self):
+        state = make_state()
+        state.record_finalization(cp(3, "x"))
+        assert check_liveness([state], min_growth_epochs=2).holds
+
+    def test_stalled_chain_violates(self):
+        state = make_state()
+        verdict = check_liveness([state], min_growth_epochs=1)
+        assert not verdict.holds
+
+    def test_since_epoch_window(self):
+        state = make_state()
+        state.record_finalization(cp(5, "x"))
+        assert check_liveness([state], min_growth_epochs=1, since_epoch=4).holds
+        assert not check_liveness([state], min_growth_epochs=1, since_epoch=5).holds
+
+
+class TestAvailabilityChecker:
+    def _tree_up_to(self, slot: int) -> BlockTree:
+        tree = BlockTree()
+        parent = GENESIS_ROOT
+        for s in range(1, slot + 1):
+            block = BeaconBlock.create(slot=s, proposer_index=0, parent_root=parent)
+            tree.add_block(block)
+            parent = block.root
+        return tree
+
+    def test_growing_chain_holds(self):
+        tree = self._tree_up_to(60)
+        assert check_availability([tree], observation_slots=64).holds
+
+    def test_stalled_chain_violates(self):
+        tree = self._tree_up_to(5)
+        verdict = check_availability([tree], observation_slots=128)
+        assert not verdict.holds
+
+    def test_custom_gap(self):
+        tree = self._tree_up_to(50)
+        assert not check_availability([tree], observation_slots=128, max_gap_slots=10).holds
+
+
+class TestByzantineThresholdChecker:
+    def test_below_threshold_holds(self):
+        state = make_state(byzantine_fraction=0.2)
+        assert check_byzantine_threshold([state]).holds
+
+    def test_above_threshold_violates(self):
+        state = make_state(byzantine_fraction=0.2)
+        for validator in state.validators:
+            if validator.label == "honest":
+                validator.stake = 10.0
+        verdict = check_byzantine_threshold([state])
+        assert not verdict.holds
+
+
+class TestSimulationPropertyReport:
+    def test_healthy_network_satisfies_everything(self):
+        engine = build_honest_simulation(n_validators=10)
+        result = engine.run(6)
+        report = check_simulation_properties(engine, result, min_finalized_growth=2)
+        assert report.all_hold()
+        assert report.holds("safety")
+        assert report.holds("liveness")
+        assert report.holds("availability")
+        assert "HOLDS" in report.format_text()
+
+    def test_partition_keeps_availability_but_not_liveness(self):
+        engine = build_partitioned_simulation(n_validators=12, p0=0.5)
+        result = engine.run(6)
+        report = check_simulation_properties(engine, result, min_finalized_growth=1)
+        assert report.holds("availability")
+        assert report.holds("safety")  # no conflicting finalization yet
+        assert not report.holds("liveness")
+        assert not report.all_hold()
+
+    def test_long_partition_with_fast_leak_breaks_safety_but_restores_liveness(self):
+        config = SpecConfig.minimal().with_overrides(inactivity_penalty_quotient=2 ** 7)
+        engine = build_partitioned_simulation(n_validators=12, p0=0.5, config=config)
+        result = engine.run(14)
+        report = check_simulation_properties(engine, result, min_finalized_growth=1)
+        assert not report.holds("safety")
+        assert report.holds("liveness")  # both branches finalized (that is the problem)
+        assert report.holds("availability")
+
+    def test_unknown_property_raises(self):
+        report = PropertyReport()
+        with pytest.raises(KeyError):
+            report.holds("consistency")

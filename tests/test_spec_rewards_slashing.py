@@ -1,0 +1,167 @@
+"""Tests for repro.spec.rewards and repro.spec.slashing."""
+
+import pytest
+
+from repro.spec.attestation import Attestation
+from repro.spec.checkpoint import Checkpoint, FFGVote, GENESIS_CHECKPOINT
+from repro.spec.config import SpecConfig
+from repro.spec.rewards import attestation_penalty, base_reward, process_attestation_rewards
+from repro.spec.slashing import (
+    SlashingDetector,
+    SlashingEvidence,
+    apply_slashing,
+    detect_and_slash,
+)
+from repro.spec.state import BeaconState
+from repro.spec.types import Root
+from repro.spec.validator import make_registry
+
+
+def cp(epoch: int, label: str = "") -> Checkpoint:
+    return Checkpoint(epoch=epoch, root=Root.from_label(label or f"c{epoch}"))
+
+
+def att(validator: int, target_label: str, target_epoch: int = 1, source_epoch: int = 0) -> Attestation:
+    return Attestation(
+        validator_index=validator,
+        slot=target_epoch * 32 + 1,
+        head_root=Root.from_label(target_label),
+        ffg=FFGVote(source=cp(source_epoch, "genesis") if source_epoch else GENESIS_CHECKPOINT,
+                    target=cp(target_epoch, target_label)),
+    )
+
+
+@pytest.fixture
+def state():
+    return BeaconState.genesis(make_registry(8), SpecConfig.mainnet())
+
+
+class TestRewards:
+    def test_base_reward_proportional_to_stake(self, state):
+        assert base_reward(state, 0) == pytest.approx(32.0 / 2 ** 21)
+        state.validators[0].stake = 16.0
+        assert base_reward(state, 0) == pytest.approx(16.0 / 2 ** 21)
+
+    def test_active_rewarded_outside_leak_up_to_cap(self, state):
+        # A validator whose stake dropped below the cap earns it back...
+        state.validators[0].stake = 31.0
+        summary = process_attestation_rewards(state, active_indices={0, 1}, in_leak=False)
+        assert summary.total_rewards > 0
+        assert summary.rewarded_indices == [0]
+        assert state.validators[0].stake > 31.0
+        # ...while a validator already at the 32-ETH cap stays there.
+        assert state.validators[1].stake == pytest.approx(32.0)
+
+    def test_no_rewards_during_leak(self, state):
+        state.validators[0].stake = 31.0
+        summary = process_attestation_rewards(state, active_indices={0, 1}, in_leak=True)
+        assert summary.total_rewards == 0.0
+        assert state.validators[0].stake == pytest.approx(31.0)
+
+    def test_inactive_penalized(self, state):
+        summary = process_attestation_rewards(state, active_indices=set(), in_leak=False)
+        assert summary.total_penalties > 0
+        assert all(v.stake < 32.0 for v in state.validators)
+
+    def test_attestation_penalty_much_smaller_than_inactivity_penalty(self, state):
+        # With a large inactivity score the leak penalty dominates, matching
+        # the paper's remark that attestation penalties are negligible then.
+        state.validators[0].inactivity_score = 100
+        leak_penalty = 100 * 32.0 / 2 ** 26
+        assert attestation_penalty(state, 0) < leak_penalty
+
+    def test_exited_validators_ignored(self, state):
+        state.validators[0].exit(0)
+        summary = process_attestation_rewards(state, active_indices=set(), in_leak=False)
+        assert 0 not in summary.penalized_indices
+
+
+class TestSlashingDetector:
+    def test_detects_double_vote(self):
+        detector = SlashingDetector()
+        assert detector.observe(att(1, "branch-a")) is None
+        evidence = detector.observe(att(1, "branch-b"))
+        assert evidence is not None
+        assert evidence.is_double_vote
+        assert evidence.validator_index == 1
+
+    def test_ignores_duplicate_attestation(self):
+        detector = SlashingDetector()
+        detector.observe(att(1, "branch-a"))
+        assert detector.observe(att(1, "branch-a")) is None
+
+    def test_no_evidence_across_validators(self):
+        detector = SlashingDetector()
+        detector.observe(att(1, "branch-a"))
+        assert detector.observe(att(2, "branch-b")) is None
+
+    def test_only_first_evidence_kept(self):
+        detector = SlashingDetector()
+        detector.observe(att(1, "a"))
+        first = detector.observe(att(1, "b"))
+        second = detector.observe(att(1, "c"))
+        assert first is not None
+        assert second is None
+        assert len(detector.pending_evidence()) == 1
+
+    def test_detects_surround_vote(self):
+        detector = SlashingDetector()
+        outer = Attestation(
+            validator_index=3,
+            slot=200,
+            head_root=Root.from_label("x"),
+            ffg=FFGVote(source=cp(1), target=cp(6)),
+        )
+        inner = Attestation(
+            validator_index=3,
+            slot=150,
+            head_root=Root.from_label("y"),
+            ffg=FFGVote(source=cp(2), target=cp(4)),
+        )
+        detector.observe(inner)
+        evidence = detector.observe(outer)
+        assert evidence is not None
+        assert evidence.is_surround_vote
+
+    def test_honest_votes_never_trigger(self):
+        detector = SlashingDetector()
+        for epoch in range(1, 6):
+            attestation = Attestation(
+                validator_index=5,
+                slot=epoch * 32 + 1,
+                head_root=Root.from_label(f"h{epoch}"),
+                ffg=FFGVote(source=cp(epoch - 1, f"c{epoch-1}"), target=cp(epoch, f"c{epoch}")),
+            )
+            assert detector.observe(attestation) is None
+
+
+class TestSlashingEvidence:
+    def test_rejects_non_slashable_pair(self):
+        with pytest.raises(ValueError):
+            SlashingEvidence(validator_index=1, first=att(1, "a", 1), second=att(1, "b", 2))
+
+    def test_rejects_wrong_validator(self):
+        with pytest.raises(ValueError):
+            SlashingEvidence(validator_index=2, first=att(1, "a"), second=att(1, "b"))
+
+
+class TestApplySlashing:
+    def test_slashing_penalizes_and_ejects(self, state):
+        outcome = apply_slashing(state, [3])
+        assert outcome.slashed_indices == [3]
+        assert state.validators[3].slashed
+        assert state.validators[3].stake == pytest.approx(32.0 * (1 - 1 / 32))
+        assert not state.validators[3].is_active(state.current_epoch + 1)
+
+    def test_double_slashing_is_noop(self, state):
+        apply_slashing(state, [3])
+        outcome = apply_slashing(state, [3])
+        assert outcome.slashed_indices == []
+        assert state.validators[3].stake == pytest.approx(32.0 * (1 - 1 / 32))
+
+    def test_detect_and_slash_end_to_end(self, state):
+        attestations = [att(2, "branch-a"), att(2, "branch-b"), att(4, "branch-a")]
+        outcome, evidence = detect_and_slash(state, attestations)
+        assert [e.validator_index for e in evidence] == [2]
+        assert outcome.slashed_indices == [2]
+        assert not state.validators[4].slashed

@@ -1,0 +1,123 @@
+"""Tests for repro.spec.state."""
+
+import pytest
+
+from repro.spec.checkpoint import Checkpoint, GENESIS_CHECKPOINT
+from repro.spec.config import SpecConfig
+from repro.spec.state import BeaconState
+from repro.spec.types import Root
+from repro.spec.validator import make_registry
+
+
+def cp(epoch: int, label: str = "") -> Checkpoint:
+    return Checkpoint(epoch=epoch, root=Root.from_label(label or f"c{epoch}"))
+
+
+@pytest.fixture
+def state():
+    return BeaconState.genesis(make_registry(10, byzantine_fraction=0.2), SpecConfig.mainnet())
+
+
+class TestStateBasics:
+    def test_genesis_state(self, state):
+        assert state.current_epoch == 0
+        assert state.finalized_checkpoint == GENESIS_CHECKPOINT
+        assert state.current_justified_checkpoint == GENESIS_CHECKPOINT
+        assert state.is_justified(0)
+        assert state.is_finalized(0)
+
+    def test_requires_validators(self):
+        with pytest.raises(ValueError):
+            BeaconState(config=SpecConfig.mainnet(), validators=[])
+
+    def test_total_active_stake(self, state):
+        assert state.total_active_stake() == pytest.approx(320.0)
+
+    def test_active_validators_excludes_exited(self, state):
+        state.validators[0].exit(1)
+        state.current_epoch = 1
+        assert len(state.active_validators()) == 9
+        assert state.total_active_stake() == pytest.approx(288.0)
+
+    def test_stake_of_indices(self, state):
+        assert state.stake_of([0, 1, 2]) == pytest.approx(96.0)
+
+    def test_byzantine_stake_proportion(self, state):
+        assert state.byzantine_stake_proportion() == pytest.approx(0.2)
+
+    def test_byzantine_proportion_grows_when_honest_exit(self, state):
+        for validator in state.validators[:4]:
+            if validator.label == "honest":
+                validator.exit(1)
+        state.current_epoch = 1
+        assert state.byzantine_stake_proportion() > 0.2
+
+
+class TestLeakBookkeeping:
+    def test_not_in_leak_initially(self, state):
+        assert not state.is_in_inactivity_leak()
+
+    def test_leak_starts_after_four_epochs_without_finality(self, state):
+        state.current_epoch = 4
+        assert not state.is_in_inactivity_leak()
+        state.current_epoch = 5
+        assert state.is_in_inactivity_leak()
+
+    def test_finalization_resets_leak(self, state):
+        state.current_epoch = 10
+        assert state.is_in_inactivity_leak()
+        state.record_finalization(cp(9))
+        assert state.epochs_since_finality == 1
+        assert not state.is_in_inactivity_leak()
+
+    def test_epochs_since_finality_never_negative(self, state):
+        state.record_finalization(cp(5))
+        state.current_epoch = 3
+        assert state.epochs_since_finality == 0
+
+
+class TestCheckpointRecording:
+    def test_record_justification_updates_current_and_previous(self, state):
+        state.record_justification(cp(1))
+        assert state.current_justified_checkpoint == cp(1)
+        assert state.previous_justified_checkpoint == GENESIS_CHECKPOINT
+        state.record_justification(cp(2))
+        assert state.previous_justified_checkpoint == cp(1)
+
+    def test_record_finalization_updates_latest(self, state):
+        state.record_finalization(cp(2))
+        assert state.finalized_checkpoint == cp(2)
+        assert state.last_finalized_epoch == 2
+        # Older finalizations do not regress the pointer.
+        state.record_finalization(cp(1))
+        assert state.finalized_checkpoint == cp(2)
+
+    def test_is_justified_and_finalized(self, state):
+        state.record_justification(cp(3))
+        state.record_finalization(cp(3))
+        assert state.is_justified(3)
+        assert state.is_finalized(3)
+        assert not state.is_finalized(4)
+
+
+class TestFork:
+    def test_fork_is_independent(self, state):
+        forked = state.fork()
+        forked.validators[0].stake = 1.0
+        forked.record_finalization(cp(7))
+        assert state.validators[0].stake == pytest.approx(32.0)
+        assert not state.is_finalized(7)
+
+    def test_fork_preserves_bookkeeping(self, state):
+        state.record_justification(cp(1))
+        state.record_finalization(cp(1))
+        forked = state.fork()
+        assert forked.current_justified_checkpoint == cp(1)
+        assert forked.finalized_checkpoint == cp(1)
+        assert forked.is_justified(1)
+
+    def test_copy_registry_preserves_labels(self, state):
+        copy = state.copy_registry()
+        assert [v.label for v in copy] == [v.label for v in state.validators]
+        copy[0].stake = 0.0
+        assert state.validators[0].stake == pytest.approx(32.0)

@@ -1,0 +1,68 @@
+"""Tests for repro.spec.types."""
+
+import pytest
+
+from repro.spec.types import (
+    GENESIS_ROOT,
+    Root,
+    compute_epoch_at_slot,
+    compute_start_slot_at_epoch,
+    is_epoch_boundary_slot,
+)
+
+
+class TestRoot:
+    def test_from_label_is_deterministic(self):
+        assert Root.from_label("a") == Root.from_label("a")
+
+    def test_different_labels_give_different_roots(self):
+        assert Root.from_label("a") != Root.from_label("b")
+
+    def test_roots_are_hashable(self):
+        roots = {Root.from_label("a"), Root.from_label("a"), Root.from_label("b")}
+        assert len(roots) == 2
+
+    def test_roots_are_orderable(self):
+        values = sorted([Root.from_label("x"), Root.from_label("y")])
+        assert values == sorted(values)
+
+    def test_genesis_root_is_stable(self):
+        assert GENESIS_ROOT == Root.from_label("genesis")
+
+    def test_str_is_hex(self):
+        root = Root.from_label("a")
+        assert str(root) == root.hex
+
+
+class TestSlotEpochConversions:
+    def test_epoch_at_slot_zero(self):
+        assert compute_epoch_at_slot(0, 32) == 0
+
+    def test_epoch_at_slot_boundary(self):
+        assert compute_epoch_at_slot(32, 32) == 1
+        assert compute_epoch_at_slot(31, 32) == 0
+
+    def test_epoch_at_slot_large(self):
+        assert compute_epoch_at_slot(32 * 100 + 5, 32) == 100
+
+    def test_start_slot_of_epoch(self):
+        assert compute_start_slot_at_epoch(0, 32) == 0
+        assert compute_start_slot_at_epoch(3, 32) == 96
+
+    def test_epoch_boundary_detection(self):
+        assert is_epoch_boundary_slot(0, 32)
+        assert is_epoch_boundary_slot(64, 32)
+        assert not is_epoch_boundary_slot(65, 32)
+
+    def test_negative_slot_rejected(self):
+        with pytest.raises(ValueError):
+            compute_epoch_at_slot(-1, 32)
+
+    def test_negative_epoch_rejected(self):
+        with pytest.raises(ValueError):
+            compute_start_slot_at_epoch(-1, 32)
+
+    def test_roundtrip(self):
+        for epoch in (0, 1, 7, 123):
+            slot = compute_start_slot_at_epoch(epoch, 32)
+            assert compute_epoch_at_slot(slot, 32) == epoch

@@ -1,0 +1,115 @@
+"""Tests for repro.spec.validator."""
+
+import pytest
+
+from repro.spec.config import SpecConfig
+from repro.spec.validator import (
+    Validator,
+    byzantine_proportion,
+    make_registry,
+    stake_proportion,
+    total_stake,
+)
+
+
+class TestValidator:
+    def test_defaults(self):
+        validator = Validator(index=0, stake=32.0)
+        assert validator.is_active(0)
+        assert not validator.slashed
+        assert validator.inactivity_score == 0
+
+    def test_rejects_negative_stake(self):
+        with pytest.raises(ValueError):
+            Validator(index=0, stake=-1.0)
+
+    def test_rejects_negative_index(self):
+        with pytest.raises(ValueError):
+            Validator(index=-1, stake=32.0)
+
+    def test_exit_is_idempotent_and_keeps_earliest(self):
+        validator = Validator(index=0, stake=32.0)
+        validator.exit(10)
+        validator.exit(20)
+        assert validator.exit_epoch == 10
+        validator.exit(5)
+        assert validator.exit_epoch == 5
+
+    def test_is_active_respects_exit(self):
+        validator = Validator(index=0, stake=32.0)
+        validator.exit(10)
+        assert validator.is_active(9)
+        assert not validator.is_active(10)
+
+    def test_apply_penalty_floors_at_zero(self):
+        validator = Validator(index=0, stake=1.0)
+        deducted = validator.apply_penalty(5.0)
+        assert deducted == pytest.approx(1.0)
+        assert validator.stake == 0.0
+
+    def test_apply_penalty_rejects_negative(self):
+        validator = Validator(index=0, stake=1.0)
+        with pytest.raises(ValueError):
+            validator.apply_penalty(-1.0)
+
+    def test_apply_reward_with_cap(self):
+        validator = Validator(index=0, stake=31.5)
+        credited = validator.apply_reward(1.0, cap=32.0)
+        assert credited == pytest.approx(0.5)
+        assert validator.stake == pytest.approx(32.0)
+
+    def test_apply_reward_rejects_negative(self):
+        validator = Validator(index=0, stake=1.0)
+        with pytest.raises(ValueError):
+            validator.apply_reward(-0.1)
+
+
+class TestRegistry:
+    def test_make_registry_size_and_stake(self):
+        registry = make_registry(8)
+        assert len(registry) == 8
+        assert all(v.stake == 32.0 for v in registry)
+        assert [v.index for v in registry] == list(range(8))
+
+    def test_make_registry_byzantine_labels_at_end(self):
+        registry = make_registry(10, byzantine_fraction=0.3)
+        labels = [v.label for v in registry]
+        assert labels.count("byzantine") == 3
+        assert labels[-3:] == ["byzantine"] * 3
+
+    def test_make_registry_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            make_registry(10, byzantine_fraction=1.0)
+
+    def test_make_registry_rejects_zero_validators(self):
+        with pytest.raises(ValueError):
+            make_registry(0)
+
+    def test_total_stake(self):
+        registry = make_registry(4)
+        assert total_stake(registry) == pytest.approx(128.0)
+
+    def test_total_stake_with_epoch_filters_exited(self):
+        registry = make_registry(4)
+        registry[0].exit(2)
+        assert total_stake(registry, epoch=1) == pytest.approx(128.0)
+        assert total_stake(registry, epoch=2) == pytest.approx(96.0)
+
+    def test_stake_proportion(self):
+        registry = make_registry(4)
+        assert stake_proportion(registry[:1], registry) == pytest.approx(0.25)
+
+    def test_stake_proportion_empty_registry_total(self):
+        registry = [Validator(index=0, stake=0.0)]
+        assert stake_proportion(registry, registry) == 0.0
+
+    def test_byzantine_proportion_matches_fraction(self):
+        registry = make_registry(10, byzantine_fraction=0.2)
+        assert byzantine_proportion(registry) == pytest.approx(0.2)
+
+    def test_byzantine_proportion_changes_with_stake(self):
+        registry = make_registry(10, byzantine_fraction=0.2)
+        for validator in registry:
+            if validator.label == "byzantine":
+                validator.stake = 16.0
+        assert byzantine_proportion(registry) == pytest.approx(32.0 / (8 * 32 + 32))

@@ -1,0 +1,115 @@
+"""Tests for the ASCII visualisation helpers and the experiment export module."""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.experiments import export, registry
+from repro.experiments.runner import main, run_experiments
+from repro.viz import ascii_plot, format_table, sparkline
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_constant_series(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_monotone_series_uses_increasing_levels(self):
+        line = sparkline([0, 1, 2, 3, 4, 5, 6, 7])
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+        assert len(line) == 8
+
+    def test_resampling_width(self):
+        line = sparkline(list(range(100)), width=10)
+        assert len(line) == 10
+
+
+class TestAsciiPlot:
+    def test_single_series_contains_markers_and_labels(self):
+        chart = ascii_plot(
+            {"ratio": ([0, 1, 2, 3], [0.0, 0.5, 0.75, 1.0])},
+            width=30,
+            height=8,
+            x_label="epoch",
+            y_label="ratio",
+        )
+        assert "*" in chart
+        assert "ratio" in chart
+        assert "epoch" in chart
+
+    def test_multiple_series_get_distinct_markers(self):
+        chart = ascii_plot(
+            {
+                "first": ([0, 1, 2], [1.0, 2.0, 3.0]),
+                "second": ([0, 1, 2], [3.0, 2.0, 1.0]),
+            },
+            width=20,
+            height=6,
+        )
+        assert "*" in chart and "+" in chart
+
+    def test_empty_plot(self):
+        assert ascii_plot({"empty": ([], [])}) == "(empty plot)"
+
+    def test_too_small_canvas_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_plot({"x": ([0], [0])}, width=5, height=2)
+
+
+class TestFormatTable:
+    def test_empty(self):
+        assert format_table([]) == "(empty table)"
+
+    def test_columns_aligned_and_none_rendered_as_dash(self):
+        table = format_table(
+            [{"a": 1, "b": None}, {"a": 123456, "b": 2.5}],
+        )
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert "-" in lines[2].split()[1]
+        assert "2.5" in lines[3]
+
+    def test_explicit_column_selection(self):
+        table = format_table([{"a": 1, "b": 2}], columns=["b"])
+        assert "a" not in table.splitlines()[0]
+
+
+class TestExport:
+    def test_export_json_and_csv(self, tmp_path):
+        result = registry.run("fig6")
+        json_path = export.export_json("fig6", result, tmp_path)
+        csv_path = export.export_csv("fig6", result, tmp_path)
+        assert json_path.exists() and csv_path.exists()
+        record = json.loads(json_path.read_text())
+        assert record["experiment"] == "fig6"
+        assert record["rows"]
+        assert "Figure 6" in record["report"]
+        header = csv_path.read_text().splitlines()[0]
+        assert "beta0" in header
+
+    def test_export_experiments_helper(self, tmp_path):
+        written = export.export_experiments(["bouncing-duration"], tmp_path)
+        names = {path.name for path in written}
+        assert "bouncing-duration.json" in names
+        assert "bouncing-duration.csv" in names
+
+    def test_jsonable_handles_special_floats(self):
+        assert export._jsonable(float("nan")) is None
+        assert export._jsonable(float("inf")) == "inf"
+        assert export._jsonable((1, 2)) == [1, 2]
+
+    def test_runner_with_output_dir(self, tmp_path, capsys):
+        code = main(["fig6", "--output-dir", str(tmp_path), "--format", "json"])
+        assert code == 0
+        assert (tmp_path / "fig6.json").exists()
+        assert not (tmp_path / "fig6.csv").exists()
+
+    def test_run_experiments_with_export(self, tmp_path):
+        reports = run_experiments(["safety-bound"], output_dir=tmp_path)
+        assert len(reports) == 1
+        assert (tmp_path / "safety-bound.json").exists()
+        assert (tmp_path / "safety-bound.csv").exists()
