@@ -2,6 +2,10 @@
 
 The package is organised in layers:
 
+* :mod:`repro.core` — the shared stake-dynamics engine: one vectorized
+  implementation of the inactivity-score and penalty rules (Equations 1–2,
+  score floor, ejection) with numpy/python backends, plus the seeded
+  parallel trial runner every Monte-Carlo experiment uses.
 * :mod:`repro.spec` — a from-scratch Gasper-style protocol substrate
   (blocks, attestations, fork choice, FFG finality, incentives, the
   inactivity leak, slashing).

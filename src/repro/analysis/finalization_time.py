@@ -39,7 +39,7 @@ from repro.leak.ratios import (
 EJECTION_CAP = float(constants.PAPER_INACTIVE_EJECTION_EPOCH)
 
 #: The FFG supermajority threshold.
-SUPERMAJORITY = 2.0 / 3.0
+SUPERMAJORITY = constants.SUPERMAJORITY_FRACTION
 
 
 class ByzantineStrategy:

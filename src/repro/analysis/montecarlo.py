@@ -13,16 +13,25 @@ no Byzantine proposer lands in the first ``j`` slots of an epoch.
 It provides the empirical counterparts of Figures 9 and 10 plus the
 distribution of the attack's stopping time, and is used by the validation
 benchmarks to quantify the quality of the paper's approximations.
+
+The per-epoch arithmetic is delegated to the shared stake-dynamics kernel
+(:mod:`repro.core.backend`), and whole *chunks* of trials are batched into
+``(trials, validators)`` matrices so one kernel call advances every trial
+of a chunk at once.  Chunks are dispatched through the seeded parallel
+runner (:mod:`repro.core.trials`): results are bit-identical for a given
+seed whatever ``jobs`` is.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
 from repro import constants
+from repro.core.backend import StakeBackend, StakeRules, get_backend
+from repro.core.trials import DEFAULT_CHUNK_SIZE, TrialChunk, run_chunked
 from repro.spec.config import SpecConfig
 
 
@@ -40,7 +49,9 @@ class BouncingTrialResult:
     #: Per-recorded-epoch Byzantine stake proportion on branch B.
     byzantine_proportion_branch_b: Dict[int, float]
 
-    def exceeded_threshold_at(self, epoch: int, threshold: float = 1.0 / 3.0) -> bool:
+    def exceeded_threshold_at(
+        self, epoch: int, threshold: float = constants.BYZANTINE_SAFETY_THRESHOLD
+    ) -> bool:
         """True if beta exceeded ``threshold`` on either branch at ``epoch``."""
         a = self.byzantine_proportion_branch_a.get(epoch)
         b = self.byzantine_proportion_branch_b.get(epoch)
@@ -61,7 +72,9 @@ class BouncingMonteCarloResult:
     def n_trials(self) -> int:
         return len(self.trials)
 
-    def exceed_probability(self, epoch: int, threshold: float = 1.0 / 3.0) -> float:
+    def exceed_probability(
+        self, epoch: int, threshold: float = constants.BYZANTINE_SAFETY_THRESHOLD
+    ) -> float:
         """Empirical P[beta > threshold on either branch] at ``epoch``.
 
         Conditional on nothing: trials where the attack already stopped do
@@ -77,7 +90,7 @@ class BouncingMonteCarloResult:
         return hits / len(self.trials)
 
     def conditional_exceed_probability(
-        self, epoch: int, threshold: float = 1.0 / 3.0
+        self, epoch: int, threshold: float = constants.BYZANTINE_SAFETY_THRESHOLD
     ) -> float:
         """Empirical P[beta > threshold | the attack is still running at ``epoch``]."""
         alive = [trial for trial in self.trials if trial.stop_epoch >= epoch]
@@ -99,8 +112,25 @@ class BouncingMonteCarloResult:
         return float(np.mean([trial.stop_epoch for trial in self.trials]))
 
 
+def _simulate_chunk(
+    chunk: TrialChunk,
+    simulator: "BouncingMonteCarlo",
+    horizon: int,
+    record_epochs: Sequence[int],
+) -> List[BouncingTrialResult]:
+    """Module-level chunk worker (picklable for the process pool)."""
+    return simulator._run_chunk(chunk.rng(), chunk.size, horizon, record_epochs)
+
+
 class BouncingMonteCarlo:
-    """Simulates the bouncing attack with the discrete protocol rules."""
+    """Simulates the bouncing attack with the discrete protocol rules.
+
+    One chunk of trials is simulated as a single
+    ``(trials, 2 branches, n_honest + 1)`` batch — honest validators in the
+    first ``n_honest`` columns, the (identical) Byzantine validators
+    aggregated in the last — so one vectorized kernel call advances every
+    trial of the chunk on both branches each epoch.
+    """
 
     def __init__(
         self,
@@ -111,6 +141,7 @@ class BouncingMonteCarlo:
         window_slots: int = constants.BOUNCING_ATTACK_WINDOW_SLOTS,
         enforce_stopping: bool = True,
         seed: int = 0,
+        backend: Union[str, StakeBackend] = "numpy",
     ) -> None:
         if not 0.0 <= beta0 < 1.0:
             raise ValueError("beta0 must lie in [0, 1)")
@@ -125,111 +156,110 @@ class BouncingMonteCarlo:
         self.window_slots = window_slots
         self.enforce_stopping = enforce_stopping
         self.seed = seed
+        self.backend = get_backend(backend)
 
     # ------------------------------------------------------------------
-    def _run_trial(self, rng: np.random.Generator, horizon: int, record_epochs: Sequence[int]) -> BouncingTrialResult:
+    def _run_chunk(
+        self,
+        rng: np.random.Generator,
+        n_trials: int,
+        horizon: int,
+        record_epochs: Sequence[int],
+    ) -> List[BouncingTrialResult]:
         cfg = self.config
-        quotient = float(cfg.inactivity_penalty_quotient)
-        ejection = cfg.ejection_balance
+        rules = StakeRules.from_config(cfg)
+        # Private kernel instance: nothing here reads the penalty totals, so
+        # skip their per-epoch reductions without disturbing self.backend.
+        kernel = self.backend.clone()
+        kernel.track_penalty_totals = False
+        n = self.n_honest
         s0 = cfg.max_effective_balance
 
-        # Honest validators: per-branch stakes and scores.
-        honest_stake = {
-            "A": np.full(self.n_honest, s0),
-            "B": np.full(self.n_honest, s0),
-        }
-        honest_score = {
-            "A": np.zeros(self.n_honest),
-            "B": np.zeros(self.n_honest),
-        }
-        honest_ejected = {
-            "A": np.zeros(self.n_honest, dtype=bool),
-            "B": np.zeros(self.n_honest, dtype=bool),
-        }
-        # Byzantine validators are identical: a single scalar per branch.
-        byzantine_stake = {"A": s0, "B": s0}
-        byzantine_score = {"A": 0.0, "B": 0.0}
-        byzantine_ejected = {"A": False, "B": False}
+        # Column layout: honest validators 0..n-1, Byzantine aggregate at n.
+        # Honest validators carry (1 - beta0) of the weight, Byzantine beta0.
+        weights = np.empty(n + 1)
+        weights[:n] = (1.0 - self.beta0) / n
+        weights[n] = self.beta0
 
-        # Total weights: honest validators carry (1 - beta0), Byzantine beta0.
-        honest_weight = (1.0 - self.beta0) / self.n_honest
-        byzantine_weight = self.beta0
+        # Both branches share one (n_trials, 2, n + 1) batch — axis 1 is the
+        # branch (0 = A, 1 = B) — so each epoch is a single kernel call.
+        stakes = np.full((n_trials, 2, n + 1), s0)
+        scores = np.zeros((n_trials, 2, n + 1))
+        ejected = np.zeros((n_trials, 2, n + 1), dtype=bool)
+        active = np.empty((n_trials, 2, n + 1), dtype=bool)
 
-        record: Dict[str, Dict[int, float]] = {"A": {}, "B": {}}
-        stop_epoch = horizon
-        survived = True
+        alive = np.ones(n_trials, dtype=bool)
+        stop_epoch = np.full(n_trials, horizon, dtype=int)
+        #: epoch -> branch -> per-trial Byzantine proportion.
+        recorded: Dict[int, Dict[str, np.ndarray]] = {}
+        record_set = set(int(e) for e in record_epochs)
+
+        def branch_beta(branch_axis: int) -> np.ndarray:
+            effective = np.where(
+                ejected[:, branch_axis, :], 0.0, stakes[:, branch_axis, :]
+            )
+            totals = effective @ weights
+            byz = effective[:, n] * weights[n]
+            return np.divide(byz, totals, out=np.zeros(n_trials), where=totals > 0)
 
         for epoch in range(1, horizon + 1):
-            # Attack continuation: a Byzantine proposer must land in one of the
-            # first `window_slots` slots of the epoch (proposers drawn by stake).
+            # Attack continuation: a Byzantine proposer must land in one of
+            # the first `window_slots` slots of the epoch (proposers drawn
+            # by stake).  The Byzantine stake freezes at its ejection value
+            # (the share it could still propose with), honest ejected stake
+            # counts as zero — matching the per-trial reference semantics.
             if self.enforce_stopping:
-                byzantine_share = byzantine_weight * byzantine_stake["A"] / (
-                    byzantine_weight * byzantine_stake["A"]
-                    + honest_weight * float(np.sum(np.where(honest_ejected["A"], 0.0, honest_stake["A"])))
+                honest_total = (
+                    np.where(ejected[:, 0, :n], 0.0, stakes[:, 0, :n]) @ weights[:n]
                 )
-                continue_probability = 1.0 - (1.0 - byzantine_share) ** self.window_slots
-                if rng.random() > continue_probability:
-                    stop_epoch = epoch - 1
-                    survived = False
+                byzantine_total = weights[n] * stakes[:, 0, n]
+                byzantine_share = byzantine_total / (byzantine_total + honest_total)
+                continue_probability = (
+                    1.0 - (1.0 - byzantine_share) ** self.window_slots
+                )
+                stopped_now = alive & (rng.random(n_trials) > continue_probability)
+                stop_epoch[stopped_now] = epoch - 1
+                alive &= ~stopped_now
+                if not alive.any():
                     break
 
             # Branch assignment of honest validators this epoch.
-            on_a = rng.random(self.n_honest) < self.p0
+            on_a = rng.random((n_trials, n)) < self.p0
             byzantine_on_a = epoch % 2 == 0  # semi-active alternation
+            active[:, 0, :n] = on_a
+            np.logical_not(on_a, out=active[:, 1, :n])
+            active[:, 0, n] = byzantine_on_a
+            active[:, 1, n] = not byzantine_on_a
 
-            for branch, honest_active in (("A", on_a), ("B", ~on_a)):
-                # Penalties from the carried-over scores (Equation 2).
-                stakes = honest_stake[branch]
-                scores = honest_score[branch]
-                ejected = honest_ejected[branch]
-                penalties = scores * stakes / quotient
-                stakes = np.where(ejected, stakes, np.maximum(0.0, stakes - penalties))
-                # Score update (Equation 1).
-                scores = np.where(
-                    honest_active,
-                    np.maximum(0.0, scores - cfg.inactivity_score_recovery),
-                    scores + cfg.inactivity_score_bias,
+            outcome = kernel.epoch_update(
+                stakes, scores, active, ejected, rules, in_leak=True
+            )
+            stakes, scores, ejected = outcome.stakes, outcome.scores, outcome.ejected
+
+            if epoch in record_set:
+                recorded[epoch] = {"A": branch_beta(0), "B": branch_beta(1)}
+
+        results: List[BouncingTrialResult] = []
+        for trial in range(n_trials):
+            record_a = {
+                epoch: float(betas["A"][trial])
+                for epoch, betas in recorded.items()
+                if stop_epoch[trial] >= epoch
+            }
+            record_b = {
+                epoch: float(betas["B"][trial])
+                for epoch, betas in recorded.items()
+                if stop_epoch[trial] >= epoch
+            }
+            results.append(
+                BouncingTrialResult(
+                    stop_epoch=int(stop_epoch[trial]),
+                    survived=bool(alive[trial]),
+                    byzantine_proportion_branch_a=record_a,
+                    byzantine_proportion_branch_b=record_b,
                 )
-                newly_ejected = (~ejected) & (stakes <= ejection)
-                ejected = ejected | newly_ejected
-                honest_stake[branch] = stakes
-                honest_score[branch] = scores
-                honest_ejected[branch] = ejected
-
-                # Byzantine group on this branch.
-                byz_active = byzantine_on_a if branch == "A" else not byzantine_on_a
-                if not byzantine_ejected[branch]:
-                    byzantine_stake[branch] = max(
-                        0.0,
-                        byzantine_stake[branch]
-                        - byzantine_score[branch] * byzantine_stake[branch] / quotient,
-                    )
-                    if byz_active:
-                        byzantine_score[branch] = max(
-                            0.0, byzantine_score[branch] - cfg.inactivity_score_recovery
-                        )
-                    else:
-                        byzantine_score[branch] += cfg.inactivity_score_bias
-                    if byzantine_stake[branch] <= ejection:
-                        byzantine_ejected[branch] = True
-
-            if epoch in record_epochs:
-                for branch in ("A", "B"):
-                    honest_total = honest_weight * float(
-                        np.sum(np.where(honest_ejected[branch], 0.0, honest_stake[branch]))
-                    )
-                    byz_total = (
-                        0.0 if byzantine_ejected[branch] else byzantine_weight * byzantine_stake[branch]
-                    )
-                    total = honest_total + byz_total
-                    record[branch][epoch] = byz_total / total if total > 0 else 0.0
-
-        return BouncingTrialResult(
-            stop_epoch=stop_epoch,
-            survived=survived,
-            byzantine_proportion_branch_a=record["A"],
-            byzantine_proportion_branch_b=record["B"],
-        )
+            )
+        return results
 
     # ------------------------------------------------------------------
     def run(
@@ -237,8 +267,16 @@ class BouncingMonteCarlo:
         n_trials: int,
         horizon: int,
         record_epochs: Optional[Sequence[int]] = None,
+        jobs: Optional[int] = None,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
     ) -> BouncingMonteCarloResult:
-        """Run ``n_trials`` independent attack trials up to ``horizon`` epochs."""
+        """Run ``n_trials`` independent attack trials up to ``horizon`` epochs.
+
+        ``jobs`` fans the trial chunks out to a process pool (``None``/1 =
+        serial, <=0 = all cores); the chunk plan and per-chunk seeds depend
+        only on ``(n_trials, chunk_size, seed)``, so the result is the same
+        whatever the parallelism.
+        """
         if n_trials <= 0:
             raise ValueError("n_trials must be positive")
         if horizon <= 0:
@@ -248,13 +286,21 @@ class BouncingMonteCarlo:
             if record_epochs is not None
             else [horizon]
         )
-        rng = np.random.default_rng(self.seed)
-        result = BouncingMonteCarloResult(
-            beta0=self.beta0, p0=self.p0, horizon=horizon, record_epochs=epochs
+        trials = run_chunked(
+            _simulate_chunk,
+            n_trials,
+            seed=self.seed,
+            jobs=jobs,
+            chunk_size=chunk_size,
+            worker_args=(self, horizon, epochs),
         )
-        for _ in range(n_trials):
-            result.trials.append(self._run_trial(rng, horizon, epochs))
-        return result
+        return BouncingMonteCarloResult(
+            beta0=self.beta0,
+            p0=self.p0,
+            horizon=horizon,
+            record_epochs=epochs,
+            trials=trials,
+        )
 
     # ------------------------------------------------------------------
     def honest_stake_sample(
@@ -264,23 +310,20 @@ class BouncingMonteCarlo:
 
         Runs the per-validator dynamics with no attack-stopping so that the
         sample reflects the conditional law used by the paper's Figure 9.
+        Ejected validators report a stake of zero.
         """
         rng = np.random.default_rng(self.seed if seed is None else seed)
-        cfg = self.config
-        quotient = float(cfg.inactivity_penalty_quotient)
-        stakes = np.full(n_samples, cfg.max_effective_balance)
+        rules = StakeRules.from_config(self.config)
+        kernel = self.backend
+        stakes = np.full(n_samples, self.config.max_effective_balance)
         scores = np.zeros(n_samples)
         ejected = np.zeros(n_samples, dtype=bool)
         for _ in range(epoch):
             active = rng.random(n_samples) < self.p0
-            penalties = scores * stakes / quotient
-            stakes = np.where(ejected, stakes, np.maximum(0.0, stakes - penalties))
-            scores = np.where(
-                active,
-                np.maximum(0.0, scores - cfg.inactivity_score_recovery),
-                scores + cfg.inactivity_score_bias,
+            outcome = kernel.epoch_update(
+                stakes, scores, active, ejected, rules, in_leak=True
             )
-            newly_ejected = (~ejected) & (stakes <= cfg.ejection_balance)
-            stakes = np.where(newly_ejected, 0.0, stakes)
-            ejected |= newly_ejected
+            stakes = np.where(outcome.newly_ejected, 0.0, outcome.stakes)
+            scores = outcome.scores
+            ejected = outcome.ejected
         return stakes

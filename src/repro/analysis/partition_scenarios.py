@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import constants
 from repro.analysis.bouncing import BouncingAttackModel
 from repro.analysis.finalization_time import (
     ByzantineStrategy,
@@ -156,7 +157,7 @@ def run_slashable_byzantine_scenario(
         outcome="2 finalized branches",
         conflicting_finalization_epoch=result.conflicting_finalization_epoch(),
         max_byzantine_proportion=max_beta,
-        threshold_exceeded=max_beta >= 1.0 / 3.0,
+        threshold_exceeded=max_beta >= constants.BYZANTINE_SAFETY_THRESHOLD,
         analytical_epoch=analytical.finalization_epoch,
         simulation=result,
     )
@@ -176,7 +177,7 @@ class NonSlashableFinalizer:
     the other branch (Section 5.2.2 / Figure 5).
     """
 
-    def __init__(self, supermajority: float = 2.0 / 3.0) -> None:
+    def __init__(self, supermajority: float = constants.SUPERMAJORITY_FRACTION) -> None:
         self.supermajority = supermajority
         self._burst_branch: Optional[str] = None
         self._finalized_branches: set = set()
@@ -252,7 +253,7 @@ def run_non_slashable_byzantine_scenario(
         outcome="2 finalized branches",
         conflicting_finalization_epoch=result.conflicting_finalization_epoch(),
         max_byzantine_proportion=max_beta,
-        threshold_exceeded=max_beta >= 1.0 / 3.0,
+        threshold_exceeded=max_beta >= constants.BYZANTINE_SAFETY_THRESHOLD,
         analytical_epoch=analytical.finalization_epoch,
         simulation=result,
     )
@@ -293,7 +294,7 @@ def run_threshold_exceeding_scenario(
     max_beta = max(
         branch.max_byzantine_proportion() for branch in result.branches.values()
     )
-    exceeded = max_beta >= 1.0 / 3.0
+    exceeded = max_beta >= constants.BYZANTINE_SAFETY_THRESHOLD
     return ScenarioOutcome(
         scenario_id="5.2.3",
         description="Byzantine validators delay finalization to exceed one-third",

@@ -22,11 +22,12 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import constants
 
 #: Score increment when the validator is inactive on the branch (Equation 1).
-INACTIVE_STEP = 4
-#: Score decrement when the validator is active on the branch.
-ACTIVE_STEP = -1
+INACTIVE_STEP = constants.INACTIVITY_SCORE_BIAS
+#: Score decrement when the validator is active on the branch (Equation 1).
+ACTIVE_STEP = -constants.INACTIVITY_SCORE_RECOVERY_PER_EPOCH
 
 
 def drift_per_epoch(p0: float = 0.5) -> float:
@@ -39,14 +40,18 @@ def drift_per_epoch(p0: float = 0.5) -> float:
     _validate_probability(p0)
     # On this branch: +4 with prob (1 - p0) [validator went to the other
     # branch], -1 with prob p0.  Averaged with the complementary branch the
-    # drift is 3/2; we return the paper's V.
-    return 1.5
+    # drift is (bias - recovery) / 2 = 3/2, the paper's V.
+    return (INACTIVE_STEP + ACTIVE_STEP) / 2.0
 
 
 def diffusion_coefficient(p0: float = 0.5) -> float:
-    """The paper's diffusion coefficient ``D = 25 p0 (1 - p0)``."""
+    """The paper's diffusion coefficient ``D = 25 p0 (1 - p0)``.
+
+    The 25 is ``(bias + recovery)^2 = (4 + 1)^2``: the squared gap between
+    the walk's two steps.
+    """
     _validate_probability(p0)
-    return 25.0 * p0 * (1.0 - p0)
+    return float((INACTIVE_STEP - ACTIVE_STEP) ** 2) * p0 * (1.0 - p0)
 
 
 def _validate_probability(p0: float) -> None:

@@ -57,6 +57,9 @@ MIN_SLASHING_PENALTY_FRACTION: float = 1.0 / 32.0
 SUPERMAJORITY_NUMERATOR: int = 2
 SUPERMAJORITY_DENOMINATOR: int = 3
 
+#: The FFG supermajority threshold as a float (2/3 on mainnet), derived.
+SUPERMAJORITY_FRACTION: float = SUPERMAJORITY_NUMERATOR / SUPERMAJORITY_DENOMINATOR
+
 #: Safety threshold on the Byzantine stake proportion.
 BYZANTINE_SAFETY_THRESHOLD: float = 1.0 / 3.0
 

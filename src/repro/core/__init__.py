@@ -1,0 +1,46 @@
+"""Core stake-dynamics engine shared by the leak, Monte-Carlo and sim layers.
+
+One implementation of the paper's Equations 1–2 (inactivity scores and
+penalties, score floor, 16.75-ETH ejection) over flat arrays, with a
+vectorized ``"numpy"`` backend and a pure-loop ``"python"`` reference, plus
+the seeded parallel trial runner used by the Monte-Carlo experiments.
+"""
+
+from repro.core.backend import (
+    EpochOutcome,
+    NumpyBackend,
+    PythonBackend,
+    StakeBackend,
+    StakeRules,
+    available_backends,
+    get_backend,
+)
+from repro.core.stake_engine import FinalityTracker, StakeEngine
+from repro.core.trials import (
+    DEFAULT_CHUNK_SIZE,
+    TrialChunk,
+    parallel_map,
+    plan_chunks,
+    resolve_jobs,
+    run_chunked,
+    run_trials,
+)
+
+__all__ = [
+    "DEFAULT_CHUNK_SIZE",
+    "EpochOutcome",
+    "FinalityTracker",
+    "NumpyBackend",
+    "PythonBackend",
+    "StakeBackend",
+    "StakeEngine",
+    "StakeRules",
+    "TrialChunk",
+    "available_backends",
+    "get_backend",
+    "parallel_map",
+    "plan_chunks",
+    "resolve_jobs",
+    "run_chunked",
+    "run_trials",
+]

@@ -1,0 +1,361 @@
+"""Pluggable backends for the discrete stake-dynamics epoch update.
+
+This module is the single implementation of the paper's Equations 1 and 2
+(inactivity scores and penalties), the score floor at zero, and the
+16.75-ETH ejection rule, operating on flat arrays over an arbitrary
+population of validators (or validator groups).  Everything that used to
+re-implement these rules — the group-ledger leak simulator
+(:mod:`repro.leak.dynamics`), the per-validator Monte-Carlo bouncing
+simulation (:mod:`repro.analysis.montecarlo`) and the per-node epoch
+processing behind :mod:`repro.sim` (:mod:`repro.spec.inactivity`) —
+delegates here.
+
+Two backends are provided:
+
+``"numpy"``
+    The fast path: vectorized element-wise updates over the whole
+    population at once.  Arrays may have any shape (the Monte-Carlo layer
+    batches ``(trials, validators)`` matrices through it).
+
+``"python"``
+    A pure-Python reference that applies the identical arithmetic one
+    element at a time.  Because both backends perform the same IEEE-754
+    double operations in the same order per element, their trajectories are
+    bit-identical — which the equivalence tests assert, and which makes the
+    loop backend a trustworthy semantics oracle for the vectorized one.
+
+The epoch update is decomposed into three stages executed in protocol
+order (penalties from carried-over scores, score updates from this epoch's
+activity, ejections), mirroring Equation 2's ``I(t-1) * s(t-1) / 2**26``
+indexing.  Ejected validators are frozen: their stake and score stop
+evolving and they can never be re-ejected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Optional, Tuple, Type
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (core is below spec)
+    from repro.spec.config import SpecConfig
+
+
+@dataclass(frozen=True)
+class StakeRules:
+    """The protocol parameters consumed by the epoch-update kernel."""
+
+    score_bias: float
+    score_recovery: float
+    score_recovery_no_leak: float
+    penalty_quotient: float
+    ejection_balance: float
+
+    @classmethod
+    def from_config(cls, config: "Optional[SpecConfig]" = None) -> "StakeRules":
+        """Extract the kernel parameters from a :class:`SpecConfig`."""
+        from repro.spec.config import SpecConfig
+
+        cfg = config or SpecConfig.mainnet()
+        return cls(
+            score_bias=float(cfg.inactivity_score_bias),
+            score_recovery=float(cfg.inactivity_score_recovery),
+            score_recovery_no_leak=float(cfg.inactivity_score_recovery_no_leak),
+            penalty_quotient=float(cfg.inactivity_penalty_quotient),
+            ejection_balance=float(cfg.ejection_balance),
+        )
+
+
+@dataclass
+class EpochOutcome:
+    """Result of one fused epoch update."""
+
+    stakes: np.ndarray
+    scores: np.ndarray
+    ejected: np.ndarray
+    #: Mask of validators ejected by *this* update.
+    newly_ejected: np.ndarray
+    #: Total stake burned by inactivity penalties this epoch.
+    total_penalty: float
+
+
+class StakeBackend:
+    """Interface of an epoch-update backend.
+
+    Subclasses implement the three stages; :meth:`epoch_update` composes
+    them in protocol order and is shared so both backends agree on the
+    sequencing by construction.
+    """
+
+    name: str = "abstract"
+    #: When False, :meth:`apply_penalties` reports a total of 0.0 instead of
+    #: summing the burned stake — hot loops that never read the total (the
+    #: Monte-Carlo batches) flip this off to skip two reductions per epoch.
+    #: The stake/score/ejection trajectories are unaffected.
+    track_penalty_totals: bool = True
+
+    def clone(self) -> "StakeBackend":
+        """A fresh instance of this backend with the same settings.
+
+        Call sites that flip :attr:`track_penalty_totals` must clone first
+        so a caller-supplied shared instance is never mutated.
+        """
+        other = type(self)()
+        other.track_penalty_totals = self.track_penalty_totals
+        return other
+
+    # -- stages --------------------------------------------------------
+    def apply_penalties(
+        self,
+        stakes: np.ndarray,
+        scores: np.ndarray,
+        ejected: np.ndarray,
+        rules: StakeRules,
+    ) -> Tuple[np.ndarray, float]:
+        """Equation 2: charge ``score * stake / quotient`` to live validators.
+
+        Returns the new stakes and the total amount actually burned (the
+        penalty is floored so the stake never goes negative).
+        """
+        raise NotImplementedError
+
+    def update_scores(
+        self,
+        scores: np.ndarray,
+        active: np.ndarray,
+        ejected: np.ndarray,
+        rules: StakeRules,
+        in_leak: bool,
+    ) -> np.ndarray:
+        """Equation 1: bias up inactive scores, recover active ones (floored).
+
+        Outside a leak every live score additionally recovers by
+        ``score_recovery_no_leak``.
+        """
+        raise NotImplementedError
+
+    def find_ejections(
+        self, stakes: np.ndarray, ejected: np.ndarray, rules: StakeRules
+    ) -> np.ndarray:
+        """Mask of live validators whose stake fell to/below the ejection balance."""
+        raise NotImplementedError
+
+    # -- fused step ----------------------------------------------------
+    def epoch_update(
+        self,
+        stakes: np.ndarray,
+        scores: np.ndarray,
+        active: np.ndarray,
+        ejected: np.ndarray,
+        rules: StakeRules,
+        in_leak: bool = True,
+    ) -> EpochOutcome:
+        """One epoch of stake dynamics in protocol order.
+
+        1. Penalties from the scores/stakes carried into the epoch (only
+           during a leak).
+        2. Score updates from this epoch's activity.
+        3. Ejection of live validators at/below the ejection balance.
+        """
+        if in_leak:
+            stakes, total_penalty = self.apply_penalties(stakes, scores, ejected, rules)
+        else:
+            stakes, total_penalty = np.array(stakes, dtype=float, copy=True), 0.0
+        scores = self.update_scores(scores, active, ejected, rules, in_leak)
+        newly_ejected = self.find_ejections(stakes, ejected, rules)
+        ejected = np.logical_or(ejected, newly_ejected)
+        return EpochOutcome(
+            stakes=stakes,
+            scores=scores,
+            ejected=ejected,
+            newly_ejected=newly_ejected,
+            total_penalty=total_penalty,
+        )
+
+
+class NumpyBackend(StakeBackend):
+    """Vectorized epoch updates over the whole population at once."""
+
+    name = "numpy"
+
+    def apply_penalties(self, stakes, scores, ejected, rules):
+        stakes = np.asarray(stakes, dtype=float)
+        ejected = np.asarray(ejected, dtype=bool)
+        # Per element this is exactly max(0.0, stake - score*stake/quotient),
+        # with in-place ops to keep large batched updates allocation-light.
+        penalised = np.asarray(scores, dtype=float) * stakes
+        penalised /= rules.penalty_quotient
+        np.subtract(stakes, penalised, out=penalised)
+        np.maximum(penalised, 0.0, out=penalised)
+        np.copyto(penalised, stakes, where=ejected)
+        if not self.track_penalty_totals:
+            return penalised, 0.0
+        return penalised, float(np.sum(stakes) - np.sum(penalised))
+
+    def update_scores(self, scores, active, ejected, rules, in_leak):
+        scores = np.asarray(scores, dtype=float)
+        # Build score - recovery (active) / score + bias (inactive) from a
+        # 0/1 selector: multiplying the exact scalars by 0.0 or 1.0 and
+        # adding keeps every element bit-identical to the loop reference
+        # while avoiding np.where's much slower scalar broadcast.  The
+        # global floor matches max(0, score - recovery) on the active side
+        # and is a no-op on the inactive side because scores are
+        # non-negative (Equation 1 floors at zero every epoch).
+        selector = np.asarray(active, dtype=float)
+        updated = selector * (-rules.score_recovery)
+        updated += scores
+        np.subtract(1.0, selector, out=selector)
+        selector *= rules.score_bias
+        updated += selector
+        np.maximum(updated, 0.0, out=updated)
+        if not in_leak:
+            updated -= rules.score_recovery_no_leak
+            np.maximum(updated, 0.0, out=updated)
+        np.copyto(updated, scores, where=np.asarray(ejected, dtype=bool))
+        return updated
+
+    def find_ejections(self, stakes, ejected, rules):
+        newly = np.asarray(stakes, dtype=float) <= rules.ejection_balance
+        newly &= ~np.asarray(ejected, dtype=bool)
+        return newly
+
+
+class PythonBackend(StakeBackend):
+    """Pure-Python loop reference, kept for exact-semantics validation."""
+
+    name = "python"
+
+    def apply_penalties(self, stakes, scores, ejected, rules):
+        stakes = np.asarray(stakes, dtype=float)
+        scores = np.asarray(scores, dtype=float)
+        ejected = np.asarray(ejected, dtype=bool)
+        shape = stakes.shape
+        flat_stakes = stakes.ravel().tolist()
+        flat_scores = scores.ravel().tolist()
+        flat_ejected = ejected.ravel().tolist()
+        total = 0.0
+        out = []
+        for stake, score, gone in zip(flat_stakes, flat_scores, flat_ejected):
+            if gone:
+                out.append(stake)
+                continue
+            new_stake = max(0.0, stake - score * stake / rules.penalty_quotient)
+            total += stake - new_stake
+            out.append(new_stake)
+        if not self.track_penalty_totals:
+            total = 0.0
+        return np.array(out, dtype=float).reshape(shape), total
+
+    def update_scores(self, scores, active, ejected, rules, in_leak):
+        scores = np.asarray(scores, dtype=float)
+        active = np.asarray(active, dtype=bool)
+        ejected = np.asarray(ejected, dtype=bool)
+        shape = scores.shape
+        out = []
+        for score, is_active, gone in zip(
+            scores.ravel().tolist(), active.ravel().tolist(), ejected.ravel().tolist()
+        ):
+            if gone:
+                out.append(score)
+                continue
+            if is_active:
+                score = max(0.0, score - rules.score_recovery)
+            else:
+                score = score + rules.score_bias
+            if not in_leak:
+                score = max(0.0, score - rules.score_recovery_no_leak)
+            out.append(score)
+        return np.array(out, dtype=float).reshape(shape)
+
+    def find_ejections(self, stakes, ejected, rules):
+        stakes = np.asarray(stakes, dtype=float)
+        ejected = np.asarray(ejected, dtype=bool)
+        shape = stakes.shape
+        out = [
+            (not gone) and stake <= rules.ejection_balance
+            for stake, gone in zip(stakes.ravel().tolist(), ejected.ravel().tolist())
+        ]
+        return np.array(out, dtype=bool).reshape(shape)
+
+    def epoch_update(self, stakes, scores, active, ejected, rules, in_leak=True):
+        # One fused pass per element, applying the identical arithmetic in
+        # the identical order as the composed stages.  For the small
+        # populations this backend targets (a handful of group ledgers) the
+        # single conversion round-trip beats a dozen tiny array ops.
+        stakes = np.asarray(stakes, dtype=float)
+        shape = stakes.shape
+        flat_stakes = stakes.ravel().tolist()
+        flat_scores = np.asarray(scores, dtype=float).ravel().tolist()
+        flat_active = np.asarray(active, dtype=bool).ravel().tolist()
+        flat_ejected = np.asarray(ejected, dtype=bool).ravel().tolist()
+        out_newly = [False] * len(flat_stakes)
+        total_penalty = 0.0
+        for i, (stake, score, is_active, gone) in enumerate(
+            zip(flat_stakes, flat_scores, flat_active, flat_ejected)
+        ):
+            if gone:
+                continue
+            if in_leak:
+                new_stake = max(0.0, stake - score * stake / rules.penalty_quotient)
+                total_penalty += stake - new_stake
+                stake = new_stake
+            if is_active:
+                score = max(0.0, score - rules.score_recovery)
+            else:
+                score = score + rules.score_bias
+            if not in_leak:
+                score = max(0.0, score - rules.score_recovery_no_leak)
+            if stake <= rules.ejection_balance:
+                out_newly[i] = True
+                flat_ejected[i] = True
+            flat_stakes[i] = stake
+            flat_scores[i] = score
+        if not self.track_penalty_totals:
+            total_penalty = 0.0
+        return EpochOutcome(
+            stakes=np.array(flat_stakes, dtype=float).reshape(shape),
+            scores=np.array(flat_scores, dtype=float).reshape(shape),
+            ejected=np.array(flat_ejected, dtype=bool).reshape(shape),
+            newly_ejected=np.array(out_newly, dtype=bool).reshape(shape),
+            total_penalty=total_penalty,
+        )
+
+
+_BACKENDS: Dict[str, Type[StakeBackend]] = {
+    NumpyBackend.name: NumpyBackend,
+    PythonBackend.name: PythonBackend,
+}
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Names of the registered backends."""
+    return tuple(sorted(_BACKENDS))
+
+
+#: Population size below which the loop backend beats the vectorized one
+#: (NumPy dispatch overhead dominates tiny arrays).  Used by ``"auto"``.
+AUTO_BACKEND_THRESHOLD = 32
+
+
+def get_backend(
+    backend: "str | StakeBackend" = "numpy", population: Optional[int] = None
+) -> StakeBackend:
+    """Resolve a backend name (or pass an instance through).
+
+    ``"auto"`` picks ``"python"`` for populations smaller than
+    ``AUTO_BACKEND_THRESHOLD`` (a handful of group ledgers) and ``"numpy"``
+    otherwise; it requires ``population``.
+    """
+    if isinstance(backend, StakeBackend):
+        return backend
+    if backend == "auto":
+        if population is None:
+            raise ValueError('backend "auto" needs the population size')
+        backend = "python" if population < AUTO_BACKEND_THRESHOLD else "numpy"
+    try:
+        return _BACKENDS[backend]()
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {backend!r}; available: {available_backends()}"
+        ) from None

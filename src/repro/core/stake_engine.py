@@ -1,0 +1,180 @@
+"""Flat-array stake-dynamics engine shared by the leak, Monte-Carlo and sim layers.
+
+:class:`StakeEngine` holds the per-validator (or per-group) state of one
+chain branch as flat NumPy arrays — stakes, inactivity scores, ejection
+mask, optional stake weights — and advances it one epoch at a time through
+a pluggable :mod:`repro.core.backend` kernel.  :class:`FinalityTracker`
+implements the justification/finalization bookkeeping (supermajority
+threshold, two consecutive justified checkpoints finalize the first) that
+every branch-level simulation repeats.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.backend import EpochOutcome, StakeBackend, StakeRules, get_backend
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (core is below spec)
+    from repro.spec.config import SpecConfig
+
+
+class StakeEngine:
+    """Vectorized epoch-by-epoch stake dynamics for one population.
+
+    Parameters
+    ----------
+    stakes:
+        Initial per-entry stakes (one entry per validator or per group).
+    weights:
+        Optional per-entry share of the total validator set; defaults to
+        uniform.  Weighted totals are what the branch-level active-stake
+        ratios use (a group ledger carries its group's weight, a
+        per-validator engine carries ``1/n`` each).
+    config:
+        Protocol parameters; defaults to mainnet.
+    backend:
+        ``"numpy"`` (default), ``"python"``, ``"auto"`` (loop backend for
+        tiny populations, vectorized otherwise), or a backend instance.
+    """
+
+    def __init__(
+        self,
+        stakes: Sequence[float],
+        *,
+        weights: Optional[Sequence[float]] = None,
+        scores: Optional[Sequence[float]] = None,
+        ejected: Optional[Sequence[bool]] = None,
+        config: "Optional[SpecConfig]" = None,
+        backend: Union[str, StakeBackend] = "numpy",
+    ) -> None:
+        from repro.spec.config import SpecConfig
+
+        self.config = config or SpecConfig.mainnet()
+        self.rules = StakeRules.from_config(self.config)
+        self.stakes = np.array(stakes, dtype=float)
+        if self.stakes.ndim != 1:
+            raise ValueError("stakes must be one-dimensional")
+        n = self.stakes.shape[0]
+        if n == 0:
+            raise ValueError("the engine needs at least one entry")
+        self.backend = get_backend(backend, population=n)
+        self.weights = (
+            np.full(n, 1.0 / n) if weights is None else np.array(weights, dtype=float)
+        )
+        if self.weights.shape != self.stakes.shape:
+            raise ValueError("weights must match the stakes shape")
+        self.scores = (
+            np.zeros(n) if scores is None else np.array(scores, dtype=float)
+        )
+        self.ejected = (
+            np.zeros(n, dtype=bool) if ejected is None else np.array(ejected, dtype=bool)
+        )
+        #: Entry index -> epoch at which it was ejected.
+        self.ejection_epochs: Dict[int, int] = {}
+        self.epoch = 0
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def uniform(
+        cls,
+        n: int,
+        *,
+        config: "Optional[SpecConfig]" = None,
+        backend: Union[str, StakeBackend] = "numpy",
+    ) -> "StakeEngine":
+        """An engine of ``n`` validators at the maximum effective balance."""
+        from repro.spec.config import SpecConfig
+
+        cfg = config or SpecConfig.mainnet()
+        return cls(
+            np.full(n, cfg.max_effective_balance), config=cfg, backend=backend
+        )
+
+    @property
+    def n(self) -> int:
+        """Number of entries tracked."""
+        return int(self.stakes.shape[0])
+
+    # ------------------------------------------------------------------
+    def step(self, active: Sequence[bool], in_leak: bool = True) -> EpochOutcome:
+        """Advance one epoch (Equations 1–2, floor, ejection) and return the outcome."""
+        active_mask = np.asarray(active, dtype=bool)
+        if active_mask.shape != self.stakes.shape:
+            raise ValueError("active mask must match the stakes shape")
+        outcome = self.backend.epoch_update(
+            self.stakes, self.scores, active_mask, self.ejected, self.rules, in_leak
+        )
+        self.stakes = outcome.stakes
+        self.scores = outcome.scores
+        self.ejected = outcome.ejected
+        for index in np.flatnonzero(outcome.newly_ejected):
+            self.ejection_epochs[int(index)] = self.epoch
+        self.epoch += 1
+        return outcome
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+    def effective_stakes(self) -> np.ndarray:
+        """Per-entry stake counting towards totals (0 once ejected)."""
+        return np.where(self.ejected, 0.0, self.stakes)
+
+    def total_stake(self) -> float:
+        """Weighted total of the effective stakes."""
+        return float(np.sum(self.weights * self.effective_stakes()))
+
+    def stake_of(self, mask: Sequence[bool]) -> float:
+        """Weighted effective stake of the entries selected by ``mask``."""
+        selection = np.asarray(mask, dtype=bool)
+        return float(np.sum(self.weights * self.effective_stakes() * selection))
+
+    def active_ratio(self, active: Sequence[bool]) -> float:
+        """Ratio of active (non-ejected) stake to the total effective stake."""
+        total = self.total_stake()
+        if total <= 0:
+            return 0.0
+        return self.stake_of(np.asarray(active, dtype=bool) & ~self.ejected) / total
+
+
+@dataclass
+class FinalityTracker:
+    """Justification/finalization bookkeeping of one simulated branch.
+
+    Mirrors the FFG rule the paper analyses: an epoch is *justified* when
+    the active-stake ratio reaches the supermajority, and two consecutive
+    justified epochs finalize (the first of the pair, reported at the
+    second).  Tracks the first threshold crossing and the first
+    finalization.
+    """
+
+    supermajority: float
+    threshold_epoch: Optional[int] = None
+    finalization_epoch: Optional[int] = None
+    finalized: bool = False
+    previous_justified: bool = False
+    previous_active_ratio: float = 0.0
+
+    @classmethod
+    def for_config(cls, config: "Optional[SpecConfig]" = None) -> "FinalityTracker":
+        from repro.spec.config import SpecConfig
+
+        cfg = config or SpecConfig.mainnet()
+        return cls(supermajority=cfg.supermajority_fraction)
+
+    def observe(self, epoch: int, active_ratio: float) -> Tuple[bool, bool]:
+        """Record one epoch's active ratio; returns ``(justified, finalized_now)``."""
+        justified = active_ratio >= self.supermajority
+        finalized_now = False
+        if justified and self.threshold_epoch is None:
+            self.threshold_epoch = epoch
+        if justified and self.previous_justified and not self.finalized:
+            self.finalized = True
+            finalized_now = True
+            self.finalization_epoch = epoch
+        self.previous_justified = justified
+        self.previous_active_ratio = active_ratio
+        return justified, finalized_now

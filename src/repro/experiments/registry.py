@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass
-from typing import Callable, Dict, List
+from typing import Callable, Dict, FrozenSet, List
 
 from repro.experiments import (
     ablations,
@@ -32,7 +33,17 @@ class Experiment:
 
     experiment_id: str
     description: str
-    run: Callable[[], object]
+    run: Callable[..., object]
+
+    def accepted_options(self) -> FrozenSet[str]:
+        """Which runner-level options (``jobs``, ``seed``) this run accepts."""
+        parameters = inspect.signature(self.run).parameters
+        return frozenset(name for name in ("jobs", "seed") if name in parameters)
+
+    @property
+    def parallelizable(self) -> bool:
+        """True when the experiment accepts a ``jobs`` option."""
+        return "jobs" in self.accepted_options()
 
 
 EXPERIMENTS: Dict[str, Experiment] = {

@@ -5,6 +5,13 @@ Usage::
     repro-experiments --list
     repro-experiments table2 table3
     repro-experiments --all
+    repro-experiments fig10-montecarlo --jobs 8 --seed 7
+
+``--jobs``/``--seed`` are forwarded to every selected experiment that
+accepts them (``--list`` marks those with ``[parallel]`` / ``[seeded]``).
+Seeded experiments produce identical results at any ``--jobs`` level: the
+parallel trial runner (:mod:`repro.core.trials`) spawns per-chunk seeds
+deterministically.
 """
 
 from __future__ import annotations
@@ -30,16 +37,26 @@ def run_experiments(
     experiment_ids: Sequence[str],
     output_dir: Optional[pathlib.Path] = None,
     formats: Sequence[str] = ("json", "csv"),
+    jobs: Optional[int] = None,
+    seed: Optional[int] = None,
 ) -> List[str]:
     """Run the requested experiments and return their textual reports.
 
     When ``output_dir`` is given, each result is also exported there as JSON
-    and/or CSV (see :mod:`repro.experiments.export`).
+    and/or CSV (see :mod:`repro.experiments.export`).  ``jobs`` and ``seed``
+    are passed through to experiments that accept them and silently ignored
+    by the rest.
     """
     reports = []
     for experiment_id in experiment_ids:
         experiment = registry.get(experiment_id)
-        result = experiment.run()
+        options = {}
+        accepted = experiment.accepted_options()
+        if jobs is not None and "jobs" in accepted:
+            options["jobs"] = jobs
+        if seed is not None and "seed" in accepted:
+            options["seed"] = seed
+        result = experiment.run(**options)
         reports.append(_format_result(result))
         if output_dir is not None:
             if "json" in formats:
@@ -77,6 +94,24 @@ def build_parser() -> argparse.ArgumentParser:
         default="both",
         help="export format used with --output-dir (default: both)",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "worker processes for experiments that parallelize "
+            "(default: serial; 0 or negative: all cores; seeded results are "
+            "identical at any level)"
+        ),
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        metavar="S",
+        help="root RNG seed for experiments that accept one (default: each experiment's own)",
+    )
     return parser
 
 
@@ -87,7 +122,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.list:
         for experiment_id in registry.list_ids():
-            print(f"{experiment_id:<20} {registry.get(experiment_id).description}")
+            experiment = registry.get(experiment_id)
+            accepted = experiment.accepted_options()
+            markers = "".join(
+                f" [{label}]"
+                for option, label in (("jobs", "parallel"), ("seed", "seeded"))
+                if option in accepted
+            )
+            print(f"{experiment_id:<22} {experiment.description}{markers}")
+        print()
+        print("[parallel] experiments honour --jobs; [seeded] ones honour --seed.")
         return 0
 
     experiment_ids = list(args.experiments)
@@ -99,7 +143,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     formats = ("json", "csv") if args.format == "both" else (args.format,)
     for report in run_experiments(
-        experiment_ids, output_dir=args.output_dir, formats=formats
+        experiment_ids,
+        output_dir=args.output_dir,
+        formats=formats,
+        jobs=args.jobs,
+        seed=args.seed,
     ):
         print(report)
         print()

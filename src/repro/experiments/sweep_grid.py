@@ -11,7 +11,7 @@ split (which the paper argues is the even one).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -20,6 +20,7 @@ from repro.analysis.finalization_time import (
     threshold_epoch_non_slashing,
     threshold_epoch_slashing,
 )
+from repro.core.trials import parallel_map
 
 
 @dataclass
@@ -93,23 +94,38 @@ class SweepGridResult:
         return "\n".join(lines)
 
 
+def _grid_cell(point: Tuple[float, float]) -> Tuple[float, float]:
+    """Both strategies' slower-branch crossing times at one (p0, beta0) point.
+
+    Module-level so the grid can be fanned out to a process pool.
+    """
+    p0, beta0 = point
+    slashing = max(
+        threshold_epoch_slashing(p0, beta0),
+        threshold_epoch_slashing(1.0 - p0, beta0),
+    )
+    non_slashing = max(
+        threshold_epoch_non_slashing(p0, beta0),
+        threshold_epoch_non_slashing(1.0 - p0, beta0),
+    )
+    return slashing, non_slashing
+
+
 def run(
     p0_values: Sequence[float] = (0.3, 0.4, 0.5, 0.6, 0.7),
     beta0_values: Sequence[float] = (0.0, 0.1, 0.2, 0.3, 0.33),
+    jobs: Optional[int] = None,
 ) -> SweepGridResult:
-    """Evaluate both strategies' slower-branch crossing times over the grid."""
-    slashing = np.zeros((len(p0_values), len(beta0_values)))
-    non_slashing = np.zeros_like(slashing)
-    for i, p0 in enumerate(p0_values):
-        for j, beta0 in enumerate(beta0_values):
-            slashing[i, j] = max(
-                threshold_epoch_slashing(p0, beta0),
-                threshold_epoch_slashing(1.0 - p0, beta0),
-            )
-            non_slashing[i, j] = max(
-                threshold_epoch_non_slashing(p0, beta0),
-                threshold_epoch_non_slashing(1.0 - p0, beta0),
-            )
+    """Evaluate both strategies' slower-branch crossing times over the grid.
+
+    ``jobs`` fans the (deterministic) grid points out to a process pool;
+    the result never depends on the parallelism level.
+    """
+    points = [(p0, beta0) for p0 in p0_values for beta0 in beta0_values]
+    cells = parallel_map(_grid_cell, points, jobs=jobs)
+    grids = np.array(cells).reshape(len(p0_values), len(beta0_values), 2)
+    slashing = grids[:, :, 0].copy()
+    non_slashing = grids[:, :, 1].copy()
     return SweepGridResult(
         p0_values=list(p0_values),
         beta0_values=list(beta0_values),

@@ -10,13 +10,22 @@ supermajority in consecutive epochs.
 This is the discrete ground truth against which the paper's continuous
 closed forms (:mod:`repro.analysis`) are validated, and the engine behind
 the long-horizon scenario experiments (Tables 2 and 3, Figures 3 and 7).
+
+The per-epoch stake/score/ejection arithmetic is delegated to the shared
+:class:`repro.core.StakeEngine` (one ledger entry per group), so this
+module only owns the branch bookkeeping: activity patterns, records, and
+justification/finalization via :class:`repro.core.FinalityTracker`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+import numpy as np
+
+from repro.core.backend import StakeBackend
+from repro.core.stake_engine import FinalityTracker, StakeEngine
 from repro.leak.groups import BranchView, GroupLedger, GroupSpec
 from repro.spec.config import SpecConfig
 
@@ -101,7 +110,12 @@ class LeakResult:
 
 
 class BranchSimulation:
-    """Simulates one branch of the fork, epoch by epoch."""
+    """Simulates one branch of the fork, epoch by epoch.
+
+    The group ledgers are a dict-of-dataclasses *view* over the flat-array
+    :class:`StakeEngine` state; they are kept in sync after every step so
+    callers can keep reading ``simulation.ledgers[name].stake``.
+    """
 
     def __init__(
         self,
@@ -110,6 +124,7 @@ class BranchSimulation:
         config: Optional[SpecConfig] = None,
         leak_from_epoch: int = 0,
         stop_leak_on_finalization: bool = True,
+        backend: Union[str, StakeBackend] = "auto",
     ) -> None:
         if not groups:
             raise ValueError("a branch needs at least one validator group")
@@ -130,30 +145,46 @@ class BranchSimulation:
                 initial_stake=spec.initial_stake,
             )
             self.ledgers[spec.name] = GroupLedger(spec=normalised, stake=spec.initial_stake)
+        self._group_names: List[str] = [spec.name for spec in groups]
+        # step() computes its own weighted sums (a handful of groups), but
+        # the engine is a public attribute — give it the real weights so
+        # engine.total_stake()/active_ratio() answer correctly for callers.
+        self.engine = StakeEngine(
+            [self.ledgers[name].stake for name in self._group_names],
+            weights=[self.ledgers[name].weight for name in self._group_names],
+            config=self.config,
+            backend=backend,
+        )
+        # The branch never reads the per-epoch penalty totals; clone the
+        # backend (it may be a caller-supplied shared instance) before
+        # switching their reductions off.
+        self.engine.backend = self.engine.backend.clone()
+        self.engine.backend.track_penalty_totals = False
         self.leak_from_epoch = leak_from_epoch
         self.stop_leak_on_finalization = stop_leak_on_finalization
         self.result = BranchResult(name=name)
-        self._previous_active_ratio = 0.0
-        self._previous_justified = False
-        self._finalized = False
+        self._finality = FinalityTracker.for_config(self.config)
 
     # ------------------------------------------------------------------
-    def _total_stake(self) -> float:
-        return sum(ledger.weighted_stake() for ledger in self.ledgers.values())
-
-    def _byzantine_stake(self) -> float:
-        return sum(
-            ledger.weighted_stake()
-            for ledger in self.ledgers.values()
-            if ledger.spec.byzantine
-        )
-
     def _in_leak(self, epoch: int) -> bool:
         if epoch < self.leak_from_epoch:
             return False
-        if self.stop_leak_on_finalization and self._finalized:
+        if self.stop_leak_on_finalization and self._finality.finalized:
             return False
         return True
+
+    def _sync_ledgers(self, epoch: int) -> List[str]:
+        """Mirror the engine arrays back into the group ledgers."""
+        ejected_now: List[str] = []
+        for position, name in enumerate(self._group_names):
+            ledger = self.ledgers[name]
+            ledger.stake = float(self.engine.stakes[position])
+            ledger.inactivity_score = float(self.engine.scores[position])
+            if bool(self.engine.ejected[position]) and not ledger.ejected:
+                ledger.ejected = True
+                ledger.ejection_epoch = epoch
+                ejected_now.append(name)
+        return ejected_now
 
     # ------------------------------------------------------------------
     def step(self, epoch: int) -> EpochRecord:
@@ -162,75 +193,45 @@ class BranchSimulation:
         view = BranchView(
             branch_name=self.name,
             epoch=epoch,
-            previous_active_ratio=self._previous_active_ratio,
+            previous_active_ratio=self._finality.previous_active_ratio,
             in_leak=in_leak,
-            finalized=self._finalized,
+            finalized=self._finality.finalized,
         )
 
         # 1. Decide activity of each (non-ejected) group this epoch.
-        activity: Dict[str, bool] = {}
-        for name, ledger in self.ledgers.items():
-            activity[name] = (not ledger.ejected) and ledger.spec.pattern(epoch, view)
+        active_flags = [
+            (not self.ledgers[name].ejected)
+            and self.ledgers[name].spec.pattern(epoch, view)
+            for name in self._group_names
+        ]
 
-        # 2. Apply penalties from the scores carried into this epoch (Eq. 2).
-        if in_leak:
-            for ledger in self.ledgers.values():
-                if ledger.ejected:
-                    continue
-                penalty = (
-                    ledger.inactivity_score
-                    * ledger.stake
-                    / self.config.inactivity_penalty_quotient
-                )
-                ledger.stake = max(0.0, ledger.stake - penalty)
-
-        # 3. Update inactivity scores from this epoch's activity (Eq. 1).
-        for name, ledger in self.ledgers.items():
-            if ledger.ejected:
-                continue
-            if activity[name]:
-                ledger.inactivity_score = max(
-                    0.0, ledger.inactivity_score - self.config.inactivity_score_recovery
-                )
-            else:
-                ledger.inactivity_score += self.config.inactivity_score_bias
-            if not in_leak:
-                ledger.inactivity_score = max(
-                    0.0,
-                    ledger.inactivity_score - self.config.inactivity_score_recovery_no_leak,
-                )
-
-        # 4. Eject groups whose stake fell to/below the ejection balance.
-        ejected_now: List[str] = []
-        for name, ledger in self.ledgers.items():
-            if ledger.ejected:
-                continue
-            if ledger.stake <= self.config.ejection_balance:
-                ledger.ejected = True
-                ledger.ejection_epoch = epoch
-                ejected_now.append(name)
+        # 2-4. Penalties (Eq. 2), score updates (Eq. 1) and ejections, all
+        # delegated to the shared kernel in protocol order.
+        self.engine.step(np.array(active_flags, dtype=bool), in_leak=in_leak)
+        ejected_now = self._sync_ledgers(epoch)
         if ejected_now:
             self.result.ejections[epoch] = tuple(ejected_now)
 
         # 5. Compute the active-stake ratio and run justification/finalization.
-        total = self._total_stake()
+        # Groups are few, so the weighted sums stay plain Python (cheaper
+        # than array reductions on 2-5 entries, and the exact arithmetic of
+        # the pre-engine implementation).
+        total = sum(ledger.weighted_stake() for ledger in self.ledgers.values())
         active_stake = sum(
-            ledger.weighted_stake()
-            for name, ledger in self.ledgers.items()
-            if activity[name] and not ledger.ejected
+            self.ledgers[name].weighted_stake()
+            for name, is_active in zip(self._group_names, active_flags)
+            if is_active and not self.ledgers[name].ejected
         )
         ratio = active_stake / total if total > 0 else 0.0
-        justified = ratio >= self.config.supermajority_fraction
-        finalized_now = False
-        if justified and self.result.threshold_epoch is None:
-            self.result.threshold_epoch = epoch
-        if justified and self._previous_justified and not self._finalized:
-            # Two consecutive justified checkpoints finalize the first one.
-            self._finalized = True
-            finalized_now = True
-            self.result.finalization_epoch = epoch
+        justified, finalized_now = self._finality.observe(epoch, ratio)
+        self.result.threshold_epoch = self._finality.threshold_epoch
+        self.result.finalization_epoch = self._finality.finalization_epoch
 
-        byz_stake = self._byzantine_stake()
+        byz_stake = sum(
+            ledger.weighted_stake()
+            for ledger in self.ledgers.values()
+            if ledger.spec.byzantine
+        )
         record = EpochRecord(
             epoch=epoch,
             active_ratio=ratio,
@@ -244,15 +245,13 @@ class BranchSimulation:
             ejected_groups=tuple(ejected_now),
         )
         self.result.records.append(record)
-        self._previous_active_ratio = ratio
-        self._previous_justified = justified
         return record
 
     def run(self, max_epochs: int, stop_on_finalization: bool = False) -> BranchResult:
         """Run the branch for up to ``max_epochs`` epochs."""
         for epoch in range(max_epochs):
             self.step(epoch)
-            if stop_on_finalization and self._finalized:
+            if stop_on_finalization and self._finality.finalized:
                 break
         return self.result
 
@@ -264,6 +263,7 @@ class LeakSimulation:
     branch_specs: Dict[str, Sequence[GroupSpec]]
     config: SpecConfig = field(default_factory=SpecConfig.mainnet)
     leak_from_epoch: int = 0
+    backend: Union[str, StakeBackend] = "auto"
 
     def run(self, max_epochs: int, stop_on_all_finalized: bool = True) -> LeakResult:
         """Simulate every branch for up to ``max_epochs`` epochs."""
@@ -273,6 +273,7 @@ class LeakSimulation:
                 groups=specs,
                 config=self.config,
                 leak_from_epoch=self.leak_from_epoch,
+                backend=self.backend,
             )
             for name, specs in self.branch_specs.items()
         }

@@ -35,7 +35,7 @@ class PenaltyMechanism:
     score_recovery: float = float(constants.INACTIVITY_SCORE_RECOVERY_PER_EPOCH)
     penalty_quotient: float = float(constants.INACTIVITY_PENALTY_QUOTIENT)
     ejection_fraction: float = constants.EJECTION_BALANCE_ETH / constants.MAX_EFFECTIVE_BALANCE_ETH
-    supermajority: float = 2.0 / 3.0
+    supermajority: float = constants.SUPERMAJORITY_FRACTION
     initial_stake: float = constants.MAX_EFFECTIVE_BALANCE_ETH
 
     def __post_init__(self) -> None:

@@ -9,13 +9,25 @@ The update rules implemented here are exactly Equations 1 and 2:
   epoch;
 * validators whose stake falls to or below the ejection balance
   (16.75 ETH) are ejected from the validator set.
+
+The arithmetic itself lives in :mod:`repro.core.backend` — the shared,
+vectorized stake-dynamics kernel also used by the leak and Monte-Carlo
+layers.  This module adapts the :class:`BeaconState` validator registry to
+the kernel's flat arrays and writes the results back, so the slot-level
+simulator (:mod:`repro.sim`) exercises the exact same update code as every
+other layer.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence, Set
+import math
+from dataclasses import dataclass, field, replace
+from functools import lru_cache
+from typing import Iterable, List, Optional, Sequence, Set, Tuple, Union
 
+import numpy as np
+
+from repro.core.backend import StakeBackend, StakeRules, get_backend
 from repro.spec.config import SpecConfig
 from repro.spec.state import BeaconState
 from repro.spec.validator import Validator
@@ -33,10 +45,34 @@ class InactivityUpdate:
     inactive_indices: List[int] = field(default_factory=list)
 
 
+def _registry_arrays(
+    state: BeaconState,
+) -> Tuple[List[Validator], np.ndarray, np.ndarray, np.ndarray]:
+    """Flatten the registry into (validators, stakes, scores, ineligible).
+
+    ``ineligible`` plays the kernel's ``ejected`` role: validators already
+    out of the active set are frozen by the update.
+    """
+    validators = list(state.validators)
+    stakes = np.array([v.stake for v in validators], dtype=float)
+    scores = np.array([float(v.inactivity_score) for v in validators], dtype=float)
+    ineligible = np.array(
+        [not v.is_active(state.current_epoch) for v in validators], dtype=bool
+    )
+    return validators, stakes, scores, ineligible
+
+
+def _write_back_scores(validators: Sequence[Validator], scores: np.ndarray) -> None:
+    """Store kernel scores, keeping integral values as ints (spec convention)."""
+    for validator, score in zip(validators, scores.tolist()):
+        validator.inactivity_score = int(score) if score == int(score) else score
+
+
 def update_inactivity_scores(
     state: BeaconState,
     active_indices: Set[int],
     in_leak: bool,
+    backend: Union[str, StakeBackend] = "numpy",
 ) -> None:
     """Apply Equation 1 (and the out-of-leak recovery) to every validator.
 
@@ -44,55 +80,51 @@ def update_inactivity_scores(
     being processed, i.e. those whose attestation with a correct target was
     included on this chain (Section 4.1).
     """
-    cfg = state.config
-    for validator in state.validators:
-        if not validator.is_active(state.current_epoch):
-            continue
-        if validator.index in active_indices:
-            validator.inactivity_score = max(
-                0, validator.inactivity_score - cfg.inactivity_score_recovery
-            )
-        else:
-            validator.inactivity_score += cfg.inactivity_score_bias
-        if not in_leak:
-            validator.inactivity_score = max(
-                0,
-                validator.inactivity_score - cfg.inactivity_score_recovery_no_leak,
-            )
+    validators, _, scores, ineligible = _registry_arrays(state)
+    active = np.array([v.index in active_indices for v in validators], dtype=bool)
+    rules = StakeRules.from_config(state.config)
+    new_scores = get_backend(backend).update_scores(
+        scores, active, ineligible, rules, in_leak
+    )
+    _write_back_scores(validators, new_scores)
 
 
-def apply_inactivity_penalties(state: BeaconState) -> float:
+def apply_inactivity_penalties(
+    state: BeaconState, backend: Union[str, StakeBackend] = "numpy"
+) -> float:
     """Apply Equation 2 to every active validator; returns the total burned.
 
     The penalty uses the score and stake of the *previous* epoch, which is
     what the state holds when this is called at the end of epoch processing
     (scores are updated after penalties, matching ``I(t-1)·s(t-1)/2**26``).
     """
-    cfg = state.config
-    total_penalty = 0.0
-    for validator in state.validators:
-        if not validator.is_active(state.current_epoch):
-            continue
-        penalty = validator.inactivity_score * validator.stake / cfg.inactivity_penalty_quotient
-        total_penalty += validator.apply_penalty(penalty)
+    validators, stakes, scores, ineligible = _registry_arrays(state)
+    rules = StakeRules.from_config(state.config)
+    new_stakes, total_penalty = get_backend(backend).apply_penalties(
+        stakes, scores, ineligible, rules
+    )
+    for validator, stake in zip(validators, new_stakes.tolist()):
+        validator.stake = stake
     return total_penalty
 
 
-def eject_low_balance_validators(state: BeaconState) -> List[int]:
+def eject_low_balance_validators(
+    state: BeaconState, backend: Union[str, StakeBackend] = "numpy"
+) -> List[int]:
     """Eject validators whose stake has fallen to or below the ejection balance.
 
     Returns the indices of the newly ejected validators.  Ejection removes
     the validator from the active set starting at the next epoch, mirroring
     the paper's treatment in Figure 2 and Section 5.1.
     """
-    cfg = state.config
+    validators, stakes, _, ineligible = _registry_arrays(state)
+    rules = StakeRules.from_config(state.config)
+    newly = get_backend(backend).find_ejections(stakes, ineligible, rules)
     ejected: List[int] = []
-    for validator in state.validators:
-        if not validator.is_active(state.current_epoch):
-            continue
-        if validator.stake <= cfg.ejection_balance:
-            validator.exit(state.current_epoch + 1)
-            ejected.append(validator.index)
+    for position in np.flatnonzero(newly):
+        validator = validators[int(position)]
+        validator.exit(state.current_epoch + 1)
+        ejected.append(validator.index)
     return ejected
 
 
@@ -100,13 +132,16 @@ def process_inactivity_epoch(
     state: BeaconState,
     active_indices: Iterable[int],
     in_leak: Optional[bool] = None,
+    backend: Union[str, StakeBackend] = "numpy",
 ) -> InactivityUpdate:
     """Run one epoch of inactivity processing (penalties, scores, ejections).
 
     Order of operations matches Equation 2's indexing: penalties are charged
     from the scores and stakes carried over from the previous epoch, then
     the scores are updated from this epoch's activity, then low-balance
-    validators are ejected.
+    validators are ejected.  The whole epoch is one fused
+    :meth:`~repro.core.backend.StakeBackend.epoch_update` call on the
+    shared kernel.
 
     Parameters
     ----------
@@ -117,31 +152,52 @@ def process_inactivity_epoch(
     in_leak:
         Force the leak flag; when ``None`` it is derived from the state's
         epochs-since-finality counter.
+    backend:
+        Stake-dynamics backend (``"numpy"`` default, ``"python"`` reference).
     """
     leak = state.is_in_inactivity_leak() if in_leak is None else in_leak
     active_set = set(active_indices)
     update = InactivityUpdate(epoch=state.current_epoch, in_leak=leak)
+
+    validators, stakes, scores, ineligible = _registry_arrays(state)
     update.inactive_indices = [
-        v.index
-        for v in state.validators
-        if v.is_active(state.current_epoch) and v.index not in active_set
+        validator.index
+        for validator, out in zip(validators, ineligible.tolist())
+        if not out and validator.index not in active_set
     ]
-    if leak:
-        update.total_penalty = apply_inactivity_penalties(state)
-    update_inactivity_scores(state, active_set, leak)
-    update.ejected_indices = eject_low_balance_validators(state)
+    active = np.array([v.index in active_set for v in validators], dtype=bool)
+    rules = StakeRules.from_config(state.config)
+    outcome = get_backend(backend).epoch_update(
+        stakes, scores, active, ineligible, rules, in_leak=leak
+    )
+    for validator, stake in zip(validators, outcome.stakes.tolist()):
+        validator.stake = stake
+    _write_back_scores(validators, outcome.scores)
+    for position in np.flatnonzero(outcome.newly_ejected):
+        validator = validators[int(position)]
+        validator.exit(state.current_epoch + 1)
+        update.ejected_indices.append(validator.index)
+    update.total_penalty = outcome.total_penalty
     return update
 
 
 # ----------------------------------------------------------------------
 # Reference trajectories used by the analytical layer
 # ----------------------------------------------------------------------
+_BEHAVIOR_PATTERNS = {
+    "active": lambda epoch: True,
+    "inactive": lambda epoch: False,
+    "semi-active": lambda epoch: epoch % 2 == 0,
+}
+
+
 def discrete_stake_trajectory(
     behavior: str,
     epochs: int,
     config: Optional[SpecConfig] = None,
     initial_stake: Optional[float] = None,
     apply_ejection: bool = True,
+    backend: Union[str, StakeBackend] = "numpy",
 ) -> List[float]:
     """Simulate Equation 1+2 for a single validator with a fixed behaviour.
 
@@ -151,31 +207,63 @@ def discrete_stake_trajectory(
     frozen (reported as its value at ejection), matching Figure 2 where the
     trajectory stops at the expulsion limit.
     """
-    if behavior not in {"active", "semi-active", "inactive"}:
+    if behavior not in _BEHAVIOR_PATTERNS:
         raise ValueError(f"unknown behavior {behavior!r}")
     cfg = config or SpecConfig.mainnet()
-    stake = cfg.max_effective_balance if initial_stake is None else initial_stake
-    score = 0
-    trajectory = [stake]
-    ejected = False
+    if isinstance(backend, str):
+        # The trajectory is a pure function of hashable arguments; different
+        # tables/figures ask for the same reference curves, so memoise.
+        return list(
+            _cached_stake_trajectory(
+                behavior, epochs, cfg, initial_stake, apply_ejection, backend
+            )
+        )
+    return _compute_stake_trajectory(
+        behavior, epochs, cfg, initial_stake, apply_ejection, backend
+    )
+
+
+@lru_cache(maxsize=256)
+def _cached_stake_trajectory(
+    behavior: str,
+    epochs: int,
+    config: SpecConfig,
+    initial_stake: Optional[float],
+    apply_ejection: bool,
+    backend: str,
+) -> Tuple[float, ...]:
+    return tuple(
+        _compute_stake_trajectory(
+            behavior, epochs, config, initial_stake, apply_ejection, backend
+        )
+    )
+
+
+def _compute_stake_trajectory(
+    behavior: str,
+    epochs: int,
+    cfg: SpecConfig,
+    initial_stake: Optional[float],
+    apply_ejection: bool,
+    backend: Union[str, StakeBackend],
+) -> List[float]:
+    pattern = _BEHAVIOR_PATTERNS[behavior]
+    rules = StakeRules.from_config(cfg)
+    if not apply_ejection:
+        rules = replace(rules, ejection_balance=-math.inf)
+    kernel = get_backend(backend)
+    stakes = np.array(
+        [cfg.max_effective_balance if initial_stake is None else initial_stake]
+    )
+    scores = np.zeros(1)
+    ejected = np.zeros(1, dtype=bool)
+    trajectory = [float(stakes[0])]
     for epoch in range(epochs):
-        if not ejected:
-            # Penalty from previous epoch's score and stake (Equation 2).
-            stake = max(0.0, stake - score * stake / cfg.inactivity_penalty_quotient)
-            # Activity for this epoch.
-            if behavior == "active":
-                active = True
-            elif behavior == "inactive":
-                active = False
-            else:  # semi-active: active every other epoch
-                active = epoch % 2 == 0
-            if active:
-                score = max(0, score - cfg.inactivity_score_recovery)
-            else:
-                score += cfg.inactivity_score_bias
-            if apply_ejection and stake <= cfg.ejection_balance:
-                ejected = True
-        trajectory.append(stake)
+        outcome = kernel.epoch_update(
+            stakes, scores, np.array([pattern(epoch)]), ejected, rules, in_leak=True
+        )
+        stakes, scores, ejected = outcome.stakes, outcome.scores, outcome.ejected
+        trajectory.append(float(stakes[0]))
     return trajectory
 
 
@@ -183,29 +271,45 @@ def discrete_ejection_epoch(
     behavior: str,
     config: Optional[SpecConfig] = None,
     max_epochs: int = 20_000,
+    backend: Union[str, StakeBackend] = "numpy",
 ) -> Optional[int]:
     """Epoch at which a validator with the given behaviour gets ejected.
 
     Returns ``None`` if the validator is never ejected within ``max_epochs``
     (active validators never are).
     """
+    if behavior not in _BEHAVIOR_PATTERNS:
+        raise ValueError(f"unknown behavior {behavior!r}")
     cfg = config or SpecConfig.mainnet()
-    stake = cfg.max_effective_balance
-    score = 0
+    if isinstance(backend, str):
+        return _cached_ejection_epoch(behavior, cfg, max_epochs, backend)
+    return _compute_ejection_epoch(behavior, cfg, max_epochs, backend)
+
+
+@lru_cache(maxsize=256)
+def _cached_ejection_epoch(
+    behavior: str, config: SpecConfig, max_epochs: int, backend: str
+) -> Optional[int]:
+    return _compute_ejection_epoch(behavior, config, max_epochs, backend)
+
+
+def _compute_ejection_epoch(
+    behavior: str,
+    cfg: SpecConfig,
+    max_epochs: int,
+    backend: Union[str, StakeBackend],
+) -> Optional[int]:
+    pattern = _BEHAVIOR_PATTERNS[behavior]
+    rules = StakeRules.from_config(cfg)
+    kernel = get_backend(backend)
+    stakes = np.array([cfg.max_effective_balance])
+    scores = np.zeros(1)
+    ejected = np.zeros(1, dtype=bool)
     for epoch in range(1, max_epochs + 1):
-        stake = max(0.0, stake - score * stake / cfg.inactivity_penalty_quotient)
-        if behavior == "active":
-            active = True
-        elif behavior == "inactive":
-            active = False
-        elif behavior == "semi-active":
-            active = (epoch - 1) % 2 == 0
-        else:
-            raise ValueError(f"unknown behavior {behavior!r}")
-        if active:
-            score = max(0, score - cfg.inactivity_score_recovery)
-        else:
-            score += cfg.inactivity_score_bias
-        if stake <= cfg.ejection_balance:
+        outcome = kernel.epoch_update(
+            stakes, scores, np.array([pattern(epoch - 1)]), ejected, rules, in_leak=True
+        )
+        if bool(outcome.newly_ejected[0]):
             return epoch
+        stakes, scores, ejected = outcome.stakes, outcome.scores, outcome.ejected
     return None

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro import constants
 from repro.spec.blocktree import BlockTree
 from repro.spec.checkpoint import Checkpoint
 from repro.spec.state import BeaconState
@@ -150,7 +151,7 @@ def check_availability(
 # ----------------------------------------------------------------------
 def check_byzantine_threshold(
     states: Sequence[BeaconState],
-    threshold: float = 1.0 / 3.0,
+    threshold: float = constants.BYZANTINE_SAFETY_THRESHOLD,
 ) -> PropertyVerdict:
     """Check that the Byzantine stake proportion stays below ``threshold``.
 

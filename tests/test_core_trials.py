@@ -1,0 +1,165 @@
+"""Tests for the seeded parallel trial runner and its consumers.
+
+The headline property: a seeded run's results are bit-identical whatever
+``jobs`` is — chunking and per-chunk/per-trial seeds depend only on the
+trial count, the chunk size and the root seed.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.montecarlo import BouncingMonteCarlo
+from repro.core.trials import (
+    TrialChunk,
+    parallel_map,
+    plan_chunks,
+    resolve_jobs,
+    run_chunked,
+    run_trials,
+)
+from repro.experiments import registry
+from repro.experiments.runner import build_parser, run_experiments
+from repro.spec.config import SpecConfig
+
+
+def draw_sum(trial_index, rng):
+    """Picklable per-trial worker: a few draws folded into one float."""
+    return trial_index, float(np.sum(rng.random(5)))
+
+
+def chunk_lengths(chunk: TrialChunk) -> list:
+    return [chunk.start + offset for offset in range(chunk.size)]
+
+
+class TestChunkPlanning:
+    def test_chunks_cover_all_trials(self):
+        chunks = plan_chunks(10, seed=0, chunk_size=4)
+        assert [(c.start, c.size) for c in chunks] == [(0, 4), (4, 4), (8, 2)]
+
+    def test_plan_is_deterministic(self):
+        first = plan_chunks(7, seed=3, chunk_size=2)
+        second = plan_chunks(7, seed=3, chunk_size=2)
+        for a, b in zip(first, second):
+            assert np.array_equal(
+                a.rng().random(4), b.rng().random(4)
+            )
+
+    def test_different_seeds_differ(self):
+        a = plan_chunks(1, seed=0)[0].rng().random(4)
+        b = plan_chunks(1, seed=1)[0].rng().random(4)
+        assert not np.array_equal(a, b)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            plan_chunks(0)
+        with pytest.raises(ValueError):
+            plan_chunks(5, chunk_size=0)
+
+    def test_resolve_jobs(self):
+        assert resolve_jobs(None) == 1
+        assert resolve_jobs(1) == 1
+        assert resolve_jobs(4) == 4
+        assert resolve_jobs(0) >= 1
+        assert resolve_jobs(-1) >= 1
+
+
+class TestRunTrials:
+    def test_serial_equals_parallel(self):
+        serial = run_trials(draw_sum, 9, seed=42, jobs=1, chunk_size=3)
+        parallel = run_trials(draw_sum, 9, seed=42, jobs=3, chunk_size=3)
+        assert serial == parallel
+
+    def test_results_ordered_by_trial(self):
+        results = run_trials(draw_sum, 6, seed=0, chunk_size=2)
+        assert [index for index, _ in results] == list(range(6))
+
+    def test_chunk_size_does_not_change_per_trial_streams(self):
+        coarse = run_trials(draw_sum, 8, seed=5, chunk_size=8)
+        fine = run_trials(draw_sum, 8, seed=5, chunk_size=1)
+        assert coarse == fine
+
+    def test_chunk_worker_must_return_one_result_per_trial(self):
+        def bad_worker(chunk):
+            return [0] * (chunk.size + 1)
+
+        with pytest.raises(ValueError):
+            run_chunked(bad_worker, 4, seed=0, chunk_size=2)
+
+
+class TestParallelMap:
+    def test_order_preserved(self):
+        items = list(range(20))
+        assert parallel_map(square, items, jobs=1) == [i * i for i in items]
+
+    def test_parallel_matches_serial(self):
+        items = list(range(10))
+        assert parallel_map(square, items, jobs=2) == parallel_map(
+            square, items, jobs=1
+        )
+
+
+def square(x):
+    return x * x
+
+
+class TestMonteCarloParallelism:
+    """Regression: seeded Monte-Carlo runs are identical serial vs parallel."""
+
+    FAST = SpecConfig.mainnet().with_overrides(inactivity_penalty_quotient=2 ** 16)
+
+    def _trials_equal(self, first, second):
+        assert len(first.trials) == len(second.trials)
+        for a, b in zip(first.trials, second.trials):
+            assert a.stop_epoch == b.stop_epoch
+            assert a.survived == b.survived
+            assert a.byzantine_proportion_branch_a == b.byzantine_proportion_branch_a
+            assert a.byzantine_proportion_branch_b == b.byzantine_proportion_branch_b
+
+    def test_serial_equals_parallel_with_stopping(self):
+        mc = BouncingMonteCarlo(beta0=0.3, n_honest=20, config=self.FAST, seed=9)
+        serial = mc.run(n_trials=30, horizon=40, record_epochs=[20, 40], jobs=1, chunk_size=8)
+        parallel = mc.run(n_trials=30, horizon=40, record_epochs=[20, 40], jobs=3, chunk_size=8)
+        self._trials_equal(serial, parallel)
+
+    def test_serial_equals_parallel_without_stopping(self):
+        mc = BouncingMonteCarlo(
+            beta0=1 / 3, n_honest=15, config=self.FAST, enforce_stopping=False, seed=4
+        )
+        serial = mc.run(n_trials=20, horizon=30, jobs=1, chunk_size=6)
+        parallel = mc.run(n_trials=20, horizon=30, jobs=2, chunk_size=6)
+        self._trials_equal(serial, parallel)
+
+    def test_backends_agree_on_seeded_run(self):
+        results = {}
+        for backend in ("numpy", "python"):
+            mc = BouncingMonteCarlo(
+                beta0=0.3,
+                n_honest=10,
+                config=self.FAST,
+                enforce_stopping=False,
+                seed=2,
+                backend=backend,
+            )
+            results[backend] = mc.run(n_trials=5, horizon=25)
+        self._trials_equal(results["numpy"], results["python"])
+
+
+class TestRunnerCLI:
+    def test_parser_accepts_jobs_and_seed(self):
+        args = build_parser().parse_args(["fig10-montecarlo", "--jobs", "2", "--seed", "7"])
+        assert args.jobs == 2
+        assert args.seed == 7
+        assert args.experiments == ["fig10-montecarlo"]
+
+    def test_registry_reports_parallel_experiments(self):
+        assert registry.get("fig10-montecarlo").parallelizable
+        assert registry.get("sweep-grid").parallelizable
+        assert "seed" in registry.get("fig10-montecarlo").accepted_options()
+        assert not registry.get("fig2").parallelizable
+
+    def test_run_experiments_forwards_options(self):
+        # sweep-grid accepts jobs (not seed); the run must not fail when
+        # both are supplied, and parallel output must match serial output.
+        serial = run_experiments(["sweep-grid"], jobs=1, seed=3)
+        parallel = run_experiments(["sweep-grid"], jobs=2, seed=3)
+        assert serial == parallel
