@@ -25,7 +25,7 @@ def test_fig10_montecarlo_validation(benchmark):
         rounds=1,
         iterations=1,
     )
-    rows = {row["beta0"]: row for row in result.rows()}
+    rows = {row["beta0"]: row for row in result.horizon_rows()}
     assert rows[1.0 / 3.0]["closed_form_single_branch"] == pytest.approx(0.5, abs=1e-3)
     assert rows[1.0 / 3.0]["empirical_either_branch"] > 0.8
     assert (

@@ -99,6 +99,19 @@ class BouncingMonteCarloResult:
         hits = sum(1 for trial in alive if trial.exceeded_threshold_at(epoch, threshold))
         return hits / len(alive)
 
+    def exceed_probability_curve(
+        self, threshold: float = constants.BYZANTINE_SAFETY_THRESHOLD
+    ) -> Dict[int, float]:
+        """The empirical exceed probability at every recorded epoch.
+
+        This is the Figure-10 curve: epoch -> P[beta > threshold on either
+        branch], evaluated at each of the run's ``record_epochs``.
+        """
+        return {
+            int(epoch): self.exceed_probability(int(epoch), threshold)
+            for epoch in self.record_epochs
+        }
+
     def survival_probability(self, epoch: int) -> float:
         """Empirical P[attack still running at ``epoch``]."""
         if not self.trials:

@@ -1,15 +1,21 @@
 """Core stake-dynamics engine shared by the leak, Monte-Carlo and sim layers.
 
-One implementation of the paper's Equations 1–2 (inactivity scores and
-penalties, score floor, 16.75-ETH ejection) over flat arrays, with a
-vectorized ``"numpy"`` backend and a pure-loop ``"python"`` reference, plus
-the seeded parallel trial runner used by the Monte-Carlo experiments.
+One implementation of the paper's per-epoch stake forces over flat arrays —
+Equations 1–2 (inactivity scores and penalties, score floor, 16.75-ETH
+ejection), attestation rewards/penalties (leak-gated, capped at the maximum
+effective balance) and slashing with exit scheduling — with a vectorized
+``"numpy"`` backend and a pure-loop ``"python"`` reference, plus the seeded
+parallel trial runner used by the Monte-Carlo experiments.
 """
 
 from repro.core.backend import (
     EpochOutcome,
     NumpyBackend,
     PythonBackend,
+    RewardOutcome,
+    RewardRules,
+    SlashingEpochOutcome,
+    SlashingRules,
     StakeBackend,
     StakeRules,
     available_backends,
@@ -32,6 +38,10 @@ __all__ = [
     "FinalityTracker",
     "NumpyBackend",
     "PythonBackend",
+    "RewardOutcome",
+    "RewardRules",
+    "SlashingEpochOutcome",
+    "SlashingRules",
     "StakeBackend",
     "StakeEngine",
     "StakeRules",

@@ -1,14 +1,18 @@
 """Pluggable backends for the discrete stake-dynamics epoch update.
 
-This module is the single implementation of the paper's Equations 1 and 2
-(inactivity scores and penalties), the score floor at zero, and the
-16.75-ETH ejection rule, operating on flat arrays over an arbitrary
-population of validators (or validator groups).  Everything that used to
+This module is the single implementation of the paper's per-epoch stake
+forces, operating on flat arrays over an arbitrary population of validators
+(or validator groups): Equations 1 and 2 (inactivity scores and penalties)
+with the score floor at zero and the 16.75-ETH ejection rule
+(:meth:`StakeBackend.epoch_update`), the attestation rewards/penalties of
+incentive type ii (:meth:`StakeBackend.attestation_rewards_epoch_update`)
+and slashing with its ejection ordering
+(:meth:`StakeBackend.slashing_epoch_update`).  Everything that used to
 re-implement these rules — the group-ledger leak simulator
 (:mod:`repro.leak.dynamics`), the per-validator Monte-Carlo bouncing
 simulation (:mod:`repro.analysis.montecarlo`) and the per-node epoch
-processing behind :mod:`repro.sim` (:mod:`repro.spec.inactivity`) —
-delegates here.
+processing behind :mod:`repro.sim` (:mod:`repro.spec.inactivity`,
+:mod:`repro.spec.rewards`, :mod:`repro.spec.slashing`) — delegates here.
 
 Two backends are provided:
 
@@ -67,6 +71,42 @@ class StakeRules:
         )
 
 
+@dataclass(frozen=True)
+class RewardRules:
+    """Parameters of the attestation reward/penalty kernel (Section 3.3)."""
+
+    base_reward_fraction: float
+    attestation_penalty_fraction: float
+    max_effective_balance: float
+
+    @classmethod
+    def from_config(cls, config: "Optional[SpecConfig]" = None) -> "RewardRules":
+        """Extract the kernel parameters from a :class:`SpecConfig`."""
+        from repro.spec.config import SpecConfig
+
+        cfg = config or SpecConfig.mainnet()
+        return cls(
+            base_reward_fraction=float(cfg.base_reward_fraction),
+            attestation_penalty_fraction=float(cfg.attestation_penalty_fraction),
+            max_effective_balance=float(cfg.max_effective_balance),
+        )
+
+
+@dataclass(frozen=True)
+class SlashingRules:
+    """Parameters of the slashing kernel (Section 5.2.1)."""
+
+    penalty_fraction: float
+
+    @classmethod
+    def from_config(cls, config: "Optional[SpecConfig]" = None) -> "SlashingRules":
+        """Extract the kernel parameters from a :class:`SpecConfig`."""
+        from repro.spec.config import SpecConfig
+
+        cfg = config or SpecConfig.mainnet()
+        return cls(penalty_fraction=float(cfg.min_slashing_penalty_fraction))
+
+
 @dataclass
 class EpochOutcome:
     """Result of one fused epoch update."""
@@ -77,6 +117,32 @@ class EpochOutcome:
     #: Mask of validators ejected by *this* update.
     newly_ejected: np.ndarray
     #: Total stake burned by inactivity penalties this epoch.
+    total_penalty: float
+
+
+@dataclass
+class RewardOutcome:
+    """Result of one epoch of attestation reward/penalty processing."""
+
+    stakes: np.ndarray
+    #: Mask of validators credited a non-zero reward this epoch.
+    rewarded: np.ndarray
+    #: Mask of validators charged a non-zero attestation penalty this epoch.
+    penalized: np.ndarray
+    total_rewards: float
+    total_penalties: float
+
+
+@dataclass
+class SlashingEpochOutcome:
+    """Result of one epoch of slashing processing."""
+
+    stakes: np.ndarray
+    #: Slashed flags after the update.
+    slashed: np.ndarray
+    #: Mask of validators slashed by *this* update.
+    newly_slashed: np.ndarray
+    #: Total stake burned by slashing penalties this epoch.
     total_penalty: float
 
 
@@ -139,6 +205,46 @@ class StakeBackend:
         self, stakes: np.ndarray, ejected: np.ndarray, rules: StakeRules
     ) -> np.ndarray:
         """Mask of live validators whose stake fell to/below the ejection balance."""
+        raise NotImplementedError
+
+    def attestation_rewards_epoch_update(
+        self,
+        stakes: np.ndarray,
+        active: np.ndarray,
+        ineligible: np.ndarray,
+        rules: RewardRules,
+        in_leak: bool,
+    ) -> RewardOutcome:
+        """One epoch of attestation rewards/penalties (incentive type ii).
+
+        Eligible (not ``ineligible``) validators in ``active`` earn the base
+        reward ``stake * base_reward_fraction`` capped at the maximum
+        effective balance — except during a leak, when no attester rewards
+        are paid.  Eligible validators *not* in ``active`` are charged
+        ``stake * attestation_penalty_fraction`` (floored so the stake never
+        goes negative), leak or not.  The rewarded/penalized masks record
+        only non-zero credits/deductions.
+        """
+        raise NotImplementedError
+
+    def slashing_epoch_update(
+        self,
+        stakes: np.ndarray,
+        slashable: np.ndarray,
+        slashed: np.ndarray,
+        ineligible: np.ndarray,
+        rules: SlashingRules,
+    ) -> SlashingEpochOutcome:
+        """One epoch of slashing: charge the penalty and flag the offender.
+
+        A validator in ``slashable`` is slashed only if it is neither
+        already ``slashed`` nor ``ineligible`` (already out of the active
+        set — an ejected validator cannot be charged after leaving, see the
+        ejection ordering in :meth:`epoch_update`).  Newly slashed
+        validators lose ``stake * penalty_fraction`` (floored at the stake);
+        exit scheduling is the caller's responsibility via the
+        ``newly_slashed`` mask.
+        """
         raise NotImplementedError
 
     # -- fused step ----------------------------------------------------
@@ -220,6 +326,53 @@ class NumpyBackend(StakeBackend):
         newly &= ~np.asarray(ejected, dtype=bool)
         return newly
 
+    def attestation_rewards_epoch_update(self, stakes, active, ineligible, rules, in_leak):
+        stakes = np.asarray(stakes, dtype=float)
+        active = np.asarray(active, dtype=bool)
+        eligible = ~np.asarray(ineligible, dtype=bool)
+        reward_mask = eligible & active
+        penalty_mask = eligible & ~active
+        new_stakes = stakes.copy()
+        # Per element the reward path is min(stake + stake*fraction, cap);
+        # the capped value is written back directly (never stake + credited,
+        # which would not round-trip bit-exactly through the subtraction).
+        if in_leak:
+            credited = np.zeros_like(stakes)
+        else:
+            grown = stakes * rules.base_reward_fraction
+            grown += stakes
+            np.minimum(grown, rules.max_effective_balance, out=grown)
+            np.copyto(new_stakes, grown, where=reward_mask)
+            credited = np.where(reward_mask, grown - stakes, 0.0)
+        # Penalty path: min(stake, stake*fraction) deducted; masks are
+        # disjoint so one fused subtraction (0.0 elsewhere) is exact.
+        deducted = stakes * rules.attestation_penalty_fraction
+        np.minimum(deducted, stakes, out=deducted)
+        deducted = np.where(penalty_mask, deducted, 0.0)
+        np.subtract(new_stakes, deducted, out=new_stakes)
+        return RewardOutcome(
+            stakes=new_stakes,
+            rewarded=reward_mask & (credited > 0.0),
+            penalized=penalty_mask & (deducted > 0.0),
+            total_rewards=float(np.sum(credited)),
+            total_penalties=float(np.sum(deducted)),
+        )
+
+    def slashing_epoch_update(self, stakes, slashable, slashed, ineligible, rules):
+        stakes = np.asarray(stakes, dtype=float)
+        slashed = np.asarray(slashed, dtype=bool)
+        newly = np.asarray(slashable, dtype=bool) & ~slashed
+        newly &= ~np.asarray(ineligible, dtype=bool)
+        penalty = stakes * rules.penalty_fraction
+        np.minimum(penalty, stakes, out=penalty)
+        deducted = np.where(newly, penalty, 0.0)
+        return SlashingEpochOutcome(
+            stakes=stakes - deducted,
+            slashed=slashed | newly,
+            newly_slashed=newly,
+            total_penalty=float(np.sum(deducted)),
+        )
+
 
 class PythonBackend(StakeBackend):
     """Pure-Python loop reference, kept for exact-semantics validation."""
@@ -277,6 +430,72 @@ class PythonBackend(StakeBackend):
             for stake, gone in zip(stakes.ravel().tolist(), ejected.ravel().tolist())
         ]
         return np.array(out, dtype=bool).reshape(shape)
+
+    def attestation_rewards_epoch_update(self, stakes, active, ineligible, rules, in_leak):
+        stakes = np.asarray(stakes, dtype=float)
+        shape = stakes.shape
+        flat_stakes = stakes.ravel().tolist()
+        flat_active = np.asarray(active, dtype=bool).ravel().tolist()
+        flat_ineligible = np.asarray(ineligible, dtype=bool).ravel().tolist()
+        out_stakes = []
+        credited = []
+        deducted = []
+        for stake, is_active, out in zip(flat_stakes, flat_active, flat_ineligible):
+            credit = 0.0
+            deduct = 0.0
+            if not out:
+                if is_active:
+                    if not in_leak:
+                        grown = min(
+                            stake + stake * rules.base_reward_fraction,
+                            rules.max_effective_balance,
+                        )
+                        credit = grown - stake
+                        stake = grown
+                else:
+                    deduct = min(stake, stake * rules.attestation_penalty_fraction)
+                    stake = stake - deduct
+            out_stakes.append(stake)
+            credited.append(credit)
+            deducted.append(deduct)
+        # Totals go through the same np.sum reduction as the vectorized
+        # backend (pairwise summation) so they too are bit-identical.
+        credited_array = np.array(credited, dtype=float).reshape(shape)
+        deducted_array = np.array(deducted, dtype=float).reshape(shape)
+        return RewardOutcome(
+            stakes=np.array(out_stakes, dtype=float).reshape(shape),
+            rewarded=credited_array > 0.0,
+            penalized=deducted_array > 0.0,
+            total_rewards=float(np.sum(credited_array)),
+            total_penalties=float(np.sum(deducted_array)),
+        )
+
+    def slashing_epoch_update(self, stakes, slashable, slashed, ineligible, rules):
+        stakes = np.asarray(stakes, dtype=float)
+        shape = stakes.shape
+        flat_stakes = stakes.ravel().tolist()
+        flat_slashable = np.asarray(slashable, dtype=bool).ravel().tolist()
+        flat_slashed = np.asarray(slashed, dtype=bool).ravel().tolist()
+        flat_ineligible = np.asarray(ineligible, dtype=bool).ravel().tolist()
+        out_stakes = []
+        out_slashed = []
+        out_newly = []
+        deducted = []
+        for stake, target, done, out in zip(
+            flat_stakes, flat_slashable, flat_slashed, flat_ineligible
+        ):
+            newly = target and not done and not out
+            deduct = min(stake, stake * rules.penalty_fraction) if newly else 0.0
+            out_stakes.append(stake - deduct)
+            out_slashed.append(done or newly)
+            out_newly.append(newly)
+            deducted.append(deduct)
+        return SlashingEpochOutcome(
+            stakes=np.array(out_stakes, dtype=float).reshape(shape),
+            slashed=np.array(out_slashed, dtype=bool).reshape(shape),
+            newly_slashed=np.array(out_newly, dtype=bool).reshape(shape),
+            total_penalty=float(np.sum(np.array(deducted, dtype=float))),
+        )
 
     def epoch_update(self, stakes, scores, active, ejected, rules, in_leak=True):
         # One fused pass per element, applying the identical arithmetic in

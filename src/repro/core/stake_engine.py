@@ -16,7 +16,16 @@ from typing import TYPE_CHECKING, Dict, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.core.backend import EpochOutcome, StakeBackend, StakeRules, get_backend
+from repro.core.backend import (
+    EpochOutcome,
+    RewardOutcome,
+    RewardRules,
+    SlashingEpochOutcome,
+    SlashingRules,
+    StakeBackend,
+    StakeRules,
+    get_backend,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (core is below spec)
     from repro.spec.config import SpecConfig
@@ -55,6 +64,8 @@ class StakeEngine:
 
         self.config = config or SpecConfig.mainnet()
         self.rules = StakeRules.from_config(self.config)
+        self.reward_rules = RewardRules.from_config(self.config)
+        self.slashing_rules = SlashingRules.from_config(self.config)
         self.stakes = np.array(stakes, dtype=float)
         if self.stakes.ndim != 1:
             raise ValueError("stakes must be one-dimensional")
@@ -73,6 +84,8 @@ class StakeEngine:
         self.ejected = (
             np.zeros(n, dtype=bool) if ejected is None else np.array(ejected, dtype=bool)
         )
+        #: Slashed flags (slashed entries are also marked ejected).
+        self.slashed = np.zeros(n, dtype=bool)
         #: Entry index -> epoch at which it was ejected.
         self.ejection_epochs: Dict[int, int] = {}
         self.epoch = 0
@@ -114,6 +127,49 @@ class StakeEngine:
         for index in np.flatnonzero(outcome.newly_ejected):
             self.ejection_epochs[int(index)] = self.epoch
         self.epoch += 1
+        return outcome
+
+    def apply_attestation_rewards(
+        self, active: Sequence[bool], in_leak: bool = False
+    ) -> RewardOutcome:
+        """Apply one epoch of attestation rewards/penalties in place.
+
+        Entries already ejected or slashed are ineligible and untouched.
+        Does not advance :attr:`epoch` — the incentive update rides along
+        the same epoch as :meth:`step`.
+        """
+        active_mask = np.asarray(active, dtype=bool)
+        if active_mask.shape != self.stakes.shape:
+            raise ValueError("active mask must match the stakes shape")
+        outcome = self.backend.attestation_rewards_epoch_update(
+            self.stakes,
+            active_mask,
+            self.ejected | self.slashed,
+            self.reward_rules,
+            in_leak,
+        )
+        self.stakes = outcome.stakes
+        return outcome
+
+    def apply_slashings(self, slashable: Sequence[bool]) -> SlashingEpochOutcome:
+        """Slash the entries selected by ``slashable`` in place.
+
+        Already-slashed and already-ejected entries are skipped (an entry
+        that left the active set can no longer be charged).  Newly slashed
+        entries are marked ejected — slashing implies exiting the set —
+        and recorded in :attr:`ejection_epochs` at the current epoch.
+        """
+        slashable_mask = np.asarray(slashable, dtype=bool)
+        if slashable_mask.shape != self.stakes.shape:
+            raise ValueError("slashable mask must match the stakes shape")
+        outcome = self.backend.slashing_epoch_update(
+            self.stakes, slashable_mask, self.slashed, self.ejected, self.slashing_rules
+        )
+        self.stakes = outcome.stakes
+        self.slashed = outcome.slashed
+        self.ejected = self.ejected | outcome.newly_slashed
+        for index in np.flatnonzero(outcome.newly_slashed):
+            self.ejection_epochs.setdefault(int(index), self.epoch)
         return outcome
 
     # ------------------------------------------------------------------

@@ -35,10 +35,14 @@ class Experiment:
     description: str
     run: Callable[..., object]
 
+    #: Runner-level options an experiment may accept, in display order.
+    RUNNER_OPTIONS = ("jobs", "seed", "n_trials", "record_every")
+
     def accepted_options(self) -> FrozenSet[str]:
-        """Which runner-level options (``jobs``, ``seed``) this run accepts."""
+        """Which runner-level options (``jobs``, ``seed``, ``n_trials``,
+        ``record_every``) this run accepts."""
         parameters = inspect.signature(self.run).parameters
-        return frozenset(name for name in ("jobs", "seed") if name in parameters)
+        return frozenset(name for name in self.RUNNER_OPTIONS if name in parameters)
 
     @property
     def parallelizable(self) -> bool:

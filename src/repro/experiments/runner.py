@@ -6,9 +6,11 @@ Usage::
     repro-experiments table2 table3
     repro-experiments --all
     repro-experiments fig10-montecarlo --jobs 8 --seed 7
+    repro-experiments fig10-montecarlo --jobs 0 --trials 1024 --record-every 250
 
-``--jobs``/``--seed`` are forwarded to every selected experiment that
-accepts them (``--list`` marks those with ``[parallel]`` / ``[seeded]``).
+``--jobs``/``--seed``/``--trials``/``--record-every`` are forwarded to
+every selected experiment that accepts them (``--list`` marks those with
+``[parallel]`` / ``[seeded]`` / ``[trials]`` / ``[curve]``).
 Seeded experiments produce identical results at any ``--jobs`` level: the
 parallel trial runner (:mod:`repro.core.trials`) spawns per-chunk seeds
 deterministically.
@@ -39,13 +41,15 @@ def run_experiments(
     formats: Sequence[str] = ("json", "csv"),
     jobs: Optional[int] = None,
     seed: Optional[int] = None,
+    trials: Optional[int] = None,
+    record_every: Optional[int] = None,
 ) -> List[str]:
     """Run the requested experiments and return their textual reports.
 
     When ``output_dir`` is given, each result is also exported there as JSON
-    and/or CSV (see :mod:`repro.experiments.export`).  ``jobs`` and ``seed``
-    are passed through to experiments that accept them and silently ignored
-    by the rest.
+    and/or CSV (see :mod:`repro.experiments.export`).  ``jobs``, ``seed``,
+    ``trials`` and ``record_every`` are passed through to experiments that
+    accept them and silently ignored by the rest.
     """
     reports = []
     for experiment_id in experiment_ids:
@@ -56,6 +60,10 @@ def run_experiments(
             options["jobs"] = jobs
         if seed is not None and "seed" in accepted:
             options["seed"] = seed
+        if trials is not None and "n_trials" in accepted:
+            options["n_trials"] = trials
+        if record_every is not None and "record_every" in accepted:
+            options["record_every"] = record_every
         result = experiment.run(**options)
         reports.append(_format_result(result))
         if output_dir is not None:
@@ -64,6 +72,14 @@ def run_experiments(
             if "csv" in formats:
                 export_csv(experiment_id, result, output_dir)
     return reports
+
+
+def _positive_int(value: str) -> int:
+    """argparse type for options that must be strictly positive."""
+    parsed = int(value)
+    if parsed <= 0:
+        raise argparse.ArgumentTypeError(f"must be a positive integer, got {value}")
+    return parsed
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -112,6 +128,26 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="S",
         help="root RNG seed for experiments that accept one (default: each experiment's own)",
     )
+    parser.add_argument(
+        "--trials",
+        type=_positive_int,
+        default=None,
+        metavar="T",
+        help=(
+            "number of Monte-Carlo trials for experiments that accept one "
+            "(default: each experiment's own)"
+        ),
+    )
+    parser.add_argument(
+        "--record-every",
+        type=_positive_int,
+        default=None,
+        metavar="E",
+        help=(
+            "record-epoch spacing of exceed-probability curves for "
+            "experiments that accept one (default: each experiment's own)"
+        ),
+    )
     return parser
 
 
@@ -126,12 +162,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             accepted = experiment.accepted_options()
             markers = "".join(
                 f" [{label}]"
-                for option, label in (("jobs", "parallel"), ("seed", "seeded"))
+                for option, label in (
+                    ("jobs", "parallel"),
+                    ("seed", "seeded"),
+                    ("n_trials", "trials"),
+                    ("record_every", "curve"),
+                )
                 if option in accepted
             )
             print(f"{experiment_id:<22} {experiment.description}{markers}")
         print()
-        print("[parallel] experiments honour --jobs; [seeded] ones honour --seed.")
+        print(
+            "[parallel] experiments honour --jobs; [seeded] ones --seed; "
+            "[trials] ones --trials; [curve] ones --record-every."
+        )
         return 0
 
     experiment_ids = list(args.experiments)
@@ -148,6 +192,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         formats=formats,
         jobs=args.jobs,
         seed=args.seed,
+        trials=args.trials,
+        record_every=args.record_every,
     ):
         print(report)
         print()

@@ -11,8 +11,9 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
+from repro.core.backend import StakeBackend, get_backend
 from repro.network.message import Message, MessageKind
 from repro.spec.attestation import Attestation
 from repro.spec.block import BeaconBlock
@@ -43,9 +44,13 @@ class Node:
         validator_index: int,
         registry: List[Validator],
         config: Optional[SpecConfig] = None,
+        backend: Union[str, StakeBackend] = "numpy",
     ) -> None:
         self.validator_index = validator_index
         self.config = config or SpecConfig.mainnet()
+        #: Stake-dynamics kernel driving this node's epoch processing
+        #: (rewards, inactivity and slashing all run array-native on it).
+        self.backend = get_backend(backend, population=len(registry))
         self.state = BeaconState.genesis(registry, self.config)
         self.store = Store(config=self.config)
         self.pool = FFGVotePool()
@@ -252,6 +257,7 @@ class Node:
             active_indices=active,
             slashable_indices=slashable,
             epoch=epoch,
+            backend=self.backend,
         )
         self.history.append(report)
         # Propagate finality knowledge into the fork-choice store.

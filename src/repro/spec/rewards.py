@@ -7,16 +7,24 @@ do not model because the paper's analysis ignores them as negligible).
 
 These rewards are *not* what drives the paper's results — the inactivity
 penalties dominate during a leak — but they are part of the protocol and
-are exercised by the simulator so that the "no leak" baseline behaves
-realistically (stakes stay pinned near 32 ETH).
+keep the "no leak" baseline realistic (stakes stay pinned near 32 ETH).
+The per-validator arithmetic lives in :mod:`repro.core.backend`
+(:meth:`~repro.core.backend.StakeBackend.attestation_rewards_epoch_update`)
+— the same vectorized kernel family as the inactivity leak — and this
+module only adapts the :class:`BeaconState` validator registry to the
+kernel's flat arrays (the registry round-trip itself is still O(n)
+Python; flat-array callers should use :class:`repro.core.StakeEngine`
+directly).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Set
+from typing import Iterable, List, Optional, Union
 
-from repro.spec.config import SpecConfig
+import numpy as np
+
+from repro.core.backend import RewardRules, StakeBackend, get_backend
 from repro.spec.state import BeaconState
 
 
@@ -47,6 +55,7 @@ def process_attestation_rewards(
     state: BeaconState,
     active_indices: Iterable[int],
     in_leak: Optional[bool] = None,
+    backend: Union[str, StakeBackend] = "numpy",
 ) -> RewardSummary:
     """Apply attestation rewards/penalties for one epoch.
 
@@ -56,27 +65,34 @@ def process_attestation_rewards(
     validators; they are orders of magnitude smaller than the inactivity
     penalties, matching the paper's remark that they "tend to be less
     significant".
+
+    Only non-zero credits and deductions are recorded in the summary's
+    ``rewarded_indices``/``penalized_indices`` — a zero-stake validator is
+    charged nothing and therefore not listed as penalized.
     """
     leak = state.is_in_inactivity_leak() if in_leak is None else in_leak
-    cfg = state.config
     active_set = set(active_indices)
     summary = RewardSummary(epoch=state.current_epoch)
-    for validator in state.validators:
-        if not validator.is_active(state.current_epoch) or validator.slashed:
-            continue
-        if validator.index in active_set:
-            if not leak:
-                credited = validator.apply_reward(
-                    base_reward(state, validator.index),
-                    cap=cfg.max_effective_balance,
-                )
-                summary.total_rewards += credited
-                if credited > 0:
-                    summary.rewarded_indices.append(validator.index)
-        else:
-            deducted = validator.apply_penalty(
-                attestation_penalty(state, validator.index)
-            )
-            summary.total_penalties += deducted
-            summary.penalized_indices.append(validator.index)
+
+    validators = list(state.validators)
+    stakes = np.array([v.stake for v in validators], dtype=float)
+    active = np.array([v.index in active_set for v in validators], dtype=bool)
+    ineligible = np.array(
+        [not v.is_active(state.current_epoch) or v.slashed for v in validators],
+        dtype=bool,
+    )
+    rules = RewardRules.from_config(state.config)
+    outcome = get_backend(backend).attestation_rewards_epoch_update(
+        stakes, active, ineligible, rules, leak
+    )
+    for validator, stake in zip(validators, outcome.stakes.tolist()):
+        validator.stake = stake
+    summary.total_rewards = outcome.total_rewards
+    summary.total_penalties = outcome.total_penalties
+    summary.rewarded_indices = [
+        validators[int(i)].index for i in np.flatnonzero(outcome.rewarded)
+    ]
+    summary.penalized_indices = [
+        validators[int(i)].index for i in np.flatnonzero(outcome.penalized)
+    ]
     return summary

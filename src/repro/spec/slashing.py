@@ -13,8 +13,11 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
+import numpy as np
+
+from repro.core.backend import SlashingRules, StakeBackend, get_backend
 from repro.spec.attestation import Attestation
 from repro.spec.state import BeaconState
 
@@ -100,7 +103,9 @@ class SlashingOutcome:
 
 
 def apply_slashing(
-    state: BeaconState, validator_indices: Iterable[int]
+    state: BeaconState,
+    validator_indices: Iterable[int],
+    backend: Union[str, StakeBackend] = "numpy",
 ) -> SlashingOutcome:
     """Slash the given validators: charge the penalty and eject them.
 
@@ -108,17 +113,55 @@ def apply_slashing(
     immediately (the correlation penalty of the real protocol is not
     modelled — the paper only relies on slashing implying ejection and some
     stake loss) and exits the validator set at the next epoch.
+
+    Validators that already left the active set — slashed earlier, or
+    ejected via the 16.75-ETH rule — are skipped: a validator cannot be
+    charged a penalty after exiting, mirroring the ejection ordering of the
+    shared kernel (:mod:`repro.core.backend`), which freezes ejected stakes.
+
+    The arithmetic runs on the shared flat-array kernel
+    (:meth:`~repro.core.backend.StakeBackend.slashing_epoch_update`); this
+    function adapts the registry and schedules the exits.
     """
     outcome = SlashingOutcome()
+    # De-duplicated target positions, keeping the caller's order for the
+    # reported indices (evidence order in detect_and_slash).
+    requested: List[int] = []
+    seen: Set[int] = set()
     for index in validator_indices:
-        validator = state.validators[index]
-        if validator.slashed:
-            continue
-        validator.slashed = True
-        penalty = validator.stake * state.config.min_slashing_penalty_fraction
-        outcome.total_penalty += validator.apply_penalty(penalty)
-        validator.exit(state.current_epoch + 1)
-        outcome.slashed_indices.append(index)
+        if index not in seen:
+            seen.add(index)
+            requested.append(index)
+    if not requested:
+        return outcome
+
+    validators = list(state.validators)
+    position_of = {validator.index: pos for pos, validator in enumerate(validators)}
+    stakes = np.array([v.stake for v in validators], dtype=float)
+    slashed = np.array([v.slashed for v in validators], dtype=bool)
+    ineligible = np.array(
+        [not v.is_active(state.current_epoch) for v in validators], dtype=bool
+    )
+    slashable = np.zeros(len(validators), dtype=bool)
+    for index in requested:
+        slashable[position_of[index]] = True
+
+    rules = SlashingRules.from_config(state.config)
+    kernel_outcome = get_backend(backend).slashing_epoch_update(
+        stakes, slashable, slashed, ineligible, rules
+    )
+    for validator, stake, is_slashed in zip(
+        validators, kernel_outcome.stakes.tolist(), kernel_outcome.slashed.tolist()
+    ):
+        validator.stake = stake
+        validator.slashed = is_slashed
+    newly = kernel_outcome.newly_slashed
+    for index in requested:
+        position = position_of[index]
+        if newly[position]:
+            validators[position].exit(state.current_epoch + 1)
+            outcome.slashed_indices.append(index)
+    outcome.total_penalty = kernel_outcome.total_penalty
     return outcome
 
 

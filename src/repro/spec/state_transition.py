@@ -13,8 +13,9 @@ module, so the paper's mechanisms are exercised by a single implementation.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence, Set
+from typing import Iterable, List, Optional, Sequence, Set, Union
 
+from repro.core.backend import StakeBackend, get_backend
 from repro.spec.checkpoint import Checkpoint
 from repro.spec.finality import FFGVotePool, JustificationResult, process_justification
 from repro.spec.inactivity import InactivityUpdate, process_inactivity_epoch
@@ -55,6 +56,7 @@ def process_epoch(
     active_indices: Iterable[int],
     slashable_indices: Iterable[int] = (),
     epoch: Optional[int] = None,
+    backend: Union[str, StakeBackend] = "numpy",
 ) -> EpochReport:
     """Process one epoch of the chain described by ``state``.
 
@@ -73,19 +75,28 @@ def process_epoch(
         this chain during the epoch.
     epoch:
         Optional explicit epoch number; defaults to ``state.current_epoch``.
+    backend:
+        Stake-dynamics backend used by the rewards, inactivity and slashing
+        stages (``"numpy"`` default, ``"python"`` reference); resolved once
+        here so the whole epoch runs on one kernel instance.
     """
     at_epoch = state.current_epoch if epoch is None else epoch
     state.current_epoch = at_epoch
     active_set = set(active_indices)
+    kernel = get_backend(backend, population=len(state.validators))
 
     # The leak flag is evaluated before this epoch's justification result,
     # i.e. on the epochs-without-finality streak carried into the epoch.
     in_leak = state.is_in_inactivity_leak()
 
     justification = process_justification(state, pool, at_epoch)
-    rewards = process_attestation_rewards(state, active_set, in_leak=in_leak)
-    inactivity = process_inactivity_epoch(state, active_set, in_leak=in_leak)
-    slashing = apply_slashing(state, slashable_indices)
+    rewards = process_attestation_rewards(
+        state, active_set, in_leak=in_leak, backend=kernel
+    )
+    inactivity = process_inactivity_epoch(
+        state, active_set, in_leak=in_leak, backend=kernel
+    )
+    slashing = apply_slashing(state, slashable_indices, backend=kernel)
 
     ratio = active_stake_ratio(state, active_set)
     report = EpochReport(

@@ -1,0 +1,167 @@
+"""Regression: ``process_epoch`` is byte-identical pre/post the array port.
+
+``spec/rewards.py`` and ``spec/slashing.py`` used to loop over ``Validator``
+objects; they now delegate to the flat-array kernels in
+:mod:`repro.core.backend`.  This suite pins the refactor down:
+
+* a hand-written per-validator loop reference (the pre-refactor
+  implementation, with the zero-deduction and slash-after-ejection fixes
+  applied) must produce *byte-identical* ``BeaconState`` trajectories,
+* the ``"numpy"`` and ``"python"`` backends must agree byte-for-byte
+  through multi-epoch ``process_epoch`` runs, leak and slashings included.
+"""
+
+import numpy as np
+import pytest
+
+from repro.spec.checkpoint import Checkpoint, FFGVote, GENESIS_CHECKPOINT
+from repro.spec.config import SpecConfig
+from repro.spec.finality import FFGVotePool
+from repro.spec.rewards import process_attestation_rewards
+from repro.spec.slashing import apply_slashing
+from repro.spec.state import BeaconState
+from repro.spec.state_transition import process_epoch
+from repro.spec.types import Root
+from repro.spec.validator import make_registry
+
+
+def cp(epoch: int, label: str = "") -> Checkpoint:
+    return Checkpoint(epoch=epoch, root=Root.from_label(label or f"c{epoch}"))
+
+
+def snapshot(state: BeaconState):
+    """Every mutable per-validator field, as exact values."""
+    return [
+        (v.index, v.stake, v.inactivity_score, v.slashed, v.exit_epoch)
+        for v in state.validators
+    ]
+
+
+# ----------------------------------------------------------------------
+# Pre-refactor loop references (with the two bugfixes applied)
+# ----------------------------------------------------------------------
+def legacy_process_attestation_rewards(state, active_indices, in_leak):
+    """The per-validator loop that spec/rewards.py ran before the port."""
+    cfg = state.config
+    active_set = set(active_indices)
+    rewarded, penalized = [], []
+    for validator in state.validators:
+        if not validator.is_active(state.current_epoch) or validator.slashed:
+            continue
+        if validator.index in active_set:
+            if not in_leak:
+                credited = validator.apply_reward(
+                    validator.stake * cfg.base_reward_fraction,
+                    cap=cfg.max_effective_balance,
+                )
+                if credited > 0:
+                    rewarded.append(validator.index)
+        else:
+            deducted = validator.apply_penalty(
+                validator.stake * cfg.attestation_penalty_fraction
+            )
+            if deducted > 0:  # bugfix: record only non-zero deductions
+                penalized.append(validator.index)
+    return rewarded, penalized
+
+
+def legacy_apply_slashing(state, validator_indices):
+    """The per-validator loop that spec/slashing.py ran before the port."""
+    slashed_indices = []
+    for index in validator_indices:
+        validator = state.validators[index]
+        # bugfix: an already-exited validator cannot be charged any more.
+        if validator.slashed or not validator.is_active(state.current_epoch):
+            continue
+        validator.slashed = True
+        validator.apply_penalty(
+            validator.stake * state.config.min_slashing_penalty_fraction
+        )
+        validator.exit(state.current_epoch + 1)
+        slashed_indices.append(index)
+    return slashed_indices
+
+
+class TestLoopReferenceEquivalence:
+    @pytest.mark.parametrize("backend", ["numpy", "python"])
+    @pytest.mark.parametrize("in_leak", [True, False])
+    def test_rewards_match_legacy_loop(self, backend, in_leak):
+        rng = np.random.default_rng(3)
+        array_state = BeaconState.genesis(make_registry(24), SpecConfig.minimal())
+        for validator in array_state.validators:
+            validator.stake = float(rng.uniform(0.0, 33.0))
+        array_state.validators[0].stake = 0.0  # stake-0 edge case
+        array_state.validators[1].exit(0)  # exited edge case
+        loop_state = array_state.fork()
+        active = set(int(i) for i in np.flatnonzero(rng.random(24) < 0.5))
+
+        summary = process_attestation_rewards(
+            array_state, active, in_leak=in_leak, backend=backend
+        )
+        rewarded, penalized = legacy_process_attestation_rewards(
+            loop_state, active, in_leak
+        )
+        assert snapshot(array_state) == snapshot(loop_state)
+        assert summary.rewarded_indices == rewarded
+        assert summary.penalized_indices == penalized
+        assert 0 not in summary.penalized_indices
+        assert 1 not in summary.penalized_indices
+
+    @pytest.mark.parametrize("backend", ["numpy", "python"])
+    def test_slashing_matches_legacy_loop(self, backend):
+        array_state = BeaconState.genesis(make_registry(12), SpecConfig.minimal())
+        array_state.validators[2].slashed = True
+        array_state.validators[2].exit(0)
+        array_state.validators[3].exit(0)  # ejected, never slashed
+        loop_state = array_state.fork()
+        targets = [5, 2, 3, 7, 5]  # duplicate + already-slashed + ejected
+
+        outcome = apply_slashing(array_state, targets, backend=backend)
+        slashed = legacy_apply_slashing(loop_state, targets)
+        assert snapshot(array_state) == snapshot(loop_state)
+        assert outcome.slashed_indices == slashed == [5, 7]
+
+
+def drive_epochs(backend: str, epochs: int = 30):
+    """A multi-epoch chain with justification gaps, a leak and slashings."""
+    rng = np.random.default_rng(17)
+    state = BeaconState.genesis(
+        make_registry(30, byzantine_fraction=0.3), SpecConfig.minimal()
+    )
+    pool = FFGVotePool()
+    snapshots = []
+    for epoch in range(1, epochs + 1):
+        state.current_epoch = epoch
+        active = set(int(i) for i in np.flatnonzero(rng.random(30) < 0.6))
+        # Healthy start, then a long vote drought that triggers the leak.
+        if epoch < 4:
+            source = GENESIS_CHECKPOINT if epoch == 1 else cp(epoch - 1)
+            for validator in range(30):
+                pool.add_vote(validator, FFGVote(source=source, target=cp(epoch)))
+        slashable = [int(i) for i in rng.integers(0, 30, size=2)] if epoch % 7 == 0 else []
+        report = process_epoch(
+            state, pool, active_indices=active, slashable_indices=slashable,
+            backend=backend,
+        )
+        snapshots.append(
+            (
+                snapshot(state),
+                report.in_leak,
+                report.slashing.slashed_indices,
+                sorted(report.inactivity.ejected_indices),
+                state.last_finalized_epoch,
+            )
+        )
+    return snapshots
+
+
+class TestProcessEpochTrajectory:
+    def test_backends_byte_identical_through_process_epoch(self):
+        assert drive_epochs("numpy") == drive_epochs("python")
+
+    def test_trajectory_exercises_all_forces(self):
+        snapshots = drive_epochs("numpy")
+        assert any(in_leak for _, in_leak, _, _, _ in snapshots)
+        assert any(slashed for _, _, slashed, _, _ in snapshots)
+        final_registry = snapshots[-1][0]
+        assert any(exit_epoch is not None for _, _, _, _, exit_epoch in final_registry)

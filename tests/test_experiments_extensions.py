@@ -17,7 +17,7 @@ class TestFigure10MonteCarlo:
         result = fig10_montecarlo.run(
             beta0_values=(1 / 3,), horizon=1500, n_trials=30, n_honest=100, seed=1
         )
-        row = result.rows()[0]
+        row = result.horizon_rows()[0]
         assert row["closed_form_single_branch"] == pytest.approx(0.5, abs=1e-3)
         assert row["closed_form_both_branches"] == pytest.approx(1.0, abs=1e-3)
         # With two symmetric branches, at least one of them exceeds the
@@ -29,7 +29,7 @@ class TestFigure10MonteCarlo:
         result = fig10_montecarlo.run(
             beta0_values=(1 / 3, 0.31), horizon=1500, n_trials=20, n_honest=80, seed=2
         )
-        rows = {row["beta0"]: row for row in result.rows()}
+        rows = {row["beta0"]: row for row in result.horizon_rows()}
         assert (
             rows[0.31]["empirical_either_branch"]
             <= rows[1 / 3]["empirical_either_branch"]
@@ -40,6 +40,29 @@ class TestFigure10MonteCarlo:
             beta0_values=(1 / 3,), horizon=1000, n_trials=20, n_honest=80, seed=3
         )
         assert 0.0 <= result.max_gap_to_both_branches_form() <= 1.0
+
+    def test_record_every_produces_full_curve(self):
+        result = fig10_montecarlo.run(
+            beta0_values=(1 / 3,),
+            horizon=1200,
+            n_trials=20,
+            n_honest=80,
+            seed=4,
+            record_every=150,
+        )
+        assert list(result.record_epochs) == [150 * k for k in range(1, 9)]
+        curve = result.empirical_series[1 / 3]
+        assert set(curve) == set(result.record_epochs)
+        assert all(0.0 <= value <= 1.0 for value in curve.values())
+        # rows() exports one row per (beta0, epoch) — the full curve.
+        assert len(result.rows()) == 8
+        assert "exceed-probability curves" in result.format_text()
+
+    def test_plan_record_epochs_includes_horizon(self):
+        assert fig10_montecarlo.plan_record_epochs(1000, None) == [1000]
+        assert fig10_montecarlo.plan_record_epochs(1000, 400) == [400, 800, 1000]
+        with pytest.raises(ValueError):
+            fig10_montecarlo.plan_record_epochs(1000, 0)
 
 
 class TestGeneralizedMechanismExperiment:

@@ -75,6 +75,25 @@ class TestRewards:
         summary = process_attestation_rewards(state, active_indices=set(), in_leak=False)
         assert 0 not in summary.penalized_indices
 
+    def test_zero_stake_validator_not_recorded_as_penalized(self, state):
+        # Regression: a zero-stake validator has nothing to deduct, so it
+        # must not appear in penalized_indices (mirroring rewarded_indices,
+        # which only ever recorded non-zero credits).
+        state.validators[0].stake = 0.0
+        summary = process_attestation_rewards(state, active_indices=set(), in_leak=False)
+        assert 0 not in summary.penalized_indices
+        assert sorted(summary.penalized_indices) == list(range(1, 8))
+        assert state.validators[0].stake == 0.0
+
+    @pytest.mark.parametrize("backend", ["numpy", "python"])
+    def test_backends_agree_on_summary(self, state, backend):
+        state.validators[0].stake = 31.0
+        summary = process_attestation_rewards(
+            state, active_indices={0, 1}, in_leak=False, backend=backend
+        )
+        assert summary.rewarded_indices == [0]
+        assert sorted(summary.penalized_indices) == list(range(2, 8))
+
 
 class TestSlashingDetector:
     def test_detects_double_vote(self):
@@ -165,3 +184,27 @@ class TestApplySlashing:
         assert [e.validator_index for e in evidence] == [2]
         assert outcome.slashed_indices == [2]
         assert not state.validators[4].slashed
+
+    def test_ejected_validator_cannot_be_slashed(self, state):
+        # Regression: a validator already ejected via the 16.75-ETH rule has
+        # left the active set — slashing evidence arriving afterwards must
+        # not charge it a penalty (nor flag it slashed).
+        state.validators[3].stake = 16.0
+        state.validators[3].exit(state.current_epoch)  # ejected, not slashed
+        outcome = apply_slashing(state, [3, 5])
+        assert outcome.slashed_indices == [5]
+        assert not state.validators[3].slashed
+        assert state.validators[3].stake == 16.0
+        assert outcome.total_penalty == pytest.approx(32.0 / 32)
+
+    def test_duplicate_indices_charged_once(self, state):
+        outcome = apply_slashing(state, [6, 6, 6])
+        assert outcome.slashed_indices == [6]
+        assert state.validators[6].stake == pytest.approx(32.0 * (1 - 1 / 32))
+
+    @pytest.mark.parametrize("backend", ["numpy", "python"])
+    def test_backends_agree(self, state, backend):
+        outcome = apply_slashing(state, [1, 4], backend=backend)
+        assert outcome.slashed_indices == [1, 4]
+        assert state.validators[1].slashed and state.validators[4].slashed
+        assert not state.validators[1].is_active(state.current_epoch + 1)
