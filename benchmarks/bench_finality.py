@@ -1,0 +1,162 @@
+"""Benchmark: array-native vs loop throughput of FFG justification.
+
+The finality stage of epoch processing now runs on the
+``finality_epoch_update`` kernel pair: per-link stake supports over flat
+checkpoint-vote arrays (lexsort + bincount on the ``"numpy"`` backend, a
+per-vote dict walk on the ``"python"`` loop reference) feeding a shared
+decision cascade.  The ``"numpy"`` backend must beat the loop reference by
+at least an order of magnitude on sim-scale populations; both backends are
+first checked to produce identical justification/finalization
+trajectories, so the comparison times the same semantics.  This is the
+accountability check for the PR that ported ``spec/finality.py`` onto
+``repro.core``.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.backend import FinalityRules, get_backend
+from repro.core.ffg import FlatVotePool
+from repro.spec.config import SpecConfig
+
+POPULATION = 20_000
+EPOCHS = 10
+#: Root ids: 0 is genesis, epoch e's canonical root is 2e-1, its fork 2e.
+GENESIS_ROOT = 0
+
+RULES = FinalityRules.from_config(SpecConfig.mainnet())
+
+
+def _fixture(seed=0):
+    """Seeded votes for EPOCHS epochs: conflicting targets, stale sources."""
+    rng = np.random.default_rng(seed)
+    stakes = rng.uniform(16.0, 32.0, POPULATION)
+    eligible = rng.random(POPULATION) < 0.98
+    # The exact total is shared by both backends (it is an input, computed
+    # once by the adapter in production).
+    total_stake = float(np.sum(np.where(eligible, stakes, 0.0)))
+    epochs = []
+    last_canonical = (0, GENESIS_ROOT)  # (epoch, root) expected justified tip
+    for epoch in range(1, EPOCHS + 1):
+        if epoch % 7 == 0:  # vote drought: a finality gap
+            epochs.append((epoch, None))
+            continue
+        canonical_root = 2 * epoch - 1
+        fork_root = 2 * epoch
+        validators = np.arange(POPULATION, dtype=np.int64)
+        pick = rng.random(POPULATION)
+        # 75% canonical votes from the justified tip; the rest split over a
+        # stale genesis source, a wrong-root source at the tip epoch, and
+        # a conflicting fork target — four distinct links per epoch.
+        target_roots = np.where(pick < 0.92, canonical_root, fork_root).astype(np.int64)
+        source_epochs = np.select(
+            [pick < 0.75, pick < 0.84], [last_canonical[0], 0], default=last_canonical[0]
+        ).astype(np.int64)
+        source_epochs[pick >= 0.92] = 0
+        source_roots = np.where(pick < 0.75, last_canonical[1], GENESIS_ROOT).astype(
+            np.int64
+        )
+        epochs.append((epoch, (validators, source_epochs, source_roots, target_roots)))
+        last_canonical = (epoch, canonical_root)
+    return stakes, eligible, total_stake, epochs
+
+
+def _run_epochs(kernel, stakes, eligible, total_stake, epochs):
+    """Drive EPOCHS of justification, replaying transitions like the adapter."""
+    justified_roots = {0: GENESIS_ROOT}
+    finalized_epoch = 0
+    trajectory = []
+    for epoch, votes in epochs:
+        if votes is None:
+            continue
+        update = kernel.finality_epoch_update(
+            *votes,
+            stakes,
+            eligible,
+            RULES,
+            epoch=epoch,
+            total_stake=total_stake,
+            justified_roots=justified_roots,
+            finalized_epoch=finalized_epoch,
+        )
+        for event in update.events:
+            justified_roots[event.target_epoch] = event.target_root
+            if event.finalizes_source:
+                finalized_epoch = event.source_epoch
+        trajectory.append((epoch, update.events, sorted(update.link_supports.items())))
+    return trajectory, justified_roots, finalized_epoch
+
+
+@pytest.mark.benchmark(group="finality")
+def test_numpy_finality_throughput(benchmark):
+    kernel = get_backend("numpy")
+    fixture = _fixture()
+    trajectory, _, _ = benchmark.pedantic(
+        _run_epochs, args=(kernel, *fixture), rounds=5, iterations=1
+    )
+    assert trajectory
+
+
+@pytest.mark.benchmark(group="finality")
+def test_python_finality_throughput(benchmark):
+    kernel = get_backend("python")
+    fixture = _fixture()
+    trajectory, _, _ = benchmark.pedantic(
+        _run_epochs, args=(kernel, *fixture), rounds=1, iterations=1
+    )
+    assert trajectory
+
+
+@pytest.mark.benchmark(group="finality")
+def test_vote_pool_insert_throughput(benchmark):
+    """O(1) inserts: one full population of votes into a FlatVotePool."""
+    stakes, _, _, epochs = _fixture()
+    _, votes = next(item for item in epochs if item[1] is not None)
+    validators, source_epochs, source_roots, target_roots = (
+        arr.tolist() for arr in votes
+    )
+
+    def insert_all():
+        pool = FlatVotePool(initial_capacity=1024, stakes=stakes)
+        for validator, source_epoch, source_root, target_root in zip(
+            validators, source_epochs, source_roots, target_roots
+        ):
+            pool.add_vote(validator, source_epoch, source_root, 1, target_root)
+        return pool
+
+    pool = benchmark.pedantic(insert_all, rounds=3, iterations=1)
+    assert pool.vote_count(1) == POPULATION
+
+
+def test_numpy_at_least_10x_faster_and_identical():
+    """The acceptance check: >=10x on identical seeded trajectories.
+
+    The numpy region is a couple of milliseconds per epoch, so single
+    unwarmed readings are noisy on shared CI runners; take the best of
+    several rounds (after a warmup) before asserting the ratio.
+    """
+    timings = {}
+    finals = {}
+    for name, rounds in (("numpy", 5), ("python", 2)):
+        kernel = get_backend(name)
+        fixture = _fixture(seed=1)
+        _run_epochs(kernel, *fixture)  # warmup
+        best = float("inf")
+        for _ in range(rounds):
+            start = time.perf_counter()
+            finals[name] = _run_epochs(kernel, *fixture)
+            best = min(best, time.perf_counter() - start)
+        timings[name] = best
+    assert finals["numpy"] == finals["python"]
+    trajectory, justified_roots, finalized_epoch = finals["numpy"]
+    assert any(events for _, events, _ in trajectory)  # justifications happened
+    assert finalized_epoch > 0  # and so did finalizations
+    assert len(justified_roots) > 1
+    speedup = timings["python"] / timings["numpy"]
+    print(
+        f"\nFFG justification: numpy {timings['numpy']*1e3:.1f}ms, "
+        f"python {timings['python']*1e3:.1f}ms -> {speedup:.0f}x"
+    )
+    assert speedup >= 10.0

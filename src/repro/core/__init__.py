@@ -3,13 +3,17 @@
 One implementation of the paper's per-epoch stake forces over flat arrays —
 Equations 1–2 (inactivity scores and penalties, score floor, 16.75-ETH
 ejection), attestation rewards/penalties (leak-gated, capped at the maximum
-effective balance) and slashing with exit scheduling — with a vectorized
-``"numpy"`` backend and a pure-loop ``"python"`` reference, plus the seeded
-parallel trial runner used by the Monte-Carlo experiments.
+effective balance), slashing with exit scheduling and Casper FFG
+justification/finalization over flat checkpoint-vote arrays — with a
+vectorized ``"numpy"`` backend and a pure-loop ``"python"`` reference, plus
+the seeded parallel trial runner used by the Monte-Carlo experiments.
 """
 
 from repro.core.backend import (
     EpochOutcome,
+    FinalityEvent,
+    FinalityRules,
+    FinalityUpdate,
     NumpyBackend,
     PythonBackend,
     RewardOutcome,
@@ -21,7 +25,14 @@ from repro.core.backend import (
     available_backends,
     get_backend,
 )
-from repro.core.stake_engine import FinalityTracker, StakeEngine
+from repro.core.ffg import (
+    FinalityTracker,
+    FlatVotePool,
+    RatioFinality,
+    finality_from_ratios,
+    justified_at,
+)
+from repro.core.stake_engine import StakeEngine
 from repro.core.trials import (
     DEFAULT_CHUNK_SIZE,
     TrialChunk,
@@ -35,9 +46,14 @@ from repro.core.trials import (
 __all__ = [
     "DEFAULT_CHUNK_SIZE",
     "EpochOutcome",
+    "FinalityEvent",
+    "FinalityRules",
     "FinalityTracker",
+    "FinalityUpdate",
+    "FlatVotePool",
     "NumpyBackend",
     "PythonBackend",
+    "RatioFinality",
     "RewardOutcome",
     "RewardRules",
     "SlashingEpochOutcome",
@@ -47,7 +63,9 @@ __all__ = [
     "StakeRules",
     "TrialChunk",
     "available_backends",
+    "finality_from_ratios",
     "get_backend",
+    "justified_at",
     "parallel_map",
     "plan_chunks",
     "resolve_jobs",

@@ -5,9 +5,11 @@ forces, operating on flat arrays over an arbitrary population of validators
 (or validator groups): Equations 1 and 2 (inactivity scores and penalties)
 with the score floor at zero and the 16.75-ETH ejection rule
 (:meth:`StakeBackend.epoch_update`), the attestation rewards/penalties of
-incentive type ii (:meth:`StakeBackend.attestation_rewards_epoch_update`)
-and slashing with its ejection ordering
-(:meth:`StakeBackend.slashing_epoch_update`).  Everything that used to
+incentive type ii (:meth:`StakeBackend.attestation_rewards_epoch_update`),
+slashing with its ejection ordering
+(:meth:`StakeBackend.slashing_epoch_update`) and Casper FFG
+justification/finalization over flat checkpoint-vote arrays
+(:meth:`StakeBackend.finality_epoch_update`).  Everything that used to
 re-implement these rules — the group-ledger leak simulator
 (:mod:`repro.leak.dynamics`), the per-validator Monte-Carlo bouncing
 simulation (:mod:`repro.analysis.montecarlo`) and the per-node epoch
@@ -37,8 +39,8 @@ evolving and they can never be re-ejected.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, Optional, Tuple, Type
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence, Tuple, Type
 
 import numpy as np
 
@@ -107,6 +109,21 @@ class SlashingRules:
         return cls(penalty_fraction=float(cfg.min_slashing_penalty_fraction))
 
 
+@dataclass(frozen=True)
+class FinalityRules:
+    """Parameters of the FFG justification/finalization kernel (Section 3.2)."""
+
+    supermajority_fraction: float
+
+    @classmethod
+    def from_config(cls, config: "Optional[SpecConfig]" = None) -> "FinalityRules":
+        """Extract the kernel parameters from a :class:`SpecConfig`."""
+        from repro.spec.config import SpecConfig
+
+        cfg = config or SpecConfig.mainnet()
+        return cls(supermajority_fraction=float(cfg.supermajority_fraction))
+
+
 @dataclass
 class EpochOutcome:
     """Result of one fused epoch update."""
@@ -144,6 +161,46 @@ class SlashingEpochOutcome:
     newly_slashed: np.ndarray
     #: Total stake burned by slashing penalties this epoch.
     total_penalty: float
+
+
+@dataclass(frozen=True)
+class FinalityEvent:
+    """One justification recorded by the finality kernel, in event order.
+
+    ``finalizes_source`` is set when the justification also finalized its
+    source (consecutive-epochs rule); roots are the caller's interned ids.
+    """
+
+    target_epoch: int
+    target_root: int
+    source_epoch: int
+    source_root: int
+    finalizes_source: bool
+
+
+@dataclass
+class FinalityUpdate:
+    """Result of one epoch of FFG justification/finalization processing."""
+
+    #: Justifications in the order the decision loop recorded them.
+    events: List[FinalityEvent] = field(default_factory=list)
+    #: ``(source_epoch, source_root, target_root)`` -> supporting stake of
+    #: eligible voters, for every link present in the epoch's votes.
+    link_supports: Dict[Tuple[int, int, int], float] = field(default_factory=dict)
+
+    @property
+    def justified(self) -> List[Tuple[int, int]]:
+        """Newly justified ``(epoch, root_id)`` checkpoints, in order."""
+        return [(event.target_epoch, event.target_root) for event in self.events]
+
+    @property
+    def finalized(self) -> List[Tuple[int, int]]:
+        """Newly finalized ``(epoch, root_id)`` checkpoints, in order."""
+        return [
+            (event.source_epoch, event.source_root)
+            for event in self.events
+            if event.finalizes_source
+        ]
 
 
 class StakeBackend:
@@ -246,6 +303,115 @@ class StakeBackend:
         ``newly_slashed`` mask.
         """
         raise NotImplementedError
+
+    def ffg_link_supports(
+        self,
+        vote_validators: np.ndarray,
+        vote_source_epochs: np.ndarray,
+        vote_source_roots: np.ndarray,
+        vote_target_roots: np.ndarray,
+        stakes: np.ndarray,
+        eligible: np.ndarray,
+    ) -> Dict[Tuple[int, int, int], float]:
+        """Stake supporting each distinct supermajority link of one epoch.
+
+        The four vote arrays are parallel, one row per voting validator
+        (the caller — :class:`repro.core.ffg.FlatVotePool` — guarantees at
+        most one row per validator); roots are interned integer ids.  The
+        support of a link is the sum of ``stakes`` over its voters that
+        are ``eligible`` (active at the processed epoch), accumulated *in
+        increasing validator order* — both backends perform that exact
+        IEEE-754 summation, so supports are bit-identical to each other
+        and to the per-validator dict scan this kernel replaced.  Links
+        whose voters are all ineligible are still reported, with support
+        0.0.
+        """
+        raise NotImplementedError
+
+    def finality_epoch_update(
+        self,
+        vote_validators: np.ndarray,
+        vote_source_epochs: np.ndarray,
+        vote_source_roots: np.ndarray,
+        vote_target_roots: np.ndarray,
+        stakes: np.ndarray,
+        eligible: np.ndarray,
+        rules: FinalityRules,
+        epoch: int,
+        total_stake: float,
+        justified_roots: Mapping[int, int],
+        finalized_epoch: int,
+        root_rank: "Optional[Sequence[int]]" = None,
+    ) -> FinalityUpdate:
+        """One epoch of Casper FFG justification/finalization (Section 3.2).
+
+        Link supports come from :meth:`ffg_link_supports` (the per-backend
+        stage); the decision cascade below is shared, so both backends
+        agree on the sequencing by construction.  Targets are visited in
+        checkpoint order (by ``root_rank``; pass ``None`` when ids are
+        already rank-ordered), and for each target the justified sources
+        — ``justified_roots`` maps epoch to the justified checkpoint's
+        root id — are tried in checkpoint order until one link clears the
+        strict supermajority of ``total_stake``.  A justification at
+        ``source epoch + 1`` whose source lies beyond ``finalized_epoch``
+        finalizes that source (two consecutive justified checkpoints).
+        Justifications recorded mid-loop are visible to later targets of
+        the same call, mirroring the state-mutating loop this replaces.
+        """
+        supports = self.ffg_link_supports(
+            vote_validators,
+            vote_source_epochs,
+            vote_source_roots,
+            vote_target_roots,
+            stakes,
+            eligible,
+        )
+        update = FinalityUpdate(link_supports=supports)
+        if not supports:
+            return update
+
+        if root_rank is None:
+            def rank(root_id: int) -> int:
+                return root_id
+        else:
+            def rank(root_id: int) -> int:
+                return int(root_rank[root_id])
+
+        justified_map = dict(justified_roots)
+        last_finalized = int(finalized_epoch)
+        epoch = int(epoch)
+        for target_root in sorted({key[2] for key in supports}, key=rank):
+            if justified_map.get(epoch) == target_root:
+                continue
+            sources = sorted(
+                {(key[0], key[1]) for key in supports if key[2] == target_root},
+                key=lambda source: (source[0], rank(source[1])),
+            )
+            for source_epoch, source_root in sources:
+                if justified_map.get(source_epoch) != source_root:
+                    continue
+                support = supports[(source_epoch, source_root, target_root)]
+                if total_stake <= 0 or not (
+                    support / total_stake > rules.supermajority_fraction
+                ):
+                    continue
+                justified_map[epoch] = target_root
+                finalizes = (
+                    epoch == source_epoch + 1 and source_epoch > last_finalized
+                )
+                if finalizes:
+                    last_finalized = source_epoch
+                update.events.append(
+                    FinalityEvent(
+                        target_epoch=epoch,
+                        target_root=target_root,
+                        source_epoch=source_epoch,
+                        source_root=source_root,
+                        finalizes_source=finalizes,
+                    )
+                )
+                break
+        return update
 
     # -- fused step ----------------------------------------------------
     def epoch_update(
@@ -373,6 +539,96 @@ class NumpyBackend(StakeBackend):
             total_penalty=float(np.sum(deducted)),
         )
 
+    def ffg_link_supports(
+        self,
+        vote_validators,
+        vote_source_epochs,
+        vote_source_roots,
+        vote_target_roots,
+        stakes,
+        eligible,
+    ):
+        validators = np.asarray(vote_validators, dtype=np.int64)
+        if validators.size == 0:
+            return {}
+        source_epochs = np.asarray(vote_source_epochs, dtype=np.int64)
+        source_roots = np.asarray(vote_source_roots, dtype=np.int64)
+        target_roots = np.asarray(vote_target_roots, dtype=np.int64)
+        stakes = np.asarray(stakes, dtype=float)
+        eligible = np.asarray(eligible, dtype=bool)
+        # Group votes by link with voters ascending within each link;
+        # bincount then accumulates each link's stake strictly left to
+        # right, i.e. the same sequential sum over sorted voters as the
+        # loop reference (np.sum's pairwise blocking would not be
+        # bit-identical here).  Ineligible voters contribute exactly
+        # +0.0, which never perturbs the non-negative partial sums.
+        #
+        # Fast path: epochs, interned root ids and validator indices are
+        # small dense non-negative ints, so the whole (target, source
+        # epoch, source root, validator) sort key packs into one int64 —
+        # a single np.sort replaces the 4-key lexsort and its gathers.
+        # The validator occupies the low bits, keeping voters ascending
+        # within each link.
+        spans = []
+        packable = True
+        for array in (validators, source_roots, source_epochs):
+            low, high = int(array.min()), int(array.max())
+            packable &= low >= 0
+            spans.append(high + 1)
+        v_span, sr_span, se_span = spans
+        tr_low = int(target_roots.min())
+        if packable and tr_low >= 0 and (
+            (int(target_roots.max()) + 1) * se_span * sr_span * v_span < 2 ** 62
+        ):
+            combined = target_roots * se_span + source_epochs
+            combined *= sr_span
+            combined += source_roots
+            combined *= v_span
+            combined += validators
+            combined = np.sort(combined)
+            link_keys = combined // v_span
+            voters = combined - link_keys * v_span
+            boundary = np.empty(combined.shape[0], dtype=bool)
+            boundary[0] = True
+            np.not_equal(link_keys[1:], link_keys[:-1], out=boundary[1:])
+            firsts = np.flatnonzero(boundary)
+            link_ids = np.cumsum(boundary) - 1
+            weights = np.where(eligible[voters], stakes[voters], 0.0)
+            totals = np.bincount(link_ids, weights=weights)
+            first_keys = link_keys[firsts]
+            first_sources = first_keys // sr_span
+            return {
+                (
+                    int(first_sources[link]) % se_span,
+                    int(first_keys[link]) % sr_span,
+                    int(first_sources[link]) // se_span,
+                ): float(totals[link])
+                for link in range(firsts.shape[0])
+            }
+        # General path: unbounded or negative ids, 4-key lexsort.
+        order = np.lexsort((validators, source_roots, source_epochs, target_roots))
+        validators = validators[order]
+        source_epochs = source_epochs[order]
+        source_roots = source_roots[order]
+        target_roots = target_roots[order]
+        boundary = np.empty(validators.shape[0], dtype=bool)
+        boundary[0] = True
+        np.not_equal(target_roots[1:], target_roots[:-1], out=boundary[1:])
+        boundary[1:] |= source_epochs[1:] != source_epochs[:-1]
+        boundary[1:] |= source_roots[1:] != source_roots[:-1]
+        link_ids = np.cumsum(boundary) - 1
+        weights = np.where(eligible[validators], stakes[validators], 0.0)
+        totals = np.bincount(link_ids, weights=weights)
+        firsts = np.flatnonzero(boundary)
+        return {
+            (
+                int(source_epochs[first]),
+                int(source_roots[first]),
+                int(target_roots[first]),
+            ): float(totals[link])
+            for link, first in enumerate(firsts)
+        }
+
 
 class PythonBackend(StakeBackend):
     """Pure-Python loop reference, kept for exact-semantics validation."""
@@ -496,6 +752,46 @@ class PythonBackend(StakeBackend):
             newly_slashed=np.array(out_newly, dtype=bool).reshape(shape),
             total_penalty=float(np.sum(np.array(deducted, dtype=float))),
         )
+
+    def ffg_link_supports(
+        self,
+        vote_validators,
+        vote_source_epochs,
+        vote_source_roots,
+        vote_target_roots,
+        stakes,
+        eligible,
+    ):
+        validators = np.asarray(vote_validators, dtype=np.int64).tolist()
+        source_epochs = np.asarray(vote_source_epochs, dtype=np.int64).tolist()
+        source_roots = np.asarray(vote_source_roots, dtype=np.int64).tolist()
+        target_roots = np.asarray(vote_target_roots, dtype=np.int64).tolist()
+        stakes = np.asarray(stakes, dtype=float).tolist()
+        eligible = np.asarray(eligible, dtype=bool).tolist()
+        # The faithful port of the dict-based implementation this kernel
+        # replaced: enumerate the distinct links, then re-scan the whole
+        # vote set once per link (``voters_for_link``) and sum the stakes
+        # of its eligible voters in ascending validator order
+        # (``stake_of``) — the exact sequential IEEE-754 additions the
+        # vectorized backend reproduces per link via ``np.bincount``.
+        keys = list(zip(source_epochs, source_roots, target_roots))
+        links: List[Tuple[int, int, int]] = []
+        seen = set()
+        for key in keys:
+            if key not in seen:
+                seen.add(key)
+                links.append(key)
+        supports = {}
+        for link in links:
+            voters = [
+                voter for voter, key in zip(validators, keys) if key == link
+            ]
+            support = 0.0
+            for voter in sorted(voters):
+                if eligible[voter]:
+                    support += stakes[voter]
+            supports[link] = support
+        return supports
 
     def epoch_update(self, stakes, scores, active, ejected, rules, in_leak=True):
         # One fused pass per element, applying the identical arithmetic in

@@ -3,16 +3,16 @@
 :class:`StakeEngine` holds the per-validator (or per-group) state of one
 chain branch as flat NumPy arrays — stakes, inactivity scores, ejection
 mask, optional stake weights — and advances it one epoch at a time through
-a pluggable :mod:`repro.core.backend` kernel.  :class:`FinalityTracker`
-implements the justification/finalization bookkeeping (supermajority
-threshold, two consecutive justified checkpoints finalize the first) that
-every branch-level simulation repeats.
+a pluggable :mod:`repro.core.backend` kernel.  The
+justification/finalization bookkeeping every branch-level simulation
+repeats lives in :mod:`repro.core.ffg`; its streaming
+:class:`~repro.core.ffg.FinalityTracker` is re-exported here for the
+branch simulations that pair it with an engine.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, Dict, Optional, Sequence, Union
 
 import numpy as np
 
@@ -26,6 +26,9 @@ from repro.core.backend import (
     StakeRules,
     get_backend,
 )
+from repro.core.ffg import FinalityTracker
+
+__all__ = ["FinalityTracker", "StakeEngine"]
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (core is below spec)
     from repro.spec.config import SpecConfig
@@ -194,43 +197,3 @@ class StakeEngine:
         if total <= 0:
             return 0.0
         return self.stake_of(np.asarray(active, dtype=bool) & ~self.ejected) / total
-
-
-@dataclass
-class FinalityTracker:
-    """Justification/finalization bookkeeping of one simulated branch.
-
-    Mirrors the FFG rule the paper analyses: an epoch is *justified* when
-    the active-stake ratio reaches the supermajority, and two consecutive
-    justified epochs finalize (the first of the pair, reported at the
-    second).  Tracks the first threshold crossing and the first
-    finalization.
-    """
-
-    supermajority: float
-    threshold_epoch: Optional[int] = None
-    finalization_epoch: Optional[int] = None
-    finalized: bool = False
-    previous_justified: bool = False
-    previous_active_ratio: float = 0.0
-
-    @classmethod
-    def for_config(cls, config: "Optional[SpecConfig]" = None) -> "FinalityTracker":
-        from repro.spec.config import SpecConfig
-
-        cfg = config or SpecConfig.mainnet()
-        return cls(supermajority=cfg.supermajority_fraction)
-
-    def observe(self, epoch: int, active_ratio: float) -> Tuple[bool, bool]:
-        """Record one epoch's active ratio; returns ``(justified, finalized_now)``."""
-        justified = active_ratio >= self.supermajority
-        finalized_now = False
-        if justified and self.threshold_epoch is None:
-            self.threshold_epoch = epoch
-        if justified and self.previous_justified and not self.finalized:
-            self.finalized = True
-            finalized_now = True
-            self.finalization_epoch = epoch
-        self.previous_justified = justified
-        self.previous_active_ratio = active_ratio
-        return justified, finalized_now

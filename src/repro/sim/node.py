@@ -49,7 +49,8 @@ class Node:
         self.validator_index = validator_index
         self.config = config or SpecConfig.mainnet()
         #: Stake-dynamics kernel driving this node's epoch processing
-        #: (rewards, inactivity and slashing all run array-native on it).
+        #: (FFG justification, rewards, inactivity and slashing all run
+        #: array-native on it).
         self.backend = get_backend(backend, population=len(registry))
         self.state = BeaconState.genesis(registry, self.config)
         self.store = Store(config=self.config)

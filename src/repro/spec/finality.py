@@ -7,14 +7,28 @@ supermajority (> 2/3 of the active stake).  A justified checkpoint becomes
 *finalized* when the checkpoint of the immediately following epoch is also
 justified with the former as source — the "two consecutive justified
 checkpoints" rule the paper describes in Section 3.2.
+
+The heavy lifting is array-native: :class:`FFGVotePool` is a thin
+checkpoint-interning adapter over :class:`repro.core.ffg.FlatVotePool`
+(flat int arrays, O(1) per vote, no per-target dict rescans) and
+:func:`process_justification` hands one epoch's vote arrays to the
+:meth:`repro.core.backend.StakeBackend.finality_epoch_update` kernel —
+the same numpy-fast-path / bit-identical-python-reference pair as the
+incentive stages — then replays the returned transitions onto the
+:class:`BeaconState`.  This module only does the registry↔array
+round-trip (still O(n) Python; flat-array callers should drive the
+kernel through :class:`repro.core.FlatVotePool` directly).
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple, Union
 
+import numpy as np
+
+from repro.core.backend import FinalityRules, StakeBackend, get_backend
+from repro.core.ffg import FlatVotePool
 from repro.spec.attestation import Attestation
 from repro.spec.checkpoint import Checkpoint, FFGVote
 from repro.spec.state import BeaconState
@@ -41,11 +55,18 @@ class FFGVotePool:
 
     A validator's stake counts at most once towards any given target epoch
     (double votes are slashable, not double-counted).
+
+    Thin adapter translating :class:`Checkpoint` votes to the flat-array
+    :class:`repro.core.ffg.FlatVotePool` (exposed as :attr:`flat`), which
+    stores them as preallocated int arrays with per-link tallies updated
+    incrementally on insert.  The dict/set views below are reconstructed
+    on demand for inspection and tests; epoch processing never touches
+    them — :func:`process_justification` reads the arrays directly.
     """
 
     def __init__(self) -> None:
-        # (target_epoch) -> validator_index -> FFGVote
-        self._votes: Dict[int, Dict[int, FFGVote]] = defaultdict(dict)
+        #: The underlying flat-array accumulator.
+        self.flat = FlatVotePool()
 
     def add_attestation(self, attestation: Attestation) -> bool:
         """Record the checkpoint vote carried by ``attestation``.
@@ -54,41 +75,70 @@ class FFGVotePool:
         target epoch (later conflicting votes are ignored for counting
         purposes; slashing detection is handled elsewhere).
         """
-        target_epoch = attestation.target_epoch
-        per_validator = self._votes[target_epoch]
-        if attestation.validator_index in per_validator:
-            return False
-        per_validator[attestation.validator_index] = attestation.ffg
-        return True
+        return self.add_vote(attestation.validator_index, attestation.ffg)
 
     def add_vote(self, validator_index: int, vote: FFGVote) -> bool:
         """Record a bare FFG vote (used by epoch-level simulations)."""
-        per_validator = self._votes[vote.target.epoch]
-        if validator_index in per_validator:
-            return False
-        per_validator[validator_index] = vote
-        return True
+        return self.flat.add_vote(
+            validator_index,
+            vote.source.epoch,
+            vote.source.root,
+            vote.target.epoch,
+            vote.target.root,
+        )
 
     def votes_for_target_epoch(self, epoch: int) -> Dict[int, FFGVote]:
-        """Return the recorded votes (validator index → vote) for ``epoch``."""
-        return dict(self._votes.get(epoch, {}))
+        """Return the recorded votes (validator index → vote) for ``epoch``.
+
+        Reconstructed from the flat arrays on demand — an inspection view,
+        not the hot path (``process_justification`` used to call this once
+        per target, copying the whole dict each time).
+        """
+        votes = self.flat.vote_arrays(epoch)
+        if votes is None:
+            return {}
+        validators, source_epochs, source_roots, target_roots = votes
+        root_of = self.flat.root_of
+        return {
+            int(validator): FFGVote(
+                source=Checkpoint(epoch=int(source_epoch), root=root_of(source_root)),
+                target=Checkpoint(epoch=epoch, root=root_of(target_root)),
+            )
+            for validator, source_epoch, source_root, target_root in zip(
+                validators.tolist(),
+                source_epochs.tolist(),
+                source_roots.tolist(),
+                target_roots.tolist(),
+            )
+        }
 
     def voters_for_link(self, source: Checkpoint, target: Checkpoint) -> Set[int]:
         """Validator indices that voted for the exact ``source → target`` link."""
-        return {
-            index
-            for index, vote in self._votes.get(target.epoch, {}).items()
-            if vote.source == source and vote.target == target
-        }
+        votes = self.flat.vote_arrays(target.epoch)
+        if votes is None:
+            return set()
+        source_id = self.flat.lookup_root(source.root)
+        target_id = self.flat.lookup_root(target.root)
+        if source_id is None or target_id is None:
+            return set()
+        validators, source_epochs, source_roots, target_roots = votes
+        mask = (
+            (source_epochs == source.epoch)
+            & (source_roots == source_id)
+            & (target_roots == target_id)
+        )
+        return {int(validator) for validator in validators[mask]}
 
     def targets_at_epoch(self, epoch: int) -> Set[Checkpoint]:
         """Distinct target checkpoints voted for at ``epoch``."""
-        return {vote.target for vote in self._votes.get(epoch, {}).values()}
+        return {
+            Checkpoint(epoch=epoch, root=self.flat.root_of(root_id))
+            for root_id in self.flat.target_root_ids(epoch)
+        }
 
     def clear_before(self, epoch: int) -> None:
         """Drop votes for target epochs strictly before ``epoch`` (pruning)."""
-        for target_epoch in [e for e in self._votes if e < epoch]:
-            del self._votes[target_epoch]
+        self.flat.clear_before(epoch)
 
 
 def link_support(
@@ -112,7 +162,10 @@ def is_supermajority(state: BeaconState, stake: float, epoch: Optional[int] = No
 
 
 def process_justification(
-    state: BeaconState, pool: FFGVotePool, epoch: int
+    state: BeaconState,
+    pool: FFGVotePool,
+    epoch: int,
+    backend: Union[str, StakeBackend] = "numpy",
 ) -> JustificationResult:
     """Run justification and finalization for the target checkpoints of ``epoch``.
 
@@ -121,35 +174,76 @@ def process_justification(
     justified source gathers a supermajority of the active stake.  When the
     source of a newly justified target is the justified checkpoint of
     ``epoch - 1``, that source is finalized (consecutive justification).
+
+    The decision cascade and per-link stake tallies run on the
+    ``finality_epoch_update`` kernel of ``backend`` (``"numpy"`` default,
+    ``"python"`` reference) over the pool's flat vote arrays — one pass
+    over the epoch's votes instead of a per-target dict rescan — and the
+    resulting transitions are replayed onto ``state`` in kernel order,
+    bit-identical to the per-checkpoint loop this replaces
+    (``tests/test_finality_regression.py`` pins the port).
     """
     result = JustificationResult()
-    for target in sorted(pool.targets_at_epoch(epoch)):
-        if state.is_justified(target.epoch) and state.justified_checkpoints.get(
-            target.epoch
-        ) == target:
-            continue
-        # Consider every justified source the votes actually used.
-        votes = pool.votes_for_target_epoch(epoch)
-        sources = {vote.source for vote in votes.values() if vote.target == target}
-        for source in sorted(sources):
-            if not state.is_justified(source.epoch):
-                continue
-            if state.justified_checkpoints.get(source.epoch) != source:
-                continue
-            support = link_support(state, pool, source, target, epoch=epoch)
-            if not is_supermajority(state, support, epoch=epoch):
-                continue
-            state.record_justification(target)
-            result.newly_justified.append(target)
-            # Finalization: source and target justified in consecutive epochs
-            # (only reported when the finalized chain actually grows).
-            if (
-                target.epoch == source.epoch + 1
-                and source.epoch > state.finalized_checkpoint.epoch
-            ):
-                state.record_finalization(source)
-                result.newly_finalized.append(source)
-            break
+    flat = pool.flat
+    votes = flat.vote_arrays(epoch)
+    if votes is None:
+        return result
+    vote_validators, vote_source_epochs, vote_source_roots, vote_target_roots = votes
+
+    registry = state.validators
+    n = len(registry)
+    stakes = np.fromiter((v.stake for v in registry), dtype=float, count=n)
+    eligible = np.fromiter((v.is_active(epoch) for v in registry), dtype=bool, count=n)
+    # The kernel indexes stakes/eligible by registry *position*; translate
+    # vote validator indices when the registry order disagrees with
+    # ``Validator.index`` (same mismatch ``apply_slashing`` resolves with
+    # its ``position_of`` map, vectorized here through a lookup table).
+    indices = np.fromiter((v.index for v in registry), dtype=np.int64, count=n)
+    if not np.array_equal(indices, np.arange(n)):
+        positions = np.full(int(indices.max()) + 1, -1, dtype=np.int64)
+        positions[indices] = np.arange(n)
+        vote_validators = positions[vote_validators]
+        if np.any(vote_validators < 0):
+            raise KeyError("vote from a validator index absent from the registry")
+
+    # Only the justified checkpoints the votes can actually reference
+    # matter: the voted source epochs, plus the processed epoch itself
+    # (for the target-already-justified skip).
+    relevant_epochs = set(vote_source_epochs.tolist())
+    relevant_epochs.add(epoch)
+    justified_roots = {}
+    for justified_epoch in relevant_epochs:
+        checkpoint = state.justified_checkpoints.get(justified_epoch)
+        if checkpoint is not None and state.is_justified(justified_epoch):
+            justified_roots[justified_epoch] = flat.intern_root(checkpoint.root)
+
+    kernel = get_backend(backend, population=n)
+    update = kernel.finality_epoch_update(
+        vote_validators,
+        vote_source_epochs,
+        vote_source_roots,
+        vote_target_roots,
+        stakes,
+        eligible,
+        FinalityRules.from_config(state.config),
+        epoch=epoch,
+        total_stake=state.total_active_stake(epoch),
+        justified_roots=justified_roots,
+        finalized_epoch=state.finalized_checkpoint.epoch,
+        root_rank=flat.root_ranks(),
+    )
+    for event in update.events:
+        target = Checkpoint(
+            epoch=event.target_epoch, root=flat.root_of(event.target_root)
+        )
+        state.record_justification(target)
+        result.newly_justified.append(target)
+        if event.finalizes_source:
+            source = Checkpoint(
+                epoch=event.source_epoch, root=flat.root_of(event.source_root)
+            )
+            state.record_finalization(source)
+            result.newly_finalized.append(source)
     return result
 
 

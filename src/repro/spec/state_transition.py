@@ -3,7 +3,9 @@
 ``process_epoch`` takes a chain state, the FFG votes observed for the epoch
 on that chain, and the set of validators deemed active, and performs — in
 protocol order — justification/finalization, attestation rewards/penalties,
-inactivity-score updates and penalties, slashings, and ejections.
+inactivity-score updates and penalties, slashings, and ejections.  Every
+stage, justification included, runs array-native on one
+:mod:`repro.core.backend` kernel instance resolved here once.
 
 The slot-level simulator (:mod:`repro.sim`) and the branch-level scenario
 drivers (:mod:`repro.analysis.partition_scenarios`) both call into this
@@ -76,9 +78,10 @@ def process_epoch(
     epoch:
         Optional explicit epoch number; defaults to ``state.current_epoch``.
     backend:
-        Stake-dynamics backend used by the rewards, inactivity and slashing
-        stages (``"numpy"`` default, ``"python"`` reference); resolved once
-        here so the whole epoch runs on one kernel instance.
+        Stake-dynamics backend used by the justification, rewards,
+        inactivity and slashing stages (``"numpy"`` default, ``"python"``
+        reference); resolved once here so the whole epoch runs on one
+        kernel instance.
     """
     at_epoch = state.current_epoch if epoch is None else epoch
     state.current_epoch = at_epoch
@@ -89,7 +92,7 @@ def process_epoch(
     # i.e. on the epochs-without-finality streak carried into the epoch.
     in_leak = state.is_in_inactivity_leak()
 
-    justification = process_justification(state, pool, at_epoch)
+    justification = process_justification(state, pool, at_epoch, backend=kernel)
     rewards = process_attestation_rewards(
         state, active_set, in_leak=in_leak, backend=kernel
     )

@@ -1,0 +1,329 @@
+"""Regression: justification/finalization is byte-identical pre/post the port.
+
+``spec/finality.py`` used to accumulate votes in per-validator dicts and
+re-scan them once per target inside ``process_justification``; it now
+adapts the flat-array ``finality_epoch_update`` kernels of
+:mod:`repro.core.backend`.  Mirroring
+``tests/test_epoch_processing_regression.py``, this suite pins the port:
+
+* the pre-refactor dict-based pool and per-checkpoint loop (embedded
+  below, verbatim) must produce *byte-identical* justification and
+  finalization trajectories on seeded multi-epoch simulations,
+* the ``"numpy"`` and ``"python"`` backends must agree byte-for-byte
+  through multi-epoch ``process_epoch`` runs — where justification
+  outcomes feed back into the leak flag and hence into every stake, so a
+  single diverging decision would corrupt the whole trajectory.
+"""
+
+from collections import defaultdict
+
+import numpy as np
+import pytest
+
+from repro.spec.checkpoint import Checkpoint, FFGVote, GENESIS_CHECKPOINT
+from repro.spec.config import SpecConfig
+from repro.spec.finality import FFGVotePool, JustificationResult, process_justification
+from repro.spec.inactivity import process_inactivity_epoch
+from repro.spec.rewards import process_attestation_rewards
+from repro.spec.slashing import apply_slashing
+from repro.spec.state import BeaconState
+from repro.spec.types import Root
+from repro.spec.validator import make_registry
+
+
+def cp(epoch: int, label: str = "") -> Checkpoint:
+    return Checkpoint(epoch=epoch, root=Root.from_label(label or f"c{epoch}"))
+
+
+# ----------------------------------------------------------------------
+# The pre-refactor implementation, verbatim: per-validator vote dicts,
+# one full rescan (and one whole-dict copy) per target checkpoint.
+# ----------------------------------------------------------------------
+class LegacyFFGVotePool:
+    def __init__(self):
+        self._votes = defaultdict(dict)
+
+    def add_vote(self, validator_index, vote):
+        per_validator = self._votes[vote.target.epoch]
+        if validator_index in per_validator:
+            return False
+        per_validator[validator_index] = vote
+        return True
+
+    def votes_for_target_epoch(self, epoch):
+        return dict(self._votes.get(epoch, {}))
+
+    def voters_for_link(self, source, target):
+        return {
+            index
+            for index, vote in self._votes.get(target.epoch, {}).items()
+            if vote.source == source and vote.target == target
+        }
+
+    def targets_at_epoch(self, epoch):
+        return {vote.target for vote in self._votes.get(epoch, {}).values()}
+
+    def clear_before(self, epoch):
+        for target_epoch in [e for e in self._votes if e < epoch]:
+            del self._votes[target_epoch]
+
+
+def legacy_link_support(state, pool, source, target, epoch=None):
+    voters = pool.voters_for_link(source, target)
+    return state.stake_of(sorted(voters), epoch=epoch)
+
+
+def legacy_is_supermajority(state, stake, epoch=None):
+    total = state.total_active_stake(epoch)
+    if total <= 0:
+        return False
+    return stake / total > state.config.supermajority_fraction
+
+
+def legacy_process_justification(state, pool, epoch):
+    result = JustificationResult()
+    for target in sorted(pool.targets_at_epoch(epoch)):
+        if state.is_justified(target.epoch) and state.justified_checkpoints.get(
+            target.epoch
+        ) == target:
+            continue
+        votes = pool.votes_for_target_epoch(epoch)
+        sources = {vote.source for vote in votes.values() if vote.target == target}
+        for source in sorted(sources):
+            if not state.is_justified(source.epoch):
+                continue
+            if state.justified_checkpoints.get(source.epoch) != source:
+                continue
+            support = legacy_link_support(state, pool, source, target, epoch=epoch)
+            if not legacy_is_supermajority(state, support, epoch=epoch):
+                continue
+            state.record_justification(target)
+            result.newly_justified.append(target)
+            if (
+                target.epoch == source.epoch + 1
+                and source.epoch > state.finalized_checkpoint.epoch
+            ):
+                state.record_finalization(source)
+                result.newly_finalized.append(source)
+            break
+    return result
+
+
+# ----------------------------------------------------------------------
+# Seeded vote streams exercising every decision branch
+# ----------------------------------------------------------------------
+def make_state(seed, n_validators=32):
+    rng = np.random.default_rng(seed)
+    state = BeaconState.genesis(make_registry(n_validators), SpecConfig.minimal())
+    for validator in state.validators:
+        validator.stake = float(rng.uniform(0.0, 33.0))
+    state.validators[0].stake = 0.0  # zero-stake voter edge case
+    state.validators[1].exit(3)  # exits mid-run: eligibility filtering
+    state.validators[2].exit(0)
+    return state
+
+
+def make_vote_stream(seed, n_validators=32, epochs=40):
+    """Per-epoch ``(validator, FFGVote)`` lists, a pure function of the seed.
+
+    Conflicting targets, stale and never-justified sources, double votes
+    and vote droughts are all represented; the canonical branch follows a
+    deterministic tip so justification and finalization genuinely happen.
+    """
+    rng = np.random.default_rng(seed + 1000)
+    stream = []
+    tip = GENESIS_CHECKPOINT
+    for epoch in range(1, epochs + 1):
+        votes = []
+        if epoch % 9 in (4, 5):  # drought: finality gap, leak pressure
+            stream.append((epoch, votes))
+            continue
+        canonical = cp(epoch)
+        for validator in range(n_validators):
+            roll = rng.random()
+            if roll < 0.8:
+                vote = FFGVote(source=tip, target=canonical)
+            elif roll < 0.88:
+                vote = FFGVote(source=tip, target=cp(epoch, f"fork{epoch}"))
+            elif roll < 0.94:
+                vote = FFGVote(source=cp(max(0, epoch - 2), "bogus"), target=canonical)
+            else:
+                continue  # abstains
+            votes.append((validator, vote))
+            if rng.random() < 0.1:  # attempted double vote, must not count
+                votes.append(
+                    (validator, FFGVote(source=tip, target=cp(epoch, f"dv{epoch}")))
+                )
+        stream.append((epoch, votes))
+        tip = canonical
+    return stream
+
+
+def finality_snapshot(state):
+    """Every piece of justification/finalization bookkeeping, exact."""
+    return (
+        state.current_justified_checkpoint,
+        state.previous_justified_checkpoint,
+        state.finalized_checkpoint,
+        sorted(state.justified_epochs),
+        sorted(state.justified_checkpoints.items()),
+        sorted(state.finalized_checkpoints.items()),
+        state.last_finalized_epoch,
+    )
+
+
+def drive_justification(process, pool, state, stream):
+    trajectory = []
+    for epoch, votes in stream:
+        state.current_epoch = epoch
+        for validator, vote in votes:
+            pool.add_vote(validator, vote)
+        result = process(state, pool, epoch)
+        trajectory.append(
+            (
+                epoch,
+                list(result.newly_justified),
+                list(result.newly_finalized),
+                finality_snapshot(state),
+            )
+        )
+    return trajectory
+
+
+class TestJustificationTrajectoryRegression:
+    @pytest.mark.parametrize("backend", ["numpy", "python"])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_bit_identical_with_legacy_loop(self, backend, seed):
+        stream = make_vote_stream(seed)
+        legacy = drive_justification(
+            legacy_process_justification, LegacyFFGVotePool(), make_state(seed), stream
+        )
+        ported = drive_justification(
+            lambda state, pool, epoch: process_justification(
+                state, pool, epoch, backend=backend
+            ),
+            FFGVotePool(),
+            make_state(seed),
+            stream,
+        )
+        assert ported == legacy
+
+    def test_trajectory_exercises_finality(self):
+        stream = make_vote_stream(0)
+        trajectory = drive_justification(
+            legacy_process_justification, LegacyFFGVotePool(), make_state(0), stream
+        )
+        assert any(justified for _, justified, _, _ in trajectory)
+        assert any(finalized for _, _, finalized, _ in trajectory)
+        # The droughts leave some epochs unjustified.
+        final_justified = trajectory[-1][3][4]
+        assert len(final_justified) < len(stream) + 1
+
+    def test_pool_views_match_legacy_pool(self):
+        stream = make_vote_stream(3)
+        legacy_pool = LegacyFFGVotePool()
+        ported_pool = FFGVotePool()
+        for epoch, votes in stream:
+            for validator, vote in votes:
+                assert ported_pool.add_vote(validator, vote) == legacy_pool.add_vote(
+                    validator, vote
+                )
+            assert ported_pool.votes_for_target_epoch(
+                epoch
+            ) == legacy_pool.votes_for_target_epoch(epoch)
+            assert ported_pool.targets_at_epoch(epoch) == legacy_pool.targets_at_epoch(
+                epoch
+            )
+            for target in ported_pool.targets_at_epoch(epoch):
+                source = next(
+                    vote.source
+                    for _, vote in votes
+                    if vote.target == target
+                )
+                assert ported_pool.voters_for_link(
+                    source, target
+                ) == legacy_pool.voters_for_link(source, target)
+
+
+# ----------------------------------------------------------------------
+# Whole-pipeline regression: justification decisions feed the leak flag,
+# so one diverging bit would skew every stake downstream.
+# ----------------------------------------------------------------------
+def legacy_process_epoch(state, pool, active_indices, epoch, backend="numpy"):
+    """``process_epoch`` with the pre-port justification stage swapped in."""
+    state.current_epoch = epoch
+    active_set = set(active_indices)
+    in_leak = state.is_in_inactivity_leak()
+    legacy_process_justification(state, pool, epoch)
+    process_attestation_rewards(state, active_set, in_leak=in_leak, backend=backend)
+    process_inactivity_epoch(state, active_set, in_leak=in_leak, backend=backend)
+    apply_slashing(state, (), backend=backend)
+
+
+def registry_snapshot(state):
+    return [
+        (v.index, v.stake, v.inactivity_score, v.slashed, v.exit_epoch)
+        for v in state.validators
+    ]
+
+
+def drive_process_epoch(state, pool, stream, seed, process):
+    rng = np.random.default_rng(seed + 5000)
+    snapshots = []
+    for epoch, votes in stream:
+        for validator, vote in votes:
+            pool.add_vote(validator, vote)
+        active = set(int(i) for i in np.flatnonzero(rng.random(len(state.validators)) < 0.6))
+        process(state, pool, active, epoch)
+        snapshots.append(
+            (
+                epoch,
+                registry_snapshot(state),
+                finality_snapshot(state),
+                state.is_in_inactivity_leak(),
+            )
+        )
+    return snapshots
+
+
+class TestProcessEpochRegression:
+    @pytest.mark.parametrize("backend", ["numpy", "python"])
+    def test_full_pipeline_bit_identical_with_legacy_justification(self, backend):
+        from repro.spec.state_transition import process_epoch
+
+        seed = 7
+        stream = make_vote_stream(seed, epochs=35)
+        legacy_snapshots = drive_process_epoch(
+            make_state(seed),
+            LegacyFFGVotePool(),
+            stream,
+            seed,
+            lambda state, pool, active, epoch: legacy_process_epoch(
+                state, pool, active, epoch, backend="numpy"
+            ),
+        )
+        ported_snapshots = drive_process_epoch(
+            make_state(seed),
+            FFGVotePool(),
+            stream,
+            seed,
+            lambda state, pool, active, epoch: process_epoch(
+                state, pool, active_indices=active, epoch=epoch, backend=backend
+            ),
+        )
+        assert ported_snapshots == legacy_snapshots
+
+    def test_pipeline_exercises_leak_and_finality(self):
+        seed = 7
+        stream = make_vote_stream(seed, epochs=35)
+        snapshots = drive_process_epoch(
+            make_state(seed),
+            LegacyFFGVotePool(),
+            stream,
+            seed,
+            lambda state, pool, active, epoch: legacy_process_epoch(
+                state, pool, active, epoch
+            ),
+        )
+        assert any(in_leak for _, _, _, in_leak in snapshots)
+        assert snapshots[-1][2][6] > 0  # something finalized

@@ -1,5 +1,8 @@
 """Tests for repro.spec.finality (FFG justification/finalization)."""
 
+import itertools
+
+import numpy as np
 import pytest
 
 from repro.spec.attestation import Attestation
@@ -143,6 +146,135 @@ class TestJustificationFinalization:
         vote_for(pool, range(5, 9), GENESIS_CHECKPOINT, cp(1, "b"))
         result = process_justification(state, pool, 1)
         assert not result.justified_any
+
+    @pytest.mark.parametrize("backend", ["numpy", "python"])
+    def test_registry_order_independent_of_validator_index(self, backend):
+        """Votes are matched to stakes by ``Validator.index``, not by the
+        validator's position in the registry."""
+        from repro.spec.validator import Validator
+
+        # Registry stored in reverse index order; indices 3..8 hold all
+        # the meaningful stake.
+        registry = [
+            Validator(index=8 - position, stake=32.0 if 8 - position >= 3 else 0.1)
+            for position in range(9)
+        ]
+        state = BeaconState.genesis(registry, SpecConfig.mainnet())
+        pool = FFGVotePool()
+        vote_for(pool, range(3, 9), GENESIS_CHECKPOINT, cp(1))
+        result = process_justification(state, pool, 1, backend=backend)
+        # 6 * 32 of 192.3 total: a supermajority — but only if the vote
+        # indices were resolved to the right registry entries.
+        assert result.justified_any
+        assert state.is_justified(1)
+
+
+class TestFinalityProperties:
+    """Seeded property-based checks over randomized vote patterns."""
+
+    def test_double_votes_never_double_count_stake(self):
+        """A pool fed conflicting re-votes behaves exactly like one that
+        only ever saw each validator's first vote."""
+        rng = np.random.default_rng(41)
+        for trial in range(15):
+            registry_size = int(rng.integers(6, 16))
+            state = BeaconState.genesis(
+                make_registry(registry_size), SpecConfig.mainnet()
+            )
+            for validator in state.validators:
+                validator.stake = float(rng.uniform(0.0, 33.0))
+            other = state.fork()
+            pool_first, pool_all = FFGVotePool(), FFGVotePool()
+            targets = [cp(1, "a"), cp(1, "b")]
+            for validator in range(registry_size):
+                first = FFGVote(
+                    source=GENESIS_CHECKPOINT,
+                    target=targets[int(rng.random() < 0.3)],
+                )
+                assert pool_first.add_vote(validator, first)
+                assert pool_all.add_vote(validator, first)
+                for _ in range(int(rng.integers(0, 3))):  # conflicting re-votes
+                    double = FFGVote(
+                        source=GENESIS_CHECKPOINT,
+                        target=targets[int(rng.random() < 0.5)],
+                    )
+                    assert not pool_all.add_vote(validator, double)
+            for target in targets:
+                assert link_support(
+                    state, pool_all, GENESIS_CHECKPOINT, target
+                ) == link_support(state, pool_first, GENESIS_CHECKPOINT, target)
+            result_all = process_justification(state, pool_all, 1)
+            result_first = process_justification(other, pool_first, 1)
+            assert result_all.newly_justified == result_first.newly_justified
+            assert result_all.newly_finalized == result_first.newly_finalized
+            # Total counted stake never exceeds one vote per validator.
+            total_counted = sum(
+                link_support(state, pool_all, GENESIS_CHECKPOINT, target)
+                for target in targets
+            )
+            assert total_counted <= state.total_active_stake(1) + 1e-9
+
+    def test_clear_before_never_changes_subsequent_justification(self):
+        """Pruning strictly-older target epochs is invisible to every later
+        ``process_justification`` outcome."""
+        rng = np.random.default_rng(43)
+        state_pruned = BeaconState.genesis(make_registry(10), SpecConfig.mainnet())
+        state_kept = state_pruned.fork()
+        pool_pruned, pool_kept = FFGVotePool(), FFGVotePool()
+        tip = GENESIS_CHECKPOINT
+        for epoch in range(1, 25):
+            target = cp(epoch)
+            votes = []
+            for validator in range(10):
+                roll = rng.random()
+                if roll < 0.75:
+                    votes.append((validator, FFGVote(source=tip, target=target)))
+                elif roll < 0.85:
+                    votes.append(
+                        (validator, FFGVote(source=tip, target=cp(epoch, "fork")))
+                    )
+            for validator, vote in votes:
+                pool_pruned.add_vote(validator, vote)
+                pool_kept.add_vote(validator, vote)
+            pool_pruned.clear_before(epoch)  # prune everything older
+            result_pruned = process_justification(state_pruned, pool_pruned, epoch)
+            result_kept = process_justification(state_kept, pool_kept, epoch)
+            assert result_pruned.newly_justified == result_kept.newly_justified
+            assert result_pruned.newly_finalized == result_kept.newly_finalized
+            if result_kept.justified_any:
+                tip = result_kept.newly_justified[-1]
+        assert state_pruned.justified_checkpoints == state_kept.justified_checkpoints
+        assert state_pruned.finalized_checkpoints == state_kept.finalized_checkpoints
+        assert state_kept.last_finalized_epoch > 0  # the run finalized for real
+
+    def test_safety_violated_is_symmetric_and_order_independent(self):
+        rng = np.random.default_rng(47)
+        for trial in range(10):
+            base = BeaconState.genesis(make_registry(4), SpecConfig.mainnet())
+            states = []
+            for branch in range(4):
+                forked = base.fork()
+                for epoch in range(1, int(rng.integers(2, 6))):
+                    # Shared prefix with occasional per-branch divergence.
+                    label = (
+                        f"shared-{epoch}"
+                        if rng.random() < 0.6
+                        else f"branch{branch}-{epoch}"
+                    )
+                    forked.record_finalization(cp(epoch, label))
+                states.append(forked)
+            verdict = safety_violated(states)
+            for permutation in itertools.permutations(states):
+                assert safety_violated(list(permutation)) == verdict
+            for state_a, state_b in itertools.combinations(states, 2):
+                assert safety_violated([state_a, state_b]) == safety_violated(
+                    [state_b, state_a]
+                )
+                conflicts_ab = conflicting_finalized_checkpoints([state_a, state_b])
+                conflicts_ba = conflicting_finalized_checkpoints([state_b, state_a])
+                assert {frozenset(pair) for pair in conflicts_ab} == {
+                    frozenset(pair) for pair in conflicts_ba
+                }
 
 
 class TestSafetyDetector:
