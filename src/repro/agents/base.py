@@ -12,9 +12,10 @@ place.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Hashable, List, Optional, Sequence, Union
 
+from repro.core.attestation_batch import AttestationBatch
 from repro.spec.attestation import Attestation
 from repro.spec.block import BeaconBlock
 from repro.spec.committees import EpochDuties
@@ -45,6 +46,20 @@ class AttestationAction:
     """
 
     attestation: Attestation
+    audience: Optional[str] = None
+    withhold: bool = False
+
+
+@dataclass
+class AttestationBatchAction:
+    """A whole committee's identical attestations, published as one message.
+
+    Emitted by batch-capable agents (:meth:`ValidatorAgent.attest_committee`)
+    for the members of one view group in one committee; routed exactly like
+    a single attestation (``audience``/``withhold``).
+    """
+
+    batch: AttestationBatch
     audience: Optional[str] = None
     withhold: bool = False
 
@@ -86,6 +101,37 @@ class ValidatorAgent(ABC):
 
     def on_epoch_start(self, ctx: AgentContext) -> None:
         """Hook called at the first slot of every epoch (default: no-op)."""
+
+    # ------------------------------------------------------------------
+    # Committee-level (batch) attestation API
+    # ------------------------------------------------------------------
+    def committee_key(self) -> Optional[Hashable]:
+        """Batching key for committee-level attestation, or ``None``.
+
+        Agents returning a non-``None`` key promise that every agent of
+        theirs with the same key, attesting from the same view in the
+        same slot, produces identical attestation content; the engine
+        then clusters such committee members and calls
+        :meth:`attest_committee` once per (view group, key) instead of
+        once per validator.  Agents with per-validator decisions (the
+        Byzantine strategies) return ``None`` and keep the per-member
+        :meth:`attest` path.
+        """
+        return None
+
+    def attest_committee(
+        self, ctx: AgentContext, members: Sequence[int]
+    ) -> List[Union[AttestationAction, AttestationBatchAction]]:
+        """Return the actions for a whole same-view committee cluster.
+
+        Called only when :meth:`committee_key` returned a key; ``ctx`` is
+        built for an arbitrary member of the cluster and ``members``
+        lists every clustered validator (ascending committee order).
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} advertises a committee_key but does not "
+            "implement attest_committee"
+        )
 
     # ------------------------------------------------------------------
     @property

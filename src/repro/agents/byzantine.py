@@ -15,7 +15,9 @@ can target messages at one partition or withhold them for later release.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Set
+from typing import Dict, List, Optional, Set
+
+import numpy as np
 
 from repro.agents.base import (
     AgentContext,
@@ -23,6 +25,7 @@ from repro.agents.base import (
     ProposalAction,
     ValidatorAgent,
 )
+from repro.spec.checkpoint import Checkpoint
 from repro.spec.types import Root
 
 
@@ -39,6 +42,12 @@ class ByzantineAgent(ValidatorAgent):
             raise ValueError("Byzantine agents need the partition membership map")
         self.partition_members = {
             name: set(members) for name, members in partition_members.items()
+        }
+        #: Sorted member index arrays per partition, for the vectorized
+        #: vote scans below.
+        self.partition_member_arrays = {
+            name: np.asarray(sorted(members), dtype=np.int64)
+            for name, members in self.partition_members.items()
         }
         self.partition_names = list(self.partition_members)
 
@@ -88,17 +97,36 @@ class ByzantineAgent(ValidatorAgent):
         fallback.
         """
         tree = ctx.node.store.tree
-        members = self.partition_members[partition]
+        member_array = self.partition_member_arrays[partition]
+        root_of = ctx.node.pool.flat.root_of
         best = None
         for epoch in sorted(ctx.node.attestations_by_epoch, reverse=True):
-            for attestation in ctx.node.attestations_by_epoch[epoch]:
-                if attestation.validator_index not in members:
-                    continue
-                source = attestation.source
-                if source.root not in tree or not tree.is_ancestor(source.root, head):
-                    continue
-                if best is None or source.epoch > best.epoch:
-                    best = source
+            columns = ctx.node.attestations_by_epoch[epoch]
+            validators, source_epochs, source_roots, _ = columns.arrays()
+            from_members = np.isin(validators, member_array)
+            if from_members.any():
+                # Ancestry is checked once per distinct source root, then
+                # the row filter runs as one array comparison.
+                usable_roots = [
+                    root_id
+                    for root_id in np.unique(source_roots[from_members]).tolist()
+                    if root_of(root_id) in tree
+                    and tree.is_ancestor(root_of(root_id), head)
+                ]
+                rows = np.nonzero(
+                    from_members & np.isin(source_roots, usable_roots)
+                )[0]
+                if rows.size:
+                    # argmax keeps the first maximum, matching the original
+                    # ingestion-order walk ("only replace when strictly
+                    # greater").
+                    pick = rows[int(np.argmax(source_epochs[rows]))]
+                    candidate = Checkpoint(
+                        epoch=int(source_epochs[pick]),
+                        root=root_of(int(source_roots[pick])),
+                    )
+                    if best is None or candidate.epoch > best.epoch:
+                        best = candidate
             if best is not None and best.epoch > 0:
                 break
         if best is not None:
@@ -225,15 +253,27 @@ class BouncingAgent(ByzantineAgent):
         super().__init__(validator_index, partition_members)
 
     def _losing_partition(self, ctx: AgentContext) -> str:
-        """The partition whose branch currently has the lighter honest support."""
+        """The partition whose branch currently has the lighter honest support.
+
+        Vectorized over the store's latest-vote arrays: one mask per
+        partition instead of a walk over every recorded message.
+        """
+        epochs, root_ids = ctx.node.store.latest_vote_view()
+        stakes = ctx.node.stake_array()
+        capacity = epochs.shape[0]
         weights: Dict[str, float] = {}
         for partition in self.partition_names:
             head = self.branch_head_for_partition(ctx, partition)
-            support = 0.0
-            for index, message in ctx.node.store.latest_messages.items():
-                if index in self.partition_members[partition] and message.root == head:
-                    support += ctx.node.state.validators[index].stake
-            weights[partition] = support
+            head_id = ctx.node.store.root_id_of(head)
+            if head_id is None:
+                weights[partition] = 0.0
+                continue
+            members = self.partition_member_arrays[partition]
+            members = members[(members < capacity) & (members < stakes.shape[0])]
+            supporting = members[
+                (epochs[members] >= 0) & (root_ids[members] == head_id)
+            ]
+            weights[partition] = float(stakes[supporting].sum())
         return min(self.partition_names, key=lambda name: weights.get(name, 0.0))
 
     def propose(self, ctx: AgentContext) -> List[ProposalAction]:

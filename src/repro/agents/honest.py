@@ -1,12 +1,20 @@
-"""Honest (protocol-following) validator agents."""
+"""Honest (protocol-following) validator agents.
+
+Honest agents are *batch-capable*: every honest committee member sharing a
+view attests identically (same head, same FFG link), so the engine calls
+:meth:`HonestAgent.attest_committee` once per view group and the whole
+cluster's votes travel as one :class:`~repro.core.attestation_batch.AttestationBatch`.
+The per-member :meth:`attest` path remains for direct use and tests.
+"""
 
 from __future__ import annotations
 
-from typing import List
+from typing import Hashable, List, Optional, Sequence, Union
 
 from repro.agents.base import (
     AgentContext,
     AttestationAction,
+    AttestationBatchAction,
     ProposalAction,
     ValidatorAgent,
 )
@@ -27,6 +35,15 @@ class HonestAgent(ValidatorAgent):
         attestation = ctx.node.attestation_for(slot=ctx.slot)
         return [AttestationAction(attestation=attestation)]
 
+    def committee_key(self) -> Optional[Hashable]:
+        return "honest"
+
+    def attest_committee(
+        self, ctx: AgentContext, members: Sequence[int]
+    ) -> List[Union[AttestationAction, AttestationBatchAction]]:
+        batch = ctx.node.attestation_batch_for(slot=ctx.slot, validators=members)
+        return [AttestationBatchAction(batch=batch)]
+
 
 class OfflineAgent(ValidatorAgent):
     """A crashed or unreachable validator: never proposes nor attests.
@@ -39,6 +56,14 @@ class OfflineAgent(ValidatorAgent):
         return []
 
     def attest(self, ctx: AgentContext) -> List[AttestationAction]:
+        return []
+
+    def committee_key(self) -> Optional[Hashable]:
+        return "offline"
+
+    def attest_committee(
+        self, ctx: AgentContext, members: Sequence[int]
+    ) -> List[Union[AttestationAction, AttestationBatchAction]]:
         return []
 
 
@@ -70,3 +95,16 @@ class IntermittentAgent(ValidatorAgent):
             return []
         attestation = ctx.node.attestation_for(slot=ctx.slot)
         return [AttestationAction(attestation=attestation)]
+
+    def committee_key(self) -> Optional[Hashable]:
+        # Agents with the same period/phase are online in the same epochs,
+        # so their committee votes remain uniform within a view.
+        return ("intermittent", self.period, self.phase)
+
+    def attest_committee(
+        self, ctx: AgentContext, members: Sequence[int]
+    ) -> List[Union[AttestationAction, AttestationBatchAction]]:
+        if not self._online(ctx.epoch):
+            return []
+        batch = ctx.node.attestation_batch_for(slot=ctx.slot, validators=members)
+        return [AttestationBatchAction(batch=batch)]

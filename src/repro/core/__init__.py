@@ -25,6 +25,7 @@ from repro.core.backend import (
     available_backends,
     get_backend,
 )
+from repro.core.attestation_batch import AttestationBatch, AttestationColumns
 from repro.core.ffg import (
     FinalityTracker,
     FlatVotePool,
@@ -44,6 +45,8 @@ from repro.core.trials import (
 )
 
 __all__ = [
+    "AttestationBatch",
+    "AttestationColumns",
     "DEFAULT_CHUNK_SIZE",
     "EpochOutcome",
     "FinalityEvent",

@@ -42,6 +42,8 @@ from typing import (
 
 import numpy as np
 
+from repro.core.attestation_batch import RootInterner
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (core is below spec)
     from repro.spec.config import SpecConfig
 
@@ -113,8 +115,7 @@ class FlatVotePool:
             raise ValueError("initial_capacity must be positive")
         self._initial_capacity = int(initial_capacity)
         self._stakes = None if stakes is None else np.asarray(stakes, dtype=float)
-        self._roots: List[Hashable] = []
-        self._root_ids: Dict[Hashable, int] = {}
+        self._interner = RootInterner()
         self._rank_cache: Optional[np.ndarray] = None
         self._epochs: Dict[int, _EpochVotes] = {}
 
@@ -123,24 +124,19 @@ class FlatVotePool:
     # ------------------------------------------------------------------
     def intern_root(self, root: Hashable) -> int:
         """Return the dense integer id of ``root``, interning it if new."""
-        root_id = self._root_ids.get(root)
-        if root_id is None:
-            root_id = len(self._roots)
-            self._root_ids[root] = root_id
-            self._roots.append(root)
-        return root_id
+        return self._interner.intern(root)
 
     def lookup_root(self, root: Hashable) -> Optional[int]:
         """The id of ``root`` if it was ever interned, else ``None``."""
-        return self._root_ids.get(root)
+        return self._interner.lookup(root)
 
     def root_of(self, root_id: int) -> Hashable:
         """The root key interned under ``root_id``."""
-        return self._roots[root_id]
+        return self._interner.root_of(root_id)
 
     def root_count(self) -> int:
         """Number of distinct roots interned so far."""
-        return len(self._roots)
+        return len(self._interner)
 
     def root_ranks(self) -> np.ndarray:
         """Array mapping root id -> rank in the roots' natural sort order.
@@ -151,8 +147,9 @@ class FlatVotePool:
         sorting the original root keys.  Recomputed only when new roots
         were interned since the last call (ids are append-only).
         """
-        if self._rank_cache is None or self._rank_cache.shape[0] != len(self._roots):
-            order = sorted(range(len(self._roots)), key=self._roots.__getitem__)
+        roots = self._interner.roots
+        if self._rank_cache is None or self._rank_cache.shape[0] != len(roots):
+            order = sorted(range(len(roots)), key=roots.__getitem__)
             ranks = np.empty(len(order), dtype=np.int64)
             for rank, root_id in enumerate(order):
                 ranks[root_id] = rank
@@ -203,6 +200,61 @@ class FlatVotePool:
         if self._stakes is not None:
             tally[1] += float(self._stakes[validator_index])
         return True
+
+    def add_batch(
+        self,
+        validators: "np.ndarray",
+        source_epoch: int,
+        source_root: Hashable,
+        target_epoch: int,
+        target_root: Hashable,
+    ) -> int:
+        """Record a batch of votes sharing one ``source -> target`` link.
+
+        The batch is the committee-aggregate case: every validator in
+        ``validators`` casts the identical checkpoint vote.  Rows are
+        appended in batch order, the double-vote guard applies per
+        validator exactly as in :meth:`add_vote` (first vote per target
+        epoch wins, duplicates within the batch included), and the link
+        tally is bumped once for the whole batch.  Returns the number of
+        votes that counted.
+        """
+        bucket = self._epochs.get(target_epoch)
+        if bucket is None:
+            bucket = _EpochVotes(self._initial_capacity)
+            self._epochs[target_epoch] = bucket
+        rows = bucket.rows
+        row = bucket.count
+        accepted: List[int] = []
+        for validator in np.asarray(validators, dtype=np.int64).tolist():
+            if validator in rows:
+                continue
+            rows[validator] = row
+            row += 1
+            accepted.append(validator)
+        if not accepted:
+            return 0
+        count = len(accepted)
+        while bucket.count + count > bucket.validators.shape[0]:
+            bucket.grow()
+        source_id = self.intern_root(source_root)
+        target_id = self.intern_root(target_root)
+        start, end = bucket.count, bucket.count + count
+        accepted_arr = np.asarray(accepted, dtype=np.int64)
+        bucket.validators[start:end] = accepted_arr
+        bucket.source_epochs[start:end] = source_epoch
+        bucket.source_roots[start:end] = source_id
+        bucket.target_roots[start:end] = target_id
+        bucket.count = end
+        key = (int(source_epoch), source_id, target_id)
+        tally = bucket.links.get(key)
+        if tally is None:
+            tally = [0, 0.0]
+            bucket.links[key] = tally
+        tally[0] += count
+        if self._stakes is not None:
+            tally[1] += float(self._stakes[accepted_arr].sum())
+        return count
 
     # ------------------------------------------------------------------
     # Queries
@@ -294,8 +346,8 @@ class FlatVotePool:
         bucket = self._epochs.get(target_epoch)
         if bucket is None:
             return None
-        source_id = self._root_ids.get(source_root)
-        target_id = self._root_ids.get(target_root)
+        source_id = self._interner.lookup(source_root)
+        target_id = self._interner.lookup(target_root)
         if source_id is None or target_id is None:
             return None
         return bucket.links.get((int(source_epoch), source_id, target_id))

@@ -9,12 +9,19 @@ validators.  The adversary object gives attack strategies a single place to
 * direct messages at one partition only (being "active on branch 1"),
 * withhold Byzantine messages and release them at an opportune time
   (the probabilistic bouncing attack).
+
+Audience resolution is *endpoint-aware*: the view-sharded engine simulates
+one node per view group, so a partition-targeted message needs one
+delivery per group, not one per validator.  The engine installs an
+endpoint resolver (validator index → delivery endpoint) and the adversary
+collapses + caches each partition audience through it, making targeted
+sends O(groups) instead of O(validators).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Set, Tuple
 
 from repro.network.message import Message
 from repro.network.partition import PartitionSchedule
@@ -31,6 +38,32 @@ class Adversary:
 
     def __post_init__(self) -> None:
         self.byzantine_indices = set(self.byzantine_indices)
+        self._endpoint_of: Callable[[int], int] = lambda index: index
+        self._audience_cache: Dict[Tuple[str, bool], Tuple[int, ...]] = {}
+
+    # ------------------------------------------------------------------
+    # Endpoint resolution (installed by the engine)
+    # ------------------------------------------------------------------
+    def set_endpoint_resolver(self, resolver: Callable[[int], int]) -> None:
+        """Install the validator-index → delivery-endpoint mapping.
+
+        Under view sharding several validators share one endpoint (their
+        view group's representative); without sharding the resolver is
+        the identity.  Clears the audience cache.
+        """
+        self._endpoint_of = resolver
+        self._audience_cache.clear()
+
+    def resolve_endpoints(self, recipients: Iterable[int]) -> Tuple[int, ...]:
+        """Collapse validator indices to their distinct delivery endpoints."""
+        seen: Set[int] = set()
+        endpoints: List[int] = []
+        for index in recipients:
+            endpoint = self._endpoint_of(index)
+            if endpoint not in seen:
+                seen.add(endpoint)
+                endpoints.append(endpoint)
+        return tuple(endpoints)
 
     # ------------------------------------------------------------------
     # Topology knowledge
@@ -51,6 +84,19 @@ class Adversary:
     # ------------------------------------------------------------------
     # Targeted message release
     # ------------------------------------------------------------------
+    def _audience_endpoints(
+        self, partition_name: str, include_byzantine: bool
+    ) -> Tuple[int, ...]:
+        key = (partition_name, include_byzantine)
+        cached = self._audience_cache.get(key)
+        if cached is None:
+            recipients: List[int] = sorted(self.schedule.members_of(partition_name))
+            if include_byzantine:
+                recipients += sorted(self.byzantine_indices)
+            cached = self.resolve_endpoints(recipients)
+            self._audience_cache[key] = cached
+        return cached
+
     def send_to_partition(
         self,
         message: Message,
@@ -62,23 +108,22 @@ class Adversary:
         Because Byzantine senders are bridge nodes in the partition
         schedule, restricting the audience is how "being active on branch 1
         but not branch 2" is realised: validators of the other partition
-        simply never receive the message before GST.
+        simply never receive the message before GST.  The sender's own
+        endpoint is part of the audience — every view, the sender's
+        included, learns of the message through the same delivery path.
         """
-        recipients: Set[int] = set(self.schedule.members_of(partition_name))
-        if include_byzantine:
-            recipients |= self.byzantine_indices
-        self.network.broadcast(message, recipients=recipients, exclude={message.sender})
+        self.network.broadcast(
+            message, recipients=self._audience_endpoints(partition_name, include_byzantine)
+        )
 
     def broadcast_everywhere(self, message: Message) -> None:
         """Deliver a Byzantine message to every participant (both branches)."""
-        self.network.broadcast(message, exclude={message.sender})
+        self.network.broadcast(message)
 
     def withhold(self, message: Message, recipients: Iterable[int]) -> None:
         """Withhold a message addressed to ``recipients`` for later release."""
-        for recipient in recipients:
-            if recipient == message.sender:
-                continue
-            self.network.withhold(message, recipient)
+        for endpoint in self.resolve_endpoints(recipients):
+            self.network.withhold(message, endpoint)
 
     def release_all(self, release_time: float) -> int:
         """Release every withheld message; returns the number released."""

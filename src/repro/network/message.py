@@ -7,6 +7,7 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Optional, Union
 
+from repro.core.attestation_batch import AttestationBatch
 from repro.spec.attestation import Attestation
 from repro.spec.block import BeaconBlock
 from repro.spec.slashing import SlashingEvidence
@@ -15,14 +16,20 @@ _message_counter = itertools.count()
 
 
 class MessageKind(str, Enum):
-    """The three payload kinds circulating on the gossip network."""
+    """The payload kinds circulating on the gossip network.
+
+    ``ATTESTATION_BATCH`` carries a whole committee's identical votes as
+    one flat-array payload — the batch-native fast path; per-validator
+    ``ATTESTATION`` messages remain for equivocating (non-uniform) votes.
+    """
 
     BLOCK = "block"
     ATTESTATION = "attestation"
+    ATTESTATION_BATCH = "attestation_batch"
     SLASHING_EVIDENCE = "slashing_evidence"
 
 
-Payload = Union[BeaconBlock, Attestation, SlashingEvidence]
+Payload = Union[BeaconBlock, Attestation, AttestationBatch, SlashingEvidence]
 
 
 @dataclass(frozen=True)
@@ -50,6 +57,13 @@ class Message:
     def attestation(attestation: Attestation, sender: int, sent_at: float) -> "Message":
         """Wrap an attestation."""
         return Message(MessageKind.ATTESTATION, attestation, sender, sent_at)
+
+    @staticmethod
+    def attestation_batch(
+        batch: AttestationBatch, sender: int, sent_at: float
+    ) -> "Message":
+        """Wrap a committee attestation batch (sender: any batch member)."""
+        return Message(MessageKind.ATTESTATION_BATCH, batch, sender, sent_at)
 
     @staticmethod
     def evidence(evidence: SlashingEvidence, sender: int, sent_at: float) -> "Message":

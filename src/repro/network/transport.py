@@ -7,6 +7,14 @@ before GST they are held and delivered at ``GST + delta``.  The adversary
 (:mod:`repro.network.adversary`) can additionally withhold messages sent by
 Byzantine validators and release them at a chosen time, which is the
 capability the probabilistic bouncing attack relies on.
+
+Participants are delivery *endpoints*: under view sharding the engine
+registers one endpoint per view group (its representative validator), so a
+broadcast costs O(groups) deliveries instead of O(validators) — and the
+payload of one delivery may itself be a whole committee's attestation
+batch.  Senders receive their own messages through the network like every
+other member of their view group (uniform delay, uniform order), which is
+what makes view groups provably share a message stream.
 """
 
 from __future__ import annotations

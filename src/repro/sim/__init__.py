@@ -1,7 +1,7 @@
 """Slot-level discrete-event simulator of the Ethereum PoS protocol."""
 
 from repro.sim.engine import SimulationEngine
-from repro.sim.node import Node
+from repro.sim.node import MemberView, Node
 from repro.sim.observers import (
     FinalityObserver,
     LeakObserver,
@@ -12,9 +12,11 @@ from repro.sim.observers import (
 from repro.sim.results import EpochSnapshot, SimulationResult
 from repro.sim.scenarios import (
     BYZANTINE_STRATEGIES,
+    SCENARIO_PRESETS,
     build_honest_simulation,
     build_offline_fraction_simulation,
     build_partitioned_simulation,
+    build_preset,
 )
 
 __all__ = [
@@ -22,8 +24,10 @@ __all__ = [
     "EpochSnapshot",
     "FinalityObserver",
     "LeakObserver",
+    "MemberView",
     "Node",
     "ObserverSet",
+    "SCENARIO_PRESETS",
     "SafetyObserver",
     "SimulationEngine",
     "SimulationResult",
@@ -31,4 +35,5 @@ __all__ = [
     "build_honest_simulation",
     "build_offline_fraction_simulation",
     "build_partitioned_simulation",
+    "build_preset",
 ]

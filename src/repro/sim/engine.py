@@ -1,40 +1,82 @@
-"""The slot-level simulation engine.
+"""The view-sharded, slot-level simulation engine.
 
 The engine advances the synchronized slot clock, asks the scheduled
 proposer and attesters of each slot for their actions (through their
 agents), pushes the resulting messages through the partially-synchronous
-network, delivers due messages to every node, and runs epoch processing on
-each node at epoch boundaries.  Per-epoch global observables (finality
+network, delivers due messages to every *view*, and runs epoch processing
+per view at epoch boundaries.  Per-epoch global observables (finality
 progress, Byzantine proportion, Safety violations) are recorded into a
 :class:`~repro.sim.results.SimulationResult`.
+
+**View sharding.**  Validators on the same partition side receive the
+identical message stream — every message is either broadcast, targeted at
+a whole partition, or withheld from everyone, and senders receive their
+own messages through the network with the same delay as their peers — so
+their local views are provably equal.  With ``view_sharding=True``
+(default) the engine therefore simulates one :class:`~repro.sim.node.Node`
+per *view group* (one per partition, plus one per bridge class; a healthy
+network is a single group) instead of one per validator, registering one
+delivery endpoint per group with the transport.  Per-validator identity
+survives through :class:`~repro.sim.node.MemberView` facades
+(``engine.nodes``) and per-member inclusion cursors inside the shared
+nodes.  ``view_sharding=False`` falls back to one node per validator —
+the configuration for differential testing (``tests/test_sim_view_groups``
+pins both modes bit-identical) and the only mode whose cost scales with
+O(N²).
+
+**Batch-native message flow.**  Honest committee members of one view are
+clustered per slot and their identical votes travel as a single
+:class:`~repro.core.attestation_batch.AttestationBatch` message; Byzantine
+(non-uniform) votes keep per-validator messages.  Both modes share this
+flow — sharding changes who ingests a message, never what is sent.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set
+from typing import Callable, Dict, Hashable, List, Optional, Sequence, Set, Tuple, Union
 
 #: Observers are called as ``observer(engine, epoch)`` after each epoch's
 #: processing (see :mod:`repro.sim.observers` for ready-made ones).
 EngineObserver = Callable[["SimulationEngine", int], None]
 
-from repro.agents.base import AgentContext, AttestationAction, ProposalAction, ValidatorAgent
+from repro.agents.base import (
+    AgentContext,
+    AttestationAction,
+    AttestationBatchAction,
+    ProposalAction,
+    ValidatorAgent,
+)
 from repro.network.adversary import Adversary
 from repro.network.clock import SlotClock
 from repro.network.message import Message
 from repro.network.partition import PartitionSchedule
 from repro.network.transport import Network
-from repro.sim.node import Node
+from repro.sim.node import MemberView, Node
 from repro.sim.results import EpochSnapshot, SimulationResult
 from repro.spec.blocktree import BlockTree
-from repro.spec.committees import DutyScheduler
+from repro.spec.committees import DutyScheduler, EpochDuties
 from repro.spec.config import SpecConfig
 from repro.spec.finality import conflicting_finalized_checkpoints
 from repro.spec.validator import Validator
 
 
+def _copy_registry(registry: List[Validator]) -> List[Validator]:
+    """Deep-copy a registry: stakes evolve independently per view."""
+    return [
+        Validator(
+            index=v.index,
+            stake=v.stake,
+            inactivity_score=v.inactivity_score,
+            slashed=v.slashed,
+            exit_epoch=v.exit_epoch,
+            label=v.label,
+        )
+        for v in registry
+    ]
+
+
 class SimulationEngine:
-    """Drives validator agents through slots and epochs."""
+    """Drives validator agents through slots and epochs over shared views."""
 
     def __init__(
         self,
@@ -45,6 +87,8 @@ class SimulationEngine:
         seed: str = "repro",
         release_withheld_at_epoch_start: bool = True,
         observers: Optional[Sequence["EngineObserver"]] = None,
+        view_sharding: bool = True,
+        backend: str = "numpy",
     ) -> None:
         if set(agents) != {validator.index for validator in registry}:
             raise ValueError("every validator in the registry needs exactly one agent")
@@ -54,7 +98,55 @@ class SimulationEngine:
         self.schedule = schedule or PartitionSchedule.fully_connected()
         self.clock = SlotClock(config=self.config)
         self.scheduler = DutyScheduler(config=self.config, seed=seed)
-        self.network = Network(self.schedule, participants=[v.index for v in registry])
+        self.view_sharding = view_sharding
+        self.backend = backend
+        self.release_withheld_at_epoch_start = release_withheld_at_epoch_start
+        self.observers: List[EngineObserver] = list(observers or [])
+        self._partition_names: Tuple[str, ...] = tuple(self.schedule.partition_names())
+        # Global observer tree: every published block, regardless of which
+        # nodes received it.  Used to detect conflicting finalized chains
+        # even while the partition still hides one branch from the other.
+        self._global_tree = BlockTree()
+
+        # ------------------------------------------------------------------
+        # View groups: one node per set of validators provably sharing a
+        # message stream; each view's registry copy evolves independently
+        # per local view (per branch), exactly as in the paper.
+        # ------------------------------------------------------------------
+        self.view_groups: Dict[str, Tuple[int, ...]] = self._compute_view_groups()
+        self.views: Dict[str, Node] = {
+            name: Node(
+                validator_index=min(members),
+                registry=_copy_registry(registry),
+                config=self.config,
+                backend=backend,
+                members=members,
+            )
+            for name, members in self.view_groups.items()
+        }
+        self.group_of: Dict[int, str] = {
+            index: name
+            for name, members in self.view_groups.items()
+            for index in members
+        }
+        #: Per-validator facades over the shared views (the public,
+        #: per-node-compatible surface used by agents and observers).
+        self.nodes: Dict[int, Union[Node, MemberView]] = {
+            validator.index: self.views[self.group_of[validator.index]].for_member(
+                validator.index
+            )
+            for validator in registry
+        }
+        self._endpoint_of: Dict[int, int] = {
+            index: self.views[name].validator_index
+            for index, name in self.group_of.items()
+        }
+        self._view_by_endpoint: Dict[int, Node] = {
+            view.validator_index: view for view in self.views.values()
+        }
+        self._endpoints: Tuple[int, ...] = tuple(sorted(self._view_by_endpoint))
+
+        self.network = Network(self.schedule, participants=list(self._endpoints))
         byzantine_indices = {
             index for index, agent in agents.items() if agent.is_byzantine
         }
@@ -63,32 +155,77 @@ class SimulationEngine:
             network=self.network,
             schedule=self.schedule,
         )
-        self.release_withheld_at_epoch_start = release_withheld_at_epoch_start
-        self.observers: List[EngineObserver] = list(observers or [])
-        # Global observer tree: every published block, regardless of which
-        # nodes received it.  Used to detect conflicting finalized chains
-        # even while the partition still hides one branch from the other.
-        self._global_tree = BlockTree()
-        # Every node gets its own copy of the registry: stakes evolve
-        # independently per local view (per branch), exactly as in the paper.
-        self.nodes: Dict[int, Node] = {
-            validator.index: Node(
-                validator_index=validator.index,
-                registry=[
-                    Validator(
-                        index=v.index,
-                        stake=v.stake,
-                        inactivity_score=v.inactivity_score,
-                        slashed=v.slashed,
-                        exit_epoch=v.exit_epoch,
-                        label=v.label,
-                    )
-                    for v in registry
-                ],
-                config=self.config,
-            )
-            for validator in registry
-        }
+        self.adversary.set_endpoint_resolver(self._endpoint_of.__getitem__)
+
+        # Views containing at least one honest member drive the global
+        # Safety/Liveness observables (duplicated states add nothing).
+        self._honest_views: List[Node] = [
+            view
+            for view in self.views.values()
+            if any(not self.agents[m].is_byzantine for m in view.members)
+        ]
+        # Memoized safety check (see _finalized_chains_conflict).
+        self._safety_latched = False
+        self._safety_cache: Optional[Tuple[Tuple, bool, bool]] = None
+        # Per-epoch duty cache: duties plus per-slot committee sets, so a
+        # slot's contexts stop recomputing/rescannning committees per
+        # validator.
+        self._duty_cache: Dict[int, Tuple[EpochDuties, List[frozenset]]] = {}
+
+    # ------------------------------------------------------------------
+    # View-group computation
+    # ------------------------------------------------------------------
+    def _compute_view_groups(self) -> Dict[str, Tuple[int, ...]]:
+        """Partition the registry into groups with identical message streams.
+
+        Reachability is uniform inside a partition and among bridge
+        validators, but the adversary's partition-targeted audiences
+        additionally include every *Byzantine* validator — so each
+        reachability class splits by control: a Byzantine validator inside
+        a partition receives cross-branch Byzantine traffic its honest
+        partition peers never see (an all-honest group is the common case
+        and stays whole).  Without sharding every validator is its own
+        group — the per-node fallback for views that must be allowed to
+        diverge.
+        """
+        indices = [validator.index for validator in self.registry]
+        if not self.view_sharding:
+            return {f"node-{index}": (index,) for index in indices}
+
+        groups: Dict[str, Tuple[int, ...]] = {}
+
+        def unique_name(base: str) -> str:
+            # Partition names are user-chosen, so derived names ("bridge",
+            # "<name>-byzantine") can collide with them; disambiguate
+            # deterministically instead of silently dropping a group.
+            name = base
+            suffix = 2
+            while name in groups:
+                name = f"{base}~{suffix}"
+                suffix += 1
+            return name
+
+        def add_split_by_control(name: str, members: Sequence[int]) -> None:
+            byzantine = tuple(i for i in members if self.agents[i].is_byzantine)
+            honest = tuple(i for i in members if not self.agents[i].is_byzantine)
+            if honest:
+                groups[unique_name(name)] = honest
+            if byzantine:
+                groups[unique_name(f"{name}-byzantine")] = byzantine
+
+        if not self._partition_names:
+            add_split_by_control("global", indices)
+            return groups
+        index_set = set(indices)
+        assigned: Set[int] = set()
+        for name in self._partition_names:
+            members = sorted(set(self.schedule.members_of(name)) & index_set)
+            if members:
+                add_split_by_control(name, members)
+                assigned |= set(members)
+        bridge = [index for index in indices if index not in assigned]
+        add_split_by_control("bridge", bridge)
+        return groups
 
     # ------------------------------------------------------------------
     # Helpers
@@ -101,11 +238,18 @@ class SimulationEngine:
         """Indices of Byzantine validators."""
         return [index for index, agent in self.agents.items() if agent.is_byzantine]
 
+    def _duties_for_epoch(self, epoch: int) -> Tuple[EpochDuties, List[frozenset]]:
+        cached = self._duty_cache.get(epoch)
+        if cached is None:
+            duties = self.scheduler.duties_for_epoch(epoch, self.registry)
+            cached = (duties, duties.committee_sets())
+            self._duty_cache[epoch] = cached
+        return cached
+
     def _context_for(self, validator_index: int, slot: int, time: float) -> AgentContext:
         epoch = self.config.epoch_of_slot(slot)
-        duties = self.scheduler.duties_for_epoch(epoch, self.registry)
-        proposer = duties.proposer_for_slot(slot, self.config.slots_per_epoch)
-        committee = duties.committee_for_slot(slot, self.config.slots_per_epoch)
+        duties, committee_sets = self._duties_for_epoch(epoch)
+        offset = slot % self.config.slots_per_epoch
         return AgentContext(
             validator_index=validator_index,
             slot=slot,
@@ -113,89 +257,175 @@ class SimulationEngine:
             time=time,
             node=self.nodes[validator_index],
             duties=duties,
-            is_proposer=proposer == validator_index,
-            is_attester=validator_index in committee,
-            partition_names=self.schedule.partition_names(),
+            is_proposer=duties.proposers[offset] == validator_index,
+            is_attester=validator_index in committee_sets[offset],
+            partition_names=self._partition_names,
         )
 
     def _deliver_due(self, time: float) -> None:
         for delivery in self.network.deliveries_until(time):
-            node = self.nodes.get(delivery.recipient)
-            if node is not None:
-                node.receive(delivery.message)
+            view = self._view_by_endpoint.get(delivery.recipient)
+            if view is not None:
+                view.receive(delivery.message)
 
+    # ------------------------------------------------------------------
+    # Publishing
+    # ------------------------------------------------------------------
     def _publish_proposal(self, action: ProposalAction, sender: int, time: float) -> None:
         message = Message.block(action.block, sender=sender, sent_at=time)
         if action.block.parent_root in self._global_tree:
             self._global_tree.add_block(action.block)
-        # The proposer processes its own block immediately.
-        self.nodes[sender].receive(message)
         if action.audience is None:
-            self.network.broadcast(message, exclude={sender})
+            self.network.broadcast(message)
         else:
             self.adversary.send_to_partition(message, action.audience)
+
+    def _route_attestation_message(
+        self, message: Message, audience: Optional[str], withhold: bool
+    ) -> None:
+        if withhold:
+            self.adversary.withhold(message, self._endpoints)
+            return
+        if audience is None:
+            self.network.broadcast(message)
+        else:
+            self.adversary.send_to_partition(message, audience)
 
     def _publish_attestation(
         self, action: AttestationAction, sender: int, time: float
     ) -> None:
         message = Message.attestation(action.attestation, sender=sender, sent_at=time)
-        self.nodes[sender].receive(message)
-        if action.withhold:
-            recipients = [index for index in self.nodes if index != sender]
-            self.adversary.withhold(message, recipients)
-            return
-        if action.audience is None:
-            self.network.broadcast(message, exclude={sender})
-        else:
-            self.adversary.send_to_partition(message, action.audience)
+        self._route_attestation_message(message, action.audience, action.withhold)
+
+    def _publish_batch(self, action: AttestationBatchAction, time: float) -> None:
+        batch = action.batch
+        message = Message.attestation_batch(
+            batch, sender=int(batch.validators[0]), sent_at=time
+        )
+        self._route_attestation_message(message, action.audience, action.withhold)
+
+    # ------------------------------------------------------------------
+    # Slot phases
+    # ------------------------------------------------------------------
+    def _run_proposals(self, slot: int, time: float) -> None:
+        duties, _ = self._duties_for_epoch(self.config.epoch_of_slot(slot))
+        proposer = duties.proposer_for_slot(slot, self.config.slots_per_epoch)
+        agent = self.agents[proposer]
+        ctx = self._context_for(proposer, slot, time)
+        for action in agent.propose(ctx):
+            self._publish_proposal(action, sender=proposer, time=time)
+
+    def _run_attestations(self, slot: int, time: float) -> None:
+        """Collect and publish the slot committee's attestations.
+
+        Batch-capable committee members are clustered per (view group,
+        committee key) and asked once per cluster; per-validator agents
+        keep the per-member path.  Clusters publish after the singles, in
+        first-appearance order — a fixed, deterministic schedule shared by
+        both sharding modes.
+        """
+        duties, _ = self._duties_for_epoch(self.config.epoch_of_slot(slot))
+        committee = duties.committee_for_slot(slot, self.config.slots_per_epoch)
+        # Insertion order of the dict IS the first-appearance order.
+        clusters: Dict[Tuple[str, Hashable], List[int]] = {}
+        for index in committee:
+            agent = self.agents[index]
+            key = agent.committee_key()
+            if key is None:
+                ctx = self._context_for(index, slot, time)
+                for action in agent.attest(ctx):
+                    self._publish_attestation(action, sender=index, time=time)
+                continue
+            clusters.setdefault((self.group_of[index], key), []).append(index)
+        for members in clusters.values():
+            leader = members[0]
+            ctx = self._context_for(leader, slot, time)
+            for action in self.agents[leader].attest_committee(ctx, members):
+                if isinstance(action, AttestationBatchAction):
+                    self._publish_batch(action, time=time)
+                else:
+                    self._publish_attestation(
+                        action, sender=action.attestation.validator_index, time=time
+                    )
 
     # ------------------------------------------------------------------
     # Epoch bookkeeping
     # ------------------------------------------------------------------
     def _process_epoch_on_all_nodes(self, epoch: int) -> None:
-        for node in self.nodes.values():
-            node.process_epoch_end(epoch)
+        for view in self.views.values():
+            view.process_epoch_end(epoch)
+
+    def _safety_fingerprint(self) -> Tuple:
+        """Cheap summary of everything the safety check depends on."""
+        return tuple(
+            (len(view.state.finalized_checkpoints), view.state.finalized_checkpoint)
+            for view in self._honest_views
+        )
 
     def _finalized_chains_conflict(self) -> bool:
-        """Global Safety check over the honest nodes' finalized checkpoints.
+        """Global Safety check over the honest views' finalized checkpoints.
 
         Two finalized chains conflict when neither finalized checkpoint is an
         ancestor of (or equal to) the other in the global block tree — the
         paper's Safety property (one finalized chain must be a prefix of the
         other).  Checkpoints for blocks the global tree has not recorded are
         compared by epoch/root only.
+
+        Memoized: finalized checkpoints only accumulate, so a detected
+        violation latches, and epochs on which no view's finalized
+        checkpoints changed skip the O(views²) rescan entirely (unless a
+        previous scan had to skip an unresolved root, which the growing
+        global tree could since have resolved).
         """
-        honest = self.honest_indices()
-        checkpoints = [self.nodes[i].state.finalized_checkpoint for i in honest]
+        if self._safety_latched:
+            return True
+        fingerprint = self._safety_fingerprint()
+        if self._safety_cache is not None:
+            cached_fingerprint, cached_result, cached_unresolved = self._safety_cache
+            if cached_fingerprint == fingerprint and not cached_unresolved:
+                return cached_result
+        result, unresolved = self._scan_finalized_conflicts()
+        self._safety_cache = (fingerprint, result, unresolved)
+        if result:
+            self._safety_latched = True
+        return result
+
+    def _scan_finalized_conflicts(self) -> Tuple[bool, bool]:
+        checkpoints = [view.state.finalized_checkpoint for view in self._honest_views]
+        unresolved = False
         for i, first in enumerate(checkpoints):
             for second in checkpoints[i + 1 :]:
                 if first == second:
                     continue
                 if first.epoch == second.epoch and first.root != second.root:
-                    return True
+                    return True, unresolved
                 low, high = sorted((first, second), key=lambda c: c.epoch)
                 if low.root not in self._global_tree or high.root not in self._global_tree:
+                    unresolved = True
                     continue
                 if not self._global_tree.is_ancestor(low.root, high.root):
-                    return True
+                    return True, unresolved
         # Also cover conflicts at intermediate finalized epochs.
-        honest_states = [self.nodes[i].state for i in honest]
-        return bool(conflicting_finalized_checkpoints(honest_states))
+        honest_states = [view.state for view in self._honest_views]
+        return bool(conflicting_finalized_checkpoints(honest_states)), unresolved
 
     def _snapshot(self, epoch: int) -> EpochSnapshot:
+        finalized_epoch_by_node: Dict[int, int] = {}
+        for view in self.views.values():
+            finalized = view.state.finalized_checkpoint.epoch
+            for member in view.members:
+                finalized_epoch_by_node[member] = finalized
         honest = self.honest_indices()
-        honest_states = [self.nodes[i].state for i in honest]
         representative = self.nodes[honest[0]].state if honest else None
         return EpochSnapshot(
             epoch=epoch,
-            finalized_epoch_by_node={
-                index: self.nodes[index].state.finalized_checkpoint.epoch
-                for index in self.nodes
-            },
+            finalized_epoch_by_node=finalized_epoch_by_node,
             byzantine_proportion=(
                 representative.byzantine_stake_proportion() if representative else 0.0
             ),
-            any_in_leak=any(state.is_in_inactivity_leak() for state in honest_states),
+            any_in_leak=any(
+                view.state.is_in_inactivity_leak() for view in self._honest_views
+            ),
             safety_violated=self._finalized_chains_conflict(),
         )
 
@@ -216,7 +446,7 @@ class SimulationEngine:
 
             if self.clock.is_epoch_start(slot):
                 if epoch > 0:
-                    # Close the books on the previous epoch on every node.
+                    # Close the books on the previous epoch on every view.
                     self._process_epoch_on_all_nodes(epoch - 1)
                     snapshots.append(self._snapshot(epoch - 1))
                     for observer in self.observers:
@@ -230,22 +460,12 @@ class SimulationEngine:
             # Slot 0 is occupied by the genesis block, so proposals start at slot 1.
             self._deliver_due(slot_start)
             if slot > 0:
-                for index, agent in self.agents.items():
-                    ctx = self._context_for(index, slot, slot_start)
-                    if not ctx.is_proposer:
-                        continue
-                    for action in agent.propose(ctx):
-                        self._publish_proposal(action, sender=index, time=slot_start)
+                self._run_proposals(slot, slot_start)
 
             # Attestations are produced a third of the way into the slot.
             attestation_time = self.clock.attestation_deadline(slot)
             self._deliver_due(attestation_time)
-            for index, agent in self.agents.items():
-                ctx = self._context_for(index, slot, attestation_time)
-                if not ctx.is_attester:
-                    continue
-                for action in agent.attest(ctx):
-                    self._publish_attestation(action, sender=index, time=attestation_time)
+            self._run_attestations(slot, attestation_time)
 
             # Flush deliveries due before the end of the slot.
             self._deliver_due(self.clock.start_of_slot(slot + 1))
@@ -257,8 +477,8 @@ class SimulationEngine:
             observer(self, num_epochs - 1)
 
         slashed: Set[int] = set()
-        for index in self.honest_indices():
-            for validator in self.nodes[index].state.validators:
+        for view in self._honest_views:
+            for validator in view.state.validators:
                 if validator.slashed:
                     slashed.add(validator.index)
 
@@ -270,4 +490,5 @@ class SimulationEngine:
             snapshots=snapshots,
             transport_stats=self.network.stats,
             slashed_indices=slashed,
+            view_groups=dict(self.view_groups),
         )

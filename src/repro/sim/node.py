@@ -1,10 +1,30 @@
-"""A validator node: local view of the chain plus protocol bookkeeping.
+"""A validator view node: local view of the chain plus protocol bookkeeping.
 
-Each simulated validator runs a node holding its own fork-choice store,
-beacon state, FFG vote pool and slashing detector.  Nodes only learn about
-blocks and attestations through messages delivered by the network, so two
-nodes separated by a partition genuinely diverge — which is the whole point
-of the paper's scenarios.
+Each simulated *view* runs a node holding its own fork-choice store, beacon
+state, FFG vote pool and slashing detector.  Nodes only learn about blocks
+and attestations through messages delivered by the network, so two nodes
+separated by a partition genuinely diverge — which is the whole point of
+the paper's scenarios.
+
+A node may be shared by many validators (*view sharding*): validators on
+the same partition side receive the identical message stream, so their
+local views are provably equal and the engine simulates one ``Node`` per
+view group with ``members`` listing the validators it stands for.  The
+only per-validator state a view carries is *consumption*: which of the
+seen attestations and evidence each member has already included in its own
+blocks, tracked as per-member cursors over shared append-only logs (the
+O(included) replacement for the old per-build list re-slicing).
+Per-member defaults (``attestation_for``, ``build_block``) are exposed for
+non-representative members through the lightweight :class:`MemberView`
+facade returned by :meth:`Node.for_member`.
+
+Ingestion is batch-native: a committee's identical votes arrive as one
+:class:`repro.core.attestation_batch.AttestationBatch` and are ingested in
+one call — bulk :meth:`FlatVotePool.add_batch`, vectorized fork-choice
+latest-message update, array-append activity accounting — while
+equivocating (non-uniform) votes keep the per-attestation path.  Activity
+(``active_indices_for_epoch``) is computed by array comparison over the
+per-epoch vote columns instead of a per-attestation set scan.
 """
 
 from __future__ import annotations
@@ -13,9 +33,12 @@ from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
+import numpy as np
+
+from repro.core.attestation_batch import AttestationBatch, AttestationColumns
 from repro.core.backend import StakeBackend, get_backend
 from repro.network.message import Message, MessageKind
-from repro.spec.attestation import Attestation
+from repro.spec.attestation import Attestation, attestations_from_batch
 from repro.spec.block import BeaconBlock
 from repro.spec.checkpoint import Checkpoint, FFGVote
 from repro.spec.config import SpecConfig
@@ -27,17 +50,20 @@ from repro.spec.state_transition import ChainHistory, EpochReport, process_epoch
 from repro.spec.types import Root
 from repro.spec.validator import Validator
 
+#: Entries the network can hand to a node's attestation path.
+AttestationLike = Union[Attestation, AttestationBatch]
+
 
 @dataclass
 class PendingQueues:
     """Blocks and attestations whose ancestry has not been delivered yet."""
 
     blocks: List[BeaconBlock] = field(default_factory=list)
-    attestations: List[Attestation] = field(default_factory=list)
+    attestations: List[AttestationLike] = field(default_factory=list)
 
 
 class Node:
-    """Local protocol instance of one validator."""
+    """Local protocol instance of one view (one or many validators)."""
 
     def __init__(
         self,
@@ -45,8 +71,13 @@ class Node:
         registry: List[Validator],
         config: Optional[SpecConfig] = None,
         backend: Union[str, StakeBackend] = "numpy",
+        members: Optional[Sequence[int]] = None,
     ) -> None:
         self.validator_index = validator_index
+        #: Validators sharing this view (representative first by convention).
+        self.members: Tuple[int, ...] = (
+            tuple(members) if members is not None else (validator_index,)
+        )
         self.config = config or SpecConfig.mainnet()
         #: Stake-dynamics kernel driving this node's epoch processing
         #: (FFG justification, rewards, inactivity and slashing all run
@@ -58,12 +89,19 @@ class Node:
         self.detector = SlashingDetector()
         self.history = ChainHistory()
         self.pending = PendingQueues()
-        #: Attestations seen but not yet included in a block this node built.
-        self.attestations_for_inclusion: List[Attestation] = []
-        #: Attestations seen, grouped by target epoch (activity accounting).
-        self.attestations_by_epoch: Dict[int, List[Attestation]] = defaultdict(list)
-        #: Evidence known to this node and not yet included in one of its blocks.
-        self.evidence_for_inclusion: List[SlashingEvidence] = []
+        #: Checkpoint votes seen, as flat per-target-epoch columns
+        #: (activity accounting + Byzantine source scans; root ids are
+        #: interned by the vote pool so all structures agree).
+        self.attestations_by_epoch: Dict[int, AttestationColumns] = {}
+        #: Append-only log of attestations seen and eligible for block
+        #: inclusion; members track their consumption with cursors.
+        self._inclusion_log: List[Attestation] = []
+        self._inclusion_cursors: Dict[int, int] = {}
+        #: Append-only log of slashing evidence known to this view, with
+        #: per-member inclusion cursors (each member includes evidence it
+        #: has not yet packed into one of its own blocks).
+        self._evidence_log: List[SlashingEvidence] = []
+        self._evidence_cursors: Dict[int, int] = {}
         #: Validators for which evidence was included in a block on this
         #: node's chain, per epoch (consumed at epoch processing).
         self.slashings_observed: Dict[int, Set[int]] = defaultdict(set)
@@ -73,9 +111,74 @@ class Node:
         #: Balances as of the last justified checkpoint, used to weight
         #: fork-choice votes (the real protocol weighs LMD-GHOST votes with
         #: the justified-state balances so diverging views still converge).
-        self._justified_stakes: Dict[int, float] = {
-            validator.index: validator.stake for validator in self.state.validators
-        }
+        self._justified_stakes = np.fromiter(
+            (v.stake for v in self.state.validators), dtype=float, count=len(registry)
+        )
+        self._weights_version = 0
+        self._head_cache: Optional[Tuple[Tuple[int, int], Root]] = None
+        #: Permanent (epoch, head) -> checkpoint cache: a fixed head's
+        #: boundary ancestor never changes once the head is in the tree.
+        self._checkpoint_cache: Dict[Tuple[int, Root], Checkpoint] = {}
+        self._refresh_view_arrays()
+
+    # ------------------------------------------------------------------
+    # Cached per-epoch registry arrays
+    # ------------------------------------------------------------------
+    def _refresh_view_arrays(self) -> None:
+        """Rebuild the stake/eligibility arrays the hot paths read.
+
+        Registry fields mutate only inside :meth:`process_epoch_end`, so
+        refreshing here (and at construction) keeps the arrays exact.
+        """
+        validators = self.state.validators
+        n = len(validators)
+        epoch = self.state.current_epoch
+        self._stake_arr = np.fromiter((v.stake for v in validators), float, count=n)
+        eligible = np.fromiter(
+            (v.is_active(epoch) and not v.slashed for v in validators),
+            dtype=bool,
+            count=n,
+        )
+        self._fc_stakes = np.where(eligible, self._justified_stakes, 0.0)
+        self._weights_version += 1
+
+    def stake_array(self) -> np.ndarray:
+        """Current per-validator stakes as a flat array (read-only)."""
+        return self._stake_arr
+
+    # ------------------------------------------------------------------
+    # Per-member views
+    # ------------------------------------------------------------------
+    def for_member(self, validator_index: int) -> "Union[Node, MemberView]":
+        """A view of this node acting as ``validator_index``.
+
+        The representative gets the node itself; other members get a
+        :class:`MemberView` facade that injects their index into
+        attestation/block building and tracks their own inclusion cursors.
+        """
+        if validator_index == self.validator_index:
+            return self
+        return MemberView(self, validator_index)
+
+    def inclusion_view(self, validator_index: int) -> List[Attestation]:
+        """Attestations ``validator_index`` has seen but not yet included."""
+        cursor = self._inclusion_cursors.get(validator_index, 0)
+        return self._inclusion_log[cursor:]
+
+    def evidence_view(self, validator_index: int) -> List[SlashingEvidence]:
+        """Evidence ``validator_index`` has not yet included in a block."""
+        cursor = self._evidence_cursors.get(validator_index, 0)
+        return self._evidence_log[cursor:]
+
+    @property
+    def attestations_for_inclusion(self) -> List[Attestation]:
+        """Unconsumed inclusion queue of the node's own validator."""
+        return self.inclusion_view(self.validator_index)
+
+    @property
+    def evidence_for_inclusion(self) -> List[SlashingEvidence]:
+        """Unconsumed evidence queue of the node's own validator."""
+        return self.evidence_view(self.validator_index)
 
     # ------------------------------------------------------------------
     # Message ingestion
@@ -86,6 +189,8 @@ class Node:
             self._receive_block(message.payload)  # type: ignore[arg-type]
         elif message.kind is MessageKind.ATTESTATION:
             self._receive_attestation(message.payload)  # type: ignore[arg-type]
+        elif message.kind is MessageKind.ATTESTATION_BATCH:
+            self._receive_attestation_batch(message.payload)  # type: ignore[arg-type]
         elif message.kind is MessageKind.SLASHING_EVIDENCE:
             self._receive_evidence(message.payload)  # type: ignore[arg-type]
         else:  # pragma: no cover - defensive
@@ -112,18 +217,61 @@ class Node:
             return
         self._ingest_attestation(attestation)
 
+    def _receive_attestation_batch(self, batch: AttestationBatch) -> None:
+        self.attestations_received += len(batch)
+        if batch.head_root not in self.store.tree:
+            self.pending.attestations.append(batch)
+            return
+        self._ingest_batch(batch)
+
+    def _seen_columns(self, target_epoch: int) -> AttestationColumns:
+        columns = self.attestations_by_epoch.get(target_epoch)
+        if columns is None:
+            columns = AttestationColumns()
+            self.attestations_by_epoch[target_epoch] = columns
+        return columns
+
     def _ingest_attestation(self, attestation: Attestation) -> None:
         self.store.on_attestation(attestation)
         self.pool.add_attestation(attestation)
-        self.attestations_by_epoch[attestation.target_epoch].append(attestation)
-        self.attestations_for_inclusion.append(attestation)
+        flat = self.pool.flat
+        self._seen_columns(attestation.target_epoch).append(
+            attestation.validator_index,
+            attestation.source.epoch,
+            flat.intern_root(attestation.source.root),
+            flat.intern_root(attestation.target.root),
+        )
+        self._inclusion_log.append(attestation)
         evidence = self.detector.observe(attestation)
         if evidence is not None:
-            self.evidence_for_inclusion.append(evidence)
+            self._evidence_log.append(evidence)
+
+    def _ingest_batch(self, batch: AttestationBatch) -> None:
+        """Ingest a whole committee batch in one call.
+
+        The fork-choice store, the FFG pool and the activity columns take
+        the flat validator array directly; per-validator objects are
+        materialized once, only for block inclusion and the slashing
+        detector (the two places that genuinely need them).
+        """
+        self.store.on_attestation_batch(
+            batch.validators, batch.target_epoch, batch.head_root
+        )
+        self.pool.add_batch(batch)
+        flat = self.pool.flat
+        self._seen_columns(batch.target_epoch).extend(
+            batch.validators,
+            batch.source.epoch,
+            flat.intern_root(batch.source.root),
+            flat.intern_root(batch.target.root),
+        )
+        rows = attestations_from_batch(batch)
+        self._inclusion_log.extend(rows)
+        self._evidence_log.extend(self.detector.observe_batch(rows))
 
     def _receive_evidence(self, evidence: SlashingEvidence) -> None:
         if not self.detector.has_evidence_against(evidence.validator_index):
-            self.evidence_for_inclusion.append(evidence)
+            self._evidence_log.append(evidence)
             # Feed both attestations to the detector so duplicates are ignored.
             self.detector.observe(evidence.first)
             self.detector.observe(evidence.second)
@@ -138,7 +286,10 @@ class Node:
                 if block.parent_root in self.store.tree:
                     if self.store.on_block(block):
                         for attestation in block.attestations:
-                            self._ingest_attestation(attestation)
+                            # Re-check the head: a carried attestation may
+                            # reference a block this node still lacks, in
+                            # which case it pends like any other.
+                            self._receive_attestation(attestation)
                         for validator_index in block.slashing_evidence:
                             epoch = self.config.epoch_of_slot(block.slot)
                             self.slashings_observed[epoch].add(validator_index)
@@ -146,21 +297,34 @@ class Node:
                 else:
                     still_pending.append(block)
             self.pending.blocks = still_pending
-            still_pending_attestations: List[Attestation] = []
-            for attestation in self.pending.attestations:
-                if attestation.head_root in self.store.tree:
-                    self._ingest_attestation(attestation)
+            still_pending_attestations: List[AttestationLike] = []
+            for entry in self.pending.attestations:
+                if entry.head_root in self.store.tree:
+                    if isinstance(entry, AttestationBatch):
+                        self._ingest_batch(entry)
+                    else:
+                        self._ingest_attestation(entry)
                     progress = True
                 else:
-                    still_pending_attestations.append(attestation)
+                    still_pending_attestations.append(entry)
             self.pending.attestations = still_pending_attestations
 
     # ------------------------------------------------------------------
     # Chain views used by agents
     # ------------------------------------------------------------------
     def head(self) -> Root:
-        """Current fork-choice head (votes weighted by justified-state balances)."""
-        return self.store.get_head(self.state, stake_override=self._justified_stakes)
+        """Current fork-choice head (votes weighted by justified-state balances).
+
+        Cached per (store, weight) version: all members of a view share
+        one head computation per mutation generation instead of each
+        re-running LMD-GHOST.
+        """
+        key = (self.store.version, self._weights_version)
+        if self._head_cache is not None and self._head_cache[0] == key:
+            return self._head_cache[1]
+        head = self.store.get_head_weighted(self._fc_stakes)
+        self._head_cache = (key, head)
+        return head
 
     def branch_heads(self) -> List[Root]:
         """All leaf roots of the local tree (competing branch heads)."""
@@ -169,13 +333,19 @@ class Node:
     def checkpoint_of_epoch(self, epoch: int, head: Optional[Root] = None) -> Checkpoint:
         """Checkpoint of ``epoch`` on the chain of ``head`` (default: own head)."""
         head_root = head if head is not None else self.head()
-        return self.store.checkpoint_for_epoch(epoch, head_root)
+        key = (epoch, head_root)
+        checkpoint = self._checkpoint_cache.get(key)
+        if checkpoint is None:
+            checkpoint = self.store.checkpoint_for_epoch(epoch, head_root)
+            self._checkpoint_cache[key] = checkpoint
+        return checkpoint
 
     def attestation_for(
         self,
         slot: int,
         head: Optional[Root] = None,
         source: Optional[Checkpoint] = None,
+        validator_index: Optional[int] = None,
     ) -> Attestation:
         """Build the protocol-following attestation for ``slot``.
 
@@ -183,7 +353,8 @@ class Node:
         node's current justified checkpoint (or an explicit ``source``, used
         by Byzantine agents voting on a branch whose justification history
         differs from their own) to the current epoch's checkpoint on that
-        head's chain.
+        head's chain.  ``validator_index`` selects the attesting member
+        (default: the node's own validator).
         """
         epoch = self.config.epoch_of_slot(slot)
         head_root = head if head is not None else self.head()
@@ -191,10 +362,30 @@ class Node:
             source = self.state.current_justified_checkpoint
         target = self.checkpoint_of_epoch(epoch, head_root)
         return Attestation(
-            validator_index=self.validator_index,
+            validator_index=(
+                validator_index if validator_index is not None else self.validator_index
+            ),
             slot=slot,
             head_root=head_root,
             ffg=FFGVote(source=source, target=target),
+        )
+
+    def attestation_batch_for(
+        self, slot: int, validators: Sequence[int]
+    ) -> AttestationBatch:
+        """The committee batch of protocol-following attestations for ``slot``.
+
+        All ``validators`` share this view, so head, source and target are
+        computed once and the batch carries only the validator array.
+        """
+        epoch = self.config.epoch_of_slot(slot)
+        head_root = self.head()
+        return AttestationBatch(
+            slot=slot,
+            head_root=head_root,
+            source=self.state.current_justified_checkpoint,
+            target=self.checkpoint_of_epoch(epoch, head_root),
+            validators=np.asarray(validators, dtype=np.int64),
         )
 
     def build_block(
@@ -204,25 +395,33 @@ class Node:
         branch_tag: str = "",
         max_attestations: int = 128,
         include_evidence: bool = True,
+        proposer: Optional[int] = None,
     ) -> BeaconBlock:
         """Build a block on ``parent`` (default: own head) including what we know.
 
+        Inclusion consumes from the shared append-only log through the
+        proposer's cursor — O(included) per build, and each member's
+        consumption is independent exactly as if it ran its own node.
         ``include_evidence=False`` lets Byzantine proposers omit slashing
         evidence (they have no interest in incriminating themselves).
         """
+        who = proposer if proposer is not None else self.validator_index
         parent_root = parent if parent is not None else self.head()
-        attestations = tuple(self.attestations_for_inclusion[:max_attestations])
-        self.attestations_for_inclusion = self.attestations_for_inclusion[max_attestations:]
+        cursor = self._inclusion_cursors.get(who, 0)
+        attestations = tuple(self._inclusion_log[cursor : cursor + max_attestations])
+        self._inclusion_cursors[who] = cursor + len(attestations)
         if include_evidence:
+            evidence_cursor = self._evidence_cursors.get(who, 0)
             evidence_indices = tuple(
-                evidence.validator_index for evidence in self.evidence_for_inclusion
+                evidence.validator_index
+                for evidence in self._evidence_log[evidence_cursor:]
             )
-            self.evidence_for_inclusion = []
+            self._evidence_cursors[who] = len(self._evidence_log)
         else:
             evidence_indices = ()
         return BeaconBlock.create(
             slot=slot,
-            proposer_index=self.validator_index,
+            proposer_index=who,
             parent_root=parent_root,
             attestations=attestations,
             slashing_evidence=evidence_indices,
@@ -237,14 +436,18 @@ class Node:
 
         A validator is active if the node saw an attestation from it whose
         target checkpoint matches this chain's checkpoint for the epoch
-        (Section 4.1: an attestation with a wrong target counts as inactive).
+        (Section 4.1: an attestation with a wrong target counts as
+        inactive).  Computed by array comparison over the per-epoch vote
+        columns — no per-attestation Python scan.
         """
+        columns = self.attestations_by_epoch.get(epoch)
+        if not columns:
+            return set()
         local_target = self.checkpoint_of_epoch(epoch)
-        active: Set[int] = set()
-        for attestation in self.attestations_by_epoch.get(epoch, []):
-            if attestation.target == local_target:
-                active.add(attestation.validator_index)
-        return active
+        target_id = self.pool.flat.lookup_root(local_target.root)
+        if target_id is None:
+            return set()
+        return {int(v) for v in columns.voters_for_target_root(target_id)}
 
     def process_epoch_end(self, epoch: int) -> EpochReport:
         """Run epoch processing for ``epoch`` on the local state."""
@@ -267,10 +470,49 @@ class Node:
         )
         # Refresh the fork-choice balances snapshot whenever justification advances.
         if self.state.current_justified_checkpoint != justified_before:
-            self._justified_stakes = {
-                validator.index: validator.stake for validator in self.state.validators
-            }
+            self._justified_stakes = np.fromiter(
+                (v.stake for v in self.state.validators),
+                dtype=float,
+                count=len(self.state.validators),
+            )
+        self._refresh_view_arrays()
+        self._prune_consumed_logs()
         return report
+
+    def _prune_consumed_logs(self) -> None:
+        """Drop log prefixes every member has already consumed.
+
+        Only entries below *every* member's cursor are dead weight —
+        anything above the minimum cursor is still includable in some
+        member's future block, so dropping it would diverge from the
+        per-node ground truth.  This reclaims memory whenever all members
+        have proposed past a prefix (always, eventually, for singleton
+        per-node groups); members that never propose pin the floor at
+        zero, matching the per-node engine's own retention of their
+        unconsumed queues.
+        """
+        self._inclusion_cursors = self._prune_log(
+            self._inclusion_log, self._inclusion_cursors
+        )
+        self._evidence_cursors = self._prune_log(
+            self._evidence_log, self._evidence_cursors
+        )
+
+    def _prune_log(self, log: List, cursors: Dict[int, int]) -> Dict[int, int]:
+        """Delete one log's consumed prefix; return the rebased cursors.
+
+        Non-member cursors (tests may build blocks for arbitrary
+        proposers) participate in the floor so rebasing never goes
+        negative.
+        """
+        floor = min(
+            min((cursors.get(member, 0) for member in self.members), default=0),
+            min(cursors.values(), default=0),
+        )
+        if floor <= 0:
+            return cursors
+        del log[:floor]
+        return {member: cursor - floor for member, cursor in cursors.items()}
 
     # ------------------------------------------------------------------
     def finalized_epochs(self) -> Set[int]:
@@ -280,3 +522,70 @@ class Node:
     def finalized_checkpoints(self) -> Dict[int, Checkpoint]:
         """Finalized checkpoints keyed by epoch."""
         return dict(self.state.finalized_checkpoints)
+
+
+class MemberView:
+    """A validator-specific facade over a shared view :class:`Node`.
+
+    Everything except identity delegates to the underlying node; identity
+    shows up in three places — ``validator_index`` itself, the default
+    attester of :meth:`attestation_for`, the proposer (and inclusion
+    cursors) of :meth:`build_block` — plus the member-local inclusion
+    queues.  Agents, observers and result collectors treat it exactly
+    like a node of its own.
+    """
+
+    __slots__ = ("node", "validator_index")
+
+    def __init__(self, node: Node, validator_index: int) -> None:
+        self.node = node
+        self.validator_index = validator_index
+
+    def __getattr__(self, name: str):
+        return getattr(self.node, name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MemberView(validator={self.validator_index}, node={self.node.validator_index})"
+
+    # -- identity-sensitive delegations --------------------------------
+    def attestation_for(
+        self,
+        slot: int,
+        head: Optional[Root] = None,
+        source: Optional[Checkpoint] = None,
+        validator_index: Optional[int] = None,
+    ) -> Attestation:
+        return self.node.attestation_for(
+            slot,
+            head=head,
+            source=source,
+            validator_index=(
+                validator_index if validator_index is not None else self.validator_index
+            ),
+        )
+
+    def build_block(
+        self,
+        slot: int,
+        parent: Optional[Root] = None,
+        branch_tag: str = "",
+        max_attestations: int = 128,
+        include_evidence: bool = True,
+        proposer: Optional[int] = None,
+    ) -> BeaconBlock:
+        return self.node.build_block(
+            slot,
+            parent=parent,
+            branch_tag=branch_tag,
+            max_attestations=max_attestations,
+            include_evidence=include_evidence,
+            proposer=proposer if proposer is not None else self.validator_index,
+        )
+
+    @property
+    def attestations_for_inclusion(self) -> List[Attestation]:
+        return self.node.inclusion_view(self.validator_index)
+
+    @property
+    def evidence_for_inclusion(self) -> List[SlashingEvidence]:
+        return self.node.evidence_view(self.validator_index)

@@ -11,6 +11,17 @@ from repro.spec.finality import conflicting_finalized_checkpoints
 from repro.spec.state import BeaconState
 
 
+def _dedup_by_identity(states: Sequence[BeaconState]) -> List[BeaconState]:
+    """The distinct state objects in ``states`` (view groups share one)."""
+    seen: Set[int] = set()
+    distinct: List[BeaconState] = []
+    for state in states:
+        if id(state) not in seen:
+            seen.add(id(state))
+            distinct.append(state)
+    return distinct
+
+
 @dataclass
 class EpochSnapshot:
     """Global observables collected at the end of one epoch."""
@@ -33,17 +44,40 @@ class SimulationResult:
     epochs_run: int
     honest_indices: List[int]
     byzantine_indices: List[int]
-    #: Final state of every node, keyed by validator index.
+    #: Final state of every node, keyed by validator index.  Under view
+    #: sharding the members of a group share one state object; comparisons
+    #: are by value, so grouped and per-node runs produce equal results.
     final_states: Dict[int, BeaconState]
     snapshots: List[EpochSnapshot] = field(default_factory=list)
     transport_stats: Optional[TransportStats] = None
     #: Validators slashed on any honest node's chain by the end of the run.
     slashed_indices: Set[int] = field(default_factory=set)
+    #: View-group membership the engine simulated with (group name →
+    #: validator indices); one singleton group per validator when view
+    #: sharding was off.
+    view_groups: Dict[str, Tuple[int, ...]] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     def honest_states(self) -> List[BeaconState]:
         """Final states of the honest nodes."""
         return [self.final_states[i] for i in self.honest_indices]
+
+    def distinct_final_states(self) -> List[BeaconState]:
+        """The distinct state objects behind ``final_states``.
+
+        Under view sharding this is one state per view group — the cheap
+        iteration target for O(views) post-processing at mainnet scale.
+        """
+        return _dedup_by_identity(list(self.final_states.values()))
+
+    def _distinct_honest_states(self) -> List[BeaconState]:
+        """Distinct state objects behind the honest nodes.
+
+        States shared by a view group are identical by construction, so
+        pairwise checks over the distinct objects see every possible
+        conflict while staying O(views²) instead of O(validators²).
+        """
+        return _dedup_by_identity(self.honest_states())
 
     def safety_violated(self) -> bool:
         """True if two honest nodes finalized conflicting checkpoints.
@@ -54,11 +88,11 @@ class SimulationResult:
         """
         if any(snapshot.safety_violated for snapshot in self.snapshots):
             return True
-        return bool(conflicting_finalized_checkpoints(self.honest_states()))
+        return bool(conflicting_finalized_checkpoints(self._distinct_honest_states()))
 
     def conflicting_checkpoints(self) -> List[Tuple[Checkpoint, Checkpoint]]:
         """The conflicting finalized checkpoint pairs among honest nodes."""
-        return conflicting_finalized_checkpoints(self.honest_states())
+        return conflicting_finalized_checkpoints(self._distinct_honest_states())
 
     def max_finalized_epoch(self) -> int:
         """Highest epoch finalized by any honest node."""

@@ -1,14 +1,22 @@
 """Convenience builders for slot-level simulation scenarios.
 
 These assemble a registry, a partition schedule, agents, and an engine for
-the settings studied in the paper, at a scale small enough for tests and
-examples (the long-horizon numbers are produced by the aggregate engine in
-:mod:`repro.leak`; the slot-level engine demonstrates the mechanisms).
+the settings studied in the paper.  Thanks to view sharding (one simulated
+node per partition side instead of one per validator) the same builders
+now scale from the historical test sizes (tens of validators) to
+mainnet-scale validator counts — see :data:`SCENARIO_PRESETS` for
+ready-made large configurations that the per-node engine could not even
+construct (10k validators × 10k-validator registries per node).
+
+All builders accept ``view_sharding`` (default ``True``; pass ``False``
+for the per-validator fallback used by the differential equivalence suite)
+and ``backend`` (``"numpy"`` default, ``"python"`` bit-identical
+reference) and forward them to the engine.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Any, Dict, Optional
 
 from repro.agents.base import ValidatorAgent
 from repro.agents.byzantine import AlternatingAgent, BouncingAgent, DoubleVotingAgent
@@ -26,6 +34,8 @@ def build_honest_simulation(
     n_validators: int = 16,
     config: Optional[SpecConfig] = None,
     seed: str = "repro",
+    view_sharding: bool = True,
+    backend: str = "numpy",
 ) -> SimulationEngine:
     """A healthy network: all honest validators, no partition.
 
@@ -38,7 +48,13 @@ def build_honest_simulation(
     }
     schedule = PartitionSchedule.fully_connected(delta=1.0)
     return SimulationEngine(
-        registry=registry, agents=agents, schedule=schedule, config=cfg, seed=seed
+        registry=registry,
+        agents=agents,
+        schedule=schedule,
+        config=cfg,
+        seed=seed,
+        view_sharding=view_sharding,
+        backend=backend,
     )
 
 
@@ -47,6 +63,8 @@ def build_offline_fraction_simulation(
     offline_fraction: float = 0.4,
     config: Optional[SpecConfig] = None,
     seed: str = "repro",
+    view_sharding: bool = True,
+    backend: str = "numpy",
 ) -> SimulationEngine:
     """A network where a fraction of honest validators is simply unreachable.
 
@@ -64,7 +82,13 @@ def build_offline_fraction_simulation(
             agents[validator.index] = OfflineAgent(validator.index)
     schedule = PartitionSchedule.fully_connected(delta=1.0)
     return SimulationEngine(
-        registry=registry, agents=agents, schedule=schedule, config=cfg, seed=seed
+        registry=registry,
+        agents=agents,
+        schedule=schedule,
+        config=cfg,
+        seed=seed,
+        view_sharding=view_sharding,
+        backend=backend,
     )
 
 
@@ -77,6 +101,8 @@ def build_partitioned_simulation(
     config: Optional[SpecConfig] = None,
     seed: str = "repro",
     delta: float = 1.0,
+    view_sharding: bool = True,
+    backend: str = "numpy",
 ) -> SimulationEngine:
     """A partitioned network with an optional Byzantine contingent.
 
@@ -93,6 +119,10 @@ def build_partitioned_simulation(
     gst_epoch:
         Epoch at which the partition heals (GST).  The default keeps the
         partition for the whole run.
+    view_sharding:
+        ``True`` (default) simulates one node per view group (two
+        partitions plus the Byzantine bridge); ``False`` runs the
+        per-validator fallback.
     """
     if byzantine_strategy not in BYZANTINE_STRATEGIES:
         raise ValueError(
@@ -136,5 +166,94 @@ def build_partitioned_simulation(
             agents[index] = HonestAgent(index)
 
     return SimulationEngine(
-        registry=registry, agents=agents, schedule=schedule, config=cfg, seed=seed
+        registry=registry,
+        agents=agents,
+        schedule=schedule,
+        config=cfg,
+        seed=seed,
+        view_sharding=view_sharding,
+        backend=backend,
     )
+
+
+# ----------------------------------------------------------------------
+# Mainnet-scale presets
+# ----------------------------------------------------------------------
+#: Named large-scale scenario configurations.  Each entry maps to a
+#: builder plus keyword arguments; the sizes were out of reach before view
+#: sharding (the per-node engine needs N registry copies of N validators —
+#: 10⁸ objects at 10k — before simulating a single slot).
+SCENARIO_PRESETS: Dict[str, Dict[str, Any]] = {
+    # The paper's two-branch partition at mainnet validator counts.
+    "mainnet-partition-10k": {
+        "builder": "partitioned",
+        "kwargs": {
+            "n_validators": 10_000,
+            "p0": 0.5,
+            "config": SpecConfig.mainnet(),
+        },
+    },
+    # Partition with a double-voting adversary that gets slashed after GST.
+    "mainnet-double-voting-10k": {
+        "builder": "partitioned",
+        "kwargs": {
+            "n_validators": 10_000,
+            "p0": 0.5,
+            "byzantine_fraction": 0.1,
+            "byzantine_strategy": "double-voting",
+            "gst_epoch": 3,
+            "config": SpecConfig.mainnet(),
+        },
+    },
+    # Alternating (never-slashable) adversary growing beta during the leak.
+    "mainnet-alternating-10k": {
+        "builder": "partitioned",
+        "kwargs": {
+            "n_validators": 10_000,
+            "p0": 0.5,
+            "byzantine_fraction": 0.2,
+            "byzantine_strategy": "alternating",
+            "config": SpecConfig.mainnet(),
+        },
+    },
+    # Healthy-network liveness baseline at scale.
+    "mainnet-healthy-10k": {
+        "builder": "honest",
+        "kwargs": {
+            "n_validators": 10_000,
+            "config": SpecConfig.mainnet(),
+        },
+    },
+    # 40% of the stake offline: leak dynamics at scale.
+    "mainnet-offline-10k": {
+        "builder": "offline",
+        "kwargs": {
+            "n_validators": 10_000,
+            "offline_fraction": 0.4,
+            "config": SpecConfig.mainnet(),
+        },
+    },
+}
+
+_PRESET_BUILDERS = {
+    "honest": build_honest_simulation,
+    "offline": build_offline_fraction_simulation,
+    "partitioned": build_partitioned_simulation,
+}
+
+
+def build_preset(name: str, **overrides: Any) -> SimulationEngine:
+    """Build a named large-scale scenario from :data:`SCENARIO_PRESETS`.
+
+    ``overrides`` are merged over the preset's keyword arguments, so tests
+    can e.g. shrink ``n_validators`` or swap the backend without redefining
+    the scenario.
+    """
+    preset = SCENARIO_PRESETS.get(name)
+    if preset is None:
+        raise KeyError(
+            f"unknown scenario preset {name!r}; expected one of {sorted(SCENARIO_PRESETS)}"
+        )
+    kwargs = dict(preset["kwargs"])
+    kwargs.update(overrides)
+    return _PRESET_BUILDERS[preset["builder"]](**kwargs)

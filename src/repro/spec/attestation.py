@@ -10,9 +10,13 @@ An attestation carries two votes (Section 3.2 of the paper):
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, List
 
 from repro.spec.checkpoint import Checkpoint, FFGVote
 from repro.spec.types import Root
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (core sits below spec)
+    from repro.core.attestation_batch import AttestationBatch
 
 
 @dataclass(frozen=True)
@@ -78,3 +82,23 @@ class Attestation:
             f"head={self.head_root.hex[:8]}, "
             f"src_epoch={self.source.epoch}, tgt_epoch={self.target.epoch})"
         )
+
+
+def attestations_from_batch(batch: "AttestationBatch") -> List[Attestation]:
+    """Materialize the per-validator attestations a batch stands for.
+
+    The shared ``FFGVote`` is built once and referenced by every row, so
+    expanding a batch costs one small object per validator — used only
+    where per-validator objects are genuinely needed (block inclusion,
+    the slashing detector); the array paths never expand.
+    """
+    ffg = FFGVote(source=batch.source, target=batch.target)
+    return [
+        Attestation(
+            validator_index=int(validator),
+            slot=batch.slot,
+            head_root=batch.head_root,
+            ffg=ffg,
+        )
+        for validator in batch.validators.tolist()
+    ]

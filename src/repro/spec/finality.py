@@ -27,6 +27,7 @@ from typing import Dict, Iterable, List, Optional, Set, Tuple, Union
 
 import numpy as np
 
+from repro.core.attestation_batch import AttestationBatch
 from repro.core.backend import FinalityRules, StakeBackend, get_backend
 from repro.core.ffg import FlatVotePool
 from repro.spec.attestation import Attestation
@@ -85,6 +86,22 @@ class FFGVotePool:
             vote.source.root,
             vote.target.epoch,
             vote.target.root,
+        )
+
+    def add_batch(self, batch: "AttestationBatch") -> int:
+        """Record a committee batch's identical checkpoint votes in bulk.
+
+        One call per batch instead of one per validator: the flat pool
+        appends all rows with slice writes and bumps the shared link
+        tally once.  Returns the number of votes that counted (first
+        vote per validator and target epoch wins, as for single votes).
+        """
+        return self.flat.add_batch(
+            batch.validators,
+            batch.source.epoch,
+            batch.source.root,
+            batch.target.epoch,
+            batch.target.root,
         )
 
     def votes_for_target_epoch(self, epoch: int) -> Dict[int, FFGVote]:

@@ -5,6 +5,16 @@ paper) from the local block tree: starting at the justified checkpoint's
 block, repeatedly descend into the child subtree with the greatest weight
 of latest attestations (Latest Message Driven — Greediest Heaviest
 Observed SubTree).
+
+The store is array-native: latest messages live in flat per-validator
+``int64`` arrays (epoch, interned head-root id) updated either one vote at
+a time (:meth:`Store.on_attestation`) or a whole committee batch per call
+(:meth:`Store.on_attestation_batch`), and vote weights are tallied with
+one ``bincount`` over those arrays instead of a per-message Python walk.
+Subtree weights are accumulated bottom-up in a single pass over the tree,
+so a head computation is O(votes + tree) instead of O(tree²).  The
+``latest_messages`` mapping of the consensus-spec ``Store`` survives as a
+reconstructing property for inspection and tests.
 """
 
 from __future__ import annotations
@@ -12,6 +22,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
+from repro.core.attestation_batch import RootInterner
 from repro.spec.attestation import Attestation
 from repro.spec.block import BeaconBlock
 from repro.spec.blocktree import BlockTree
@@ -19,6 +32,8 @@ from repro.spec.checkpoint import Checkpoint, GENESIS_CHECKPOINT
 from repro.spec.config import SpecConfig
 from repro.spec.state import BeaconState
 from repro.spec.types import Root
+
+_INITIAL_VOTE_CAPACITY = 64
 
 
 @dataclass
@@ -33,31 +48,86 @@ class LatestMessage:
 class Store:
     """Fork-choice store: block tree plus per-validator latest messages.
 
-    One ``Store`` exists per simulated node.  It is deliberately close to
+    One ``Store`` exists per simulated view.  It is deliberately close to
     the consensus-spec ``Store`` object: ``justified_checkpoint`` anchors
-    the GHOST walk and ``latest_messages`` carries the block votes.
+    the GHOST walk and the latest-message arrays carry the block votes.
+    ``version`` is bumped on every mutation that can move the head, so
+    callers can cache head computations safely.
     """
 
     config: SpecConfig
     tree: BlockTree = field(default_factory=BlockTree)
     justified_checkpoint: Checkpoint = GENESIS_CHECKPOINT
     finalized_checkpoint: Checkpoint = GENESIS_CHECKPOINT
-    latest_messages: Dict[int, LatestMessage] = field(default_factory=dict)
     #: Map from checkpoint epoch to the block root of the checkpoint, as
     #: perceived locally (filled in by the node when epochs begin).
     checkpoint_roots: Dict[int, Root] = field(default_factory=dict)
+    #: Mutation counter: bumped whenever tree/votes/justification change.
+    version: int = 0
+
+    def __post_init__(self) -> None:
+        self._latest_epoch = np.full(_INITIAL_VOTE_CAPACITY, -1, dtype=np.int64)
+        self._latest_root = np.zeros(_INITIAL_VOTE_CAPACITY, dtype=np.int64)
+        # NOTE: this id space is the store's own — never compare its ids
+        # with the FFG vote pool's (each structure interns independently).
+        self._interner = RootInterner()
+
+    # ------------------------------------------------------------------
+    # Latest-message array plumbing
+    # ------------------------------------------------------------------
+    def root_id_of(self, root: Root) -> Optional[int]:
+        """Dense id of ``root`` if any vote ever carried it, else ``None``."""
+        return self._interner.lookup(root)
+
+    def _ensure_vote_capacity(self, max_index: int) -> None:
+        capacity = self._latest_epoch.shape[0]
+        if max_index < capacity:
+            return
+        while capacity <= max_index:
+            capacity *= 2
+        epochs = np.full(capacity, -1, dtype=np.int64)
+        roots = np.zeros(capacity, dtype=np.int64)
+        old = self._latest_epoch.shape[0]
+        epochs[:old] = self._latest_epoch
+        roots[:old] = self._latest_root
+        self._latest_epoch = epochs
+        self._latest_root = roots
+
+    def latest_vote_view(self) -> Tuple[np.ndarray, np.ndarray]:
+        """``(epochs, root_ids)`` array views of the latest messages.
+
+        Indexed by validator index; epoch ``-1`` means "never voted".
+        Treat as read-only; translate ids with :meth:`root_id_of` /
+        ``latest_root_of``.
+        """
+        return self._latest_epoch, self._latest_root
+
+    @property
+    def latest_messages(self) -> Dict[int, LatestMessage]:
+        """Latest block vote per validator, reconstructed from the arrays."""
+        indices = np.nonzero(self._latest_epoch >= 0)[0]
+        return {
+            int(index): LatestMessage(
+                epoch=int(self._latest_epoch[index]),
+                root=self._interner.root_of(int(self._latest_root[index])),
+            )
+            for index in indices
+        }
 
     # ------------------------------------------------------------------
     # Ingestion
     # ------------------------------------------------------------------
     def on_block(self, block: BeaconBlock) -> bool:
         """Insert a block into the tree.  Returns True if it was new."""
-        return self.tree.add_block(block)
+        added = self.tree.add_block(block)
+        if added:
+            self.version += 1
+        return added
 
     def on_attestation(self, attestation: Attestation) -> None:
         """Update the latest message of the attesting validator.
 
-        Only the newest vote (by target epoch, then slot) from each
+        Only the newest vote (by target epoch, then arrival) from each
         validator counts in LMD-GHOST.
         """
         if attestation.head_root not in self.tree:
@@ -65,11 +135,33 @@ class Store:
             # network layer re-delivers attestations after their block, so
             # dropping here is safe and mirrors real client queuing.
             return
-        current = self.latest_messages.get(attestation.validator_index)
-        if current is None or attestation.target_epoch >= current.epoch:
-            self.latest_messages[attestation.validator_index] = LatestMessage(
-                epoch=attestation.target_epoch, root=attestation.head_root
-            )
+        validator = attestation.validator_index
+        self._ensure_vote_capacity(validator)
+        if attestation.target_epoch >= self._latest_epoch[validator]:
+            self._latest_epoch[validator] = attestation.target_epoch
+            self._latest_root[validator] = self._interner.intern(attestation.head_root)
+            self.version += 1
+
+    def on_attestation_batch(
+        self, validators: np.ndarray, target_epoch: int, head_root: Root
+    ) -> None:
+        """Record a committee batch's identical block votes in one update.
+
+        The caller guarantees ``head_root`` is in the tree (the node pends
+        whole batches whose head is unknown, exactly like single votes).
+        """
+        validators = np.asarray(validators, dtype=np.int64)
+        if validators.size == 0:
+            return
+        self._ensure_vote_capacity(int(validators.max()))
+        newer = target_epoch >= self._latest_epoch[validators]
+        updated = validators[newer]
+        if updated.size == 0:
+            return
+        root_id = self._interner.intern(head_root)
+        self._latest_epoch[updated] = target_epoch
+        self._latest_root[updated] = root_id
+        self.version += 1
 
     def update_checkpoints(
         self, justified: Checkpoint, finalized: Checkpoint
@@ -77,38 +169,65 @@ class Store:
         """Adopt newer justified/finalized checkpoints."""
         if justified.epoch > self.justified_checkpoint.epoch:
             self.justified_checkpoint = justified
+            self.version += 1
         if finalized.epoch > self.finalized_checkpoint.epoch:
             self.finalized_checkpoint = finalized
 
     # ------------------------------------------------------------------
     # Weights and head computation
     # ------------------------------------------------------------------
-    def _vote_weights(
+    def _eligible_stakes(
         self, state: BeaconState, stake_override: Optional[Dict[int, float]] = None
-    ) -> Dict[Root, float]:
-        """Stake-weighted latest-message counts per block root.
+    ) -> np.ndarray:
+        """Per-validator fork-choice weight from a registry state.
 
         ``stake_override`` supplies the balances to weight votes with — the
         real protocol uses the balances of the *justified* state, not the
         head state, so that two views that only disagree past the justified
-        checkpoint still weigh votes identically and converge.
+        checkpoint still weigh votes identically and converge.  Inactive
+        and slashed validators weigh zero.
         """
-        weights: Dict[Root, float] = {}
-        for validator_index, message in self.latest_messages.items():
-            if validator_index >= len(state.validators):
+        epoch = state.current_epoch
+        eligible = np.zeros(len(state.validators), dtype=float)
+        for position, validator in enumerate(state.validators):
+            if not validator.is_active(epoch) or validator.slashed:
                 continue
-            validator = state.validators[validator_index]
-            if not validator.is_active(state.current_epoch) or validator.slashed:
-                continue
-            if message.root not in self.tree:
-                continue
-            stake = (
-                stake_override.get(validator_index, validator.stake)
-                if stake_override is not None
-                else validator.stake
-            )
-            weights[message.root] = weights.get(message.root, 0.0) + stake
-        return weights
+            if stake_override is not None:
+                eligible[position] = stake_override.get(
+                    validator.index, validator.stake
+                )
+            else:
+                eligible[position] = validator.stake
+        return eligible
+
+    def _vote_weights_from_stakes(
+        self, eligible_stakes: np.ndarray
+    ) -> Dict[Root, float]:
+        """Stake-weighted latest-message tallies per block root (bincount)."""
+        limit = min(self._latest_epoch.shape[0], eligible_stakes.shape[0])
+        if limit == 0:
+            return {}
+        valid = self._latest_epoch[:limit] >= 0
+        if not valid.any():
+            return {}
+        roots = self._latest_root[:limit][valid]
+        totals = np.bincount(
+            roots,
+            weights=np.asarray(eligible_stakes, dtype=float)[:limit][valid],
+            minlength=len(self._interner),
+        )
+        return {
+            self._interner.root_of(int(root_id)): float(totals[int(root_id)])
+            for root_id in np.unique(roots)
+        }
+
+    def _vote_weights(
+        self, state: BeaconState, stake_override: Optional[Dict[int, float]] = None
+    ) -> Dict[Root, float]:
+        """Stake-weighted latest-message counts per block root."""
+        return self._vote_weights_from_stakes(
+            self._eligible_stakes(state, stake_override)
+        )
 
     def subtree_weight(self, root: Root, weights: Dict[Root, float]) -> float:
         """Total vote weight of the subtree rooted at ``root``."""
@@ -117,24 +236,45 @@ class Store:
             total += self.subtree_weight(child, weights)
         return total
 
-    def get_head(
-        self, state: BeaconState, stake_override: Optional[Dict[int, float]] = None
-    ) -> Root:
-        """Run LMD-GHOST from the justified checkpoint and return the head root."""
+    def _ghost_walk(self, weights: Dict[Root, float]) -> Root:
+        """Descend from the justified root into the heaviest subtree.
+
+        Subtree weights are accumulated in one bottom-up pass (children
+        first, by descending slot) instead of re-walking the subtree per
+        child, keeping the whole head computation O(votes + tree).
+        """
         start = self.justified_checkpoint.root
         if start not in self.tree:
             start = self.tree.genesis_root
-        weights = self._vote_weights(state, stake_override)
+        subtree: Dict[Root, float] = {}
+        for block in sorted(self.tree.blocks(), key=lambda b: b.slot, reverse=True):
+            total = weights.get(block.root, 0.0)
+            for child in self.tree.children_of(block.root):
+                total += subtree[child]
+            subtree[block.root] = total
         head = start
         while True:
             children = self.tree.children_of(head)
             if not children:
                 return head
             # Choose the heaviest child; break ties by root for determinism.
-            head = max(
-                children,
-                key=lambda child: (self.subtree_weight(child, weights), child.hex),
-            )
+            head = max(children, key=lambda child: (subtree[child], child.hex))
+
+    def get_head(
+        self, state: BeaconState, stake_override: Optional[Dict[int, float]] = None
+    ) -> Root:
+        """Run LMD-GHOST from the justified checkpoint and return the head root."""
+        return self._ghost_walk(self._vote_weights(state, stake_override))
+
+    def get_head_weighted(self, eligible_stakes: np.ndarray) -> Root:
+        """LMD-GHOST head from precomputed per-validator weights.
+
+        The hot path for view nodes: the caller maintains the eligible
+        stake array (justified balances, zeroed for inactive/slashed
+        validators) and refreshes it once per epoch instead of rebuilding
+        it from the registry on every head query.
+        """
+        return self._ghost_walk(self._vote_weights_from_stakes(eligible_stakes))
 
     def candidate_chain(self, state: BeaconState) -> List[BeaconBlock]:
         """The candidate chain (Definition 1): genesis → head."""

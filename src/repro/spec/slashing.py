@@ -85,6 +85,23 @@ class SlashingDetector:
         self._seen[index].append(attestation)
         return None
 
+    def observe_batch(
+        self, attestations: Iterable[Attestation]
+    ) -> List[SlashingEvidence]:
+        """Observe a whole committee batch; return the new evidence found.
+
+        The per-validator state is independent, so observing a batch is
+        the row-wise application of :meth:`observe`; this entry point
+        keeps the view-node ingestion loop in one call and skips the
+        per-call result juggling.
+        """
+        evidence: List[SlashingEvidence] = []
+        for attestation in attestations:
+            found = self.observe(attestation)
+            if found is not None:
+                evidence.append(found)
+        return evidence
+
     def pending_evidence(self) -> List[SlashingEvidence]:
         """Evidence collected so far (whether or not already included in a block)."""
         return list(self._evidence.values())

@@ -169,22 +169,39 @@ class TestAdversary:
         assert adversary.is_unaffected_by_partition()
 
     def test_send_to_partition_targets_one_side(self, adversary):
+        # Senders receive their own messages through the network like any
+        # other member of their view (uniform delivery keeps view groups
+        # bit-identical), so 8 appears among the recipients.
         adversary.send_to_partition(block_message(8, sent_at=0.0), "branch-1")
         recipients = {d.recipient for d in adversary.network.deliveries_until(10.0)}
-        assert recipients <= {0, 1, 2, 3, 9}
+        assert recipients <= {0, 1, 2, 3, 8, 9}
         assert recipients.isdisjoint({4, 5, 6, 7})
 
     def test_broadcast_everywhere(self, adversary):
         adversary.broadcast_everywhere(block_message(8, sent_at=0.0))
         recipients = {d.recipient for d in adversary.network.deliveries_until(10.0)}
-        assert {0, 1, 2, 3, 4, 5, 6, 7, 9} == recipients
+        assert {0, 1, 2, 3, 4, 5, 6, 7, 8, 9} == recipients
 
     def test_withhold_and_release_all(self, adversary):
+        # Withholding is uniform too: the sender's own copy is withheld and
+        # released along with everyone else's.
         adversary.withhold(block_message(8, sent_at=0.0), recipients=[0, 1, 8])
-        assert adversary.network.withheld_count() == 2  # the sender is skipped
+        assert adversary.network.withheld_count() == 3
         count = adversary.release_all(release_time=20.0)
-        assert count == 2
-        assert {d.recipient for d in adversary.network.deliveries_until(30.0)} == {0, 1}
+        assert count == 3
+        assert {d.recipient for d in adversary.network.deliveries_until(30.0)} == {0, 1, 8}
+
+    def test_endpoint_resolver_collapses_audiences(self, adversary):
+        # With a resolver mapping every validator of a side to one endpoint
+        # (its view group's representative), targeted sends schedule one
+        # delivery per group instead of one per validator.
+        representative = {i: 0 for i in (0, 1, 2, 3)}
+        representative.update({i: 4 for i in (4, 5, 6, 7)})
+        representative.update({8: 8, 9: 8})
+        adversary.set_endpoint_resolver(representative.__getitem__)
+        adversary.send_to_partition(block_message(8, sent_at=0.0), "branch-1")
+        recipients = [d.recipient for d in adversary.network.deliveries_until(10.0)]
+        assert sorted(recipients) == [0, 8]
 
     def test_byzantine_count(self, adversary):
         assert adversary.byzantine_count() == 2

@@ -113,6 +113,104 @@ class TestChainViews:
         assert node.attestations_for_inclusion == []
 
 
+class TestPendingDrainOrdering:
+    """Blocks/attestations arriving before their ancestors, across hops."""
+
+    def test_three_block_chain_delivered_in_reverse(self, node):
+        first = block_at(1)
+        second = block_at(2, parent=first.root)
+        third = block_at(3, parent=second.root)
+        node.receive(Message.block(third, sender=1, sent_at=0.0))
+        node.receive(Message.block(second, sender=1, sent_at=0.0))
+        assert len(node.pending.blocks) == 2
+        assert second.root not in node.store.tree
+        # The missing root arrives last: one drain applies both hops.
+        node.receive(Message.block(first, sender=1, sent_at=0.0))
+        assert node.pending.blocks == []
+        for block in (first, second, third):
+            assert block.root in node.store.tree
+
+    def test_attestation_pending_across_two_block_hops(self, node):
+        first = block_at(1)
+        second = block_at(2, parent=first.root)
+        other = Node(
+            validator_index=1, registry=make_registry(8, node.config), config=node.config
+        )
+        other.receive(Message.block(first, sender=1, sent_at=0.0))
+        other.receive(Message.block(second, sender=1, sent_at=0.0))
+        attestation = other.attestation_for(slot=2, head=second.root)
+        node.receive(Message.attestation(attestation, sender=1, sent_at=0.0))
+        node.receive(Message.block(second, sender=1, sent_at=0.0))
+        assert node.pending.attestations and node.pending.blocks
+        node.receive(Message.block(first, sender=1, sent_at=0.0))
+        # The drain applies first -> second -> the attestation, in one call.
+        assert node.pending.attestations == [] and node.pending.blocks == []
+        assert node.store.latest_messages[1].root == second.root
+
+    def test_batch_pending_until_head_arrives(self, node):
+        block = block_at(1)
+        other = Node(
+            validator_index=1, registry=make_registry(8, node.config), config=node.config
+        )
+        other.receive(Message.block(block, sender=1, sent_at=0.0))
+        batch = other.attestation_batch_for(slot=1, validators=[2, 3, 4])
+        node.receive(Message.attestation_batch(batch, sender=2, sent_at=0.0))
+        assert node.pending.attestations == [batch]
+        assert node.attestations_received == 3
+        node.receive(Message.block(block, sender=1, sent_at=1.0))
+        assert node.pending.attestations == []
+        for validator in (2, 3, 4):
+            assert node.store.latest_messages[validator].root == block.root
+        assert node.active_indices_for_epoch(0) == {2, 3, 4}
+
+    def test_block_carried_attestation_with_unknown_head_pends(self, node):
+        # A drained block may carry attestations voting for a block this
+        # node still lacks; they must queue instead of half-ingesting.
+        known = block_at(1)
+        foreign = block_at(2, parent=known.root, tag="foreign")
+        voter = Node(
+            validator_index=5, registry=make_registry(8, node.config), config=node.config
+        )
+        voter.receive(Message.block(known, sender=1, sent_at=0.0))
+        voter.receive(Message.block(foreign, sender=3, sent_at=0.0))
+        attestation = voter.attestation_for(slot=2, head=foreign.root)
+        carrier = BeaconBlock.create(
+            slot=3,
+            proposer_index=2,
+            parent_root=known.root,
+            attestations=(attestation,),
+        )
+        node.receive(Message.block(carrier, sender=2, sent_at=0.0))  # parent unknown
+        assert node.pending.blocks == [carrier]
+        node.receive(Message.block(known, sender=1, sent_at=0.0))  # drains carrier
+        assert node.pending.blocks == []
+        # The carried attestation's head is still unknown: it pends.
+        assert node.pending.attestations == [attestation]
+        assert 5 not in node.store.latest_messages
+        node.receive(Message.block(foreign, sender=3, sent_at=1.0))
+        assert node.pending.attestations == []
+        assert node.store.latest_messages[5].root == foreign.root
+
+    def test_interleaved_batches_and_blocks_drain_in_dependency_order(self, node):
+        first = block_at(1)
+        second = block_at(2, parent=first.root)
+        other = Node(
+            validator_index=1, registry=make_registry(8, node.config), config=node.config
+        )
+        other.receive(Message.block(first, sender=1, sent_at=0.0))
+        batch_on_first = other.attestation_batch_for(slot=1, validators=[2, 3])
+        other.receive(Message.block(second, sender=1, sent_at=0.0))
+        batch_on_second = other.attestation_batch_for(slot=2, validators=[4, 5])
+        node.receive(Message.attestation_batch(batch_on_second, sender=4, sent_at=0.0))
+        node.receive(Message.block(second, sender=1, sent_at=0.0))
+        node.receive(Message.attestation_batch(batch_on_first, sender=2, sent_at=0.0))
+        assert len(node.pending.attestations) == 2 and len(node.pending.blocks) == 1
+        node.receive(Message.block(first, sender=1, sent_at=0.0))
+        assert node.pending.attestations == [] and node.pending.blocks == []
+        assert node.store.latest_messages[2].root == first.root
+        assert node.store.latest_messages[4].root == second.root
+
+
 class TestEpochProcessing:
     def test_active_indices_require_correct_target(self, node, config):
         block = block_at(1)
