@@ -15,11 +15,17 @@ distribution of the attack's stopping time, and is used by the validation
 benchmarks to quantify the quality of the paper's approximations.
 
 The per-epoch arithmetic is delegated to the shared stake-dynamics kernel
-(:mod:`repro.core.backend`), and whole *chunks* of trials are batched into
-``(trials, validators)`` matrices so one kernel call advances every trial
-of a chunk at once.  Chunks are dispatched through the seeded parallel
-runner (:mod:`repro.core.trials`): results are bit-identical for a given
-seed whatever ``jobs`` is.
+(:mod:`repro.core.backend`) through a
+:class:`~repro.core.stake_engine.BatchedStakeEngine`: whole *groups* of
+seeded trial chunks are stacked into one ``(trials, 2, validators + 1)``
+batch so a single kernel call advances thousands of trials on both
+branches each epoch.  RNG streams stay per-chunk — each chunk draws from
+its own spawned generator in a fixed order — so the results are
+bit-identical for a given ``(seed, chunk_size)`` whatever ``jobs`` *and*
+whatever ``batch`` (the kernel-batch width is a pure throughput knob; the
+regression tests assert both invariances).  Groups are dispatched through
+the seeded parallel runner (:mod:`repro.core.trials`), which multiplies
+the batched throughput across cores.
 """
 
 from __future__ import annotations
@@ -31,8 +37,14 @@ import numpy as np
 
 from repro import constants
 from repro.core.backend import StakeBackend, StakeRules, get_backend
-from repro.core.trials import DEFAULT_CHUNK_SIZE, TrialChunk, run_chunked
+from repro.core.stake_engine import BatchedStakeEngine
+from repro.core.trials import DEFAULT_CHUNK_SIZE, TrialChunk, run_chunk_groups
 from repro.spec.config import SpecConfig
+
+#: Target element count per batched state array: the kernel-batch width is
+#: capped so one ``(batch, 2, n + 1)`` matrix stays cache-friendly even at
+#: mainnet validator counts (large batches of wide rows thrash the cache).
+_TARGET_BATCH_ELEMENTS = 262_144
 
 
 @dataclass
@@ -48,6 +60,11 @@ class BouncingTrialResult:
     byzantine_proportion_branch_a: Dict[int, float]
     #: Per-recorded-epoch Byzantine stake proportion on branch B.
     byzantine_proportion_branch_b: Dict[int, float]
+    #: Optional per-recorded-epoch ``(2, n_honest + 1)`` stake snapshots
+    #: (honest columns then the Byzantine aggregate, per branch), populated
+    #: when the run asked for ``record_stakes`` — the trajectory payload the
+    #: batched-vs-per-trial identity tests compare byte for byte.
+    stake_snapshots: Optional[Dict[int, np.ndarray]] = None
 
     def exceeded_threshold_at(
         self, epoch: int, threshold: float = constants.BYZANTINE_SAFETY_THRESHOLD
@@ -125,14 +142,15 @@ class BouncingMonteCarloResult:
         return float(np.mean([trial.stop_epoch for trial in self.trials]))
 
 
-def _simulate_chunk(
-    chunk: TrialChunk,
+def _simulate_group(
+    group: Sequence[TrialChunk],
     simulator: "BouncingMonteCarlo",
     horizon: int,
     record_epochs: Sequence[int],
+    record_stakes: bool,
 ) -> List[BouncingTrialResult]:
-    """Module-level chunk worker (picklable for the process pool)."""
-    return simulator._run_chunk(chunk.rng(), chunk.size, horizon, record_epochs)
+    """Module-level group worker (picklable for the process pool)."""
+    return simulator._run_group(group, horizon, record_epochs, record_stakes)
 
 
 class BouncingMonteCarlo:
@@ -172,21 +190,31 @@ class BouncingMonteCarlo:
         self.backend = get_backend(backend)
 
     # ------------------------------------------------------------------
-    def _run_chunk(
+    def _run_group(
         self,
-        rng: np.random.Generator,
-        n_trials: int,
+        group: Sequence[TrialChunk],
         horizon: int,
         record_epochs: Sequence[int],
+        record_stakes: bool = False,
     ) -> List[BouncingTrialResult]:
         cfg = self.config
-        rules = StakeRules.from_config(cfg)
         # Private kernel instance: nothing here reads the penalty totals, so
         # skip their per-epoch reductions without disturbing self.backend.
         kernel = self.backend.clone()
         kernel.track_penalty_totals = False
         n = self.n_honest
-        s0 = cfg.max_effective_balance
+        n_trials = sum(chunk.size for chunk in group)
+
+        # One generator — and one fixed per-epoch draw order — per seeded
+        # chunk: stacking chunks into a wider kernel batch must not move a
+        # single draw between streams, or batched results would stop being
+        # bit-identical to per-chunk (and per-trial) runs.
+        rngs = [chunk.rng() for chunk in group]
+        bounds: List[tuple] = []
+        offset = 0
+        for chunk in group:
+            bounds.append((offset, offset + chunk.size))
+            offset += chunk.size
 
         # Column layout: honest validators 0..n-1, Byzantine aggregate at n.
         # Honest validators carry (1 - beta0) of the weight, Byzantine beta0.
@@ -194,24 +222,34 @@ class BouncingMonteCarlo:
         weights[:n] = (1.0 - self.beta0) / n
         weights[n] = self.beta0
 
-        # Both branches share one (n_trials, 2, n + 1) batch — axis 1 is the
-        # branch (0 = A, 1 = B) — so each epoch is a single kernel call.
-        stakes = np.full((n_trials, 2, n + 1), s0)
-        scores = np.zeros((n_trials, 2, n + 1))
-        ejected = np.zeros((n_trials, 2, n + 1), dtype=bool)
+        # Both branches share one (n_trials, 2, n + 1) engine batch — axis 1
+        # is the branch (0 = A, 1 = B) — so each epoch is one kernel call
+        # for every trial of every chunk in the group.
+        engine = BatchedStakeEngine(
+            np.full((n_trials, 2, n + 1), cfg.max_effective_balance),
+            weights=weights,
+            config=cfg,
+            backend=kernel,
+        )
         active = np.empty((n_trials, 2, n + 1), dtype=bool)
+        on_a = np.empty((n_trials, n))
+        stop_draws = np.empty(n_trials)
 
         alive = np.ones(n_trials, dtype=bool)
         stop_epoch = np.full(n_trials, horizon, dtype=int)
         #: epoch -> branch -> per-trial Byzantine proportion.
         recorded: Dict[int, Dict[str, np.ndarray]] = {}
+        #: epoch -> (trials, 2, n + 1) stake snapshot (when requested).
+        recorded_stakes: Dict[int, np.ndarray] = {}
         record_set = set(int(e) for e in record_epochs)
 
         def branch_beta(branch_axis: int) -> np.ndarray:
             effective = np.where(
-                ejected[:, branch_axis, :], 0.0, stakes[:, branch_axis, :]
+                engine.ejected[:, branch_axis, :],
+                0.0,
+                engine.stakes[:, branch_axis, :],
             )
-            totals = effective @ weights
+            totals = np.sum(effective * weights, axis=-1)
             byz = effective[:, n] * weights[n]
             return np.divide(byz, totals, out=np.zeros(n_trials), where=totals > 0)
 
@@ -221,36 +259,45 @@ class BouncingMonteCarlo:
             # by stake).  The Byzantine stake freezes at its ejection value
             # (the share it could still propose with), honest ejected stake
             # counts as zero — matching the per-trial reference semantics.
+            # Draw order per chunk and per epoch is fixed: the stop draw
+            # (when stopping is enforced) then the branch assignments.
             if self.enforce_stopping:
-                honest_total = (
-                    np.where(ejected[:, 0, :n], 0.0, stakes[:, 0, :n]) @ weights[:n]
+                for rng, (lo, hi) in zip(rngs, bounds):
+                    stop_draws[lo:hi] = rng.random(hi - lo)
+                honest_total = np.sum(
+                    np.where(
+                        engine.ejected[:, 0, :n], 0.0, engine.stakes[:, 0, :n]
+                    )
+                    * weights[:n],
+                    axis=-1,
                 )
-                byzantine_total = weights[n] * stakes[:, 0, n]
+                byzantine_total = weights[n] * engine.stakes[:, 0, n]
                 byzantine_share = byzantine_total / (byzantine_total + honest_total)
                 continue_probability = (
                     1.0 - (1.0 - byzantine_share) ** self.window_slots
                 )
-                stopped_now = alive & (rng.random(n_trials) > continue_probability)
+                stopped_now = alive & (stop_draws > continue_probability)
                 stop_epoch[stopped_now] = epoch - 1
                 alive &= ~stopped_now
                 if not alive.any():
                     break
 
             # Branch assignment of honest validators this epoch.
-            on_a = rng.random((n_trials, n)) < self.p0
+            for rng, (lo, hi) in zip(rngs, bounds):
+                on_a[lo:hi] = rng.random((hi - lo, n))
+            on_a_mask = on_a < self.p0
             byzantine_on_a = epoch % 2 == 0  # semi-active alternation
-            active[:, 0, :n] = on_a
-            np.logical_not(on_a, out=active[:, 1, :n])
+            active[:, 0, :n] = on_a_mask
+            np.logical_not(on_a_mask, out=active[:, 1, :n])
             active[:, 0, n] = byzantine_on_a
             active[:, 1, n] = not byzantine_on_a
 
-            outcome = kernel.epoch_update(
-                stakes, scores, active, ejected, rules, in_leak=True
-            )
-            stakes, scores, ejected = outcome.stakes, outcome.scores, outcome.ejected
+            engine.step(active, in_leak=True)
 
             if epoch in record_set:
                 recorded[epoch] = {"A": branch_beta(0), "B": branch_beta(1)}
+                if record_stakes:
+                    recorded_stakes[epoch] = engine.stakes.copy()
 
         results: List[BouncingTrialResult] = []
         for trial in range(n_trials):
@@ -264,17 +311,36 @@ class BouncingMonteCarlo:
                 for epoch, betas in recorded.items()
                 if stop_epoch[trial] >= epoch
             }
+            snapshots = None
+            if record_stakes:
+                snapshots = {
+                    epoch: stakes_at[trial].copy()
+                    for epoch, stakes_at in recorded_stakes.items()
+                    if stop_epoch[trial] >= epoch
+                }
             results.append(
                 BouncingTrialResult(
                     stop_epoch=int(stop_epoch[trial]),
                     survived=bool(alive[trial]),
                     byzantine_proportion_branch_a=record_a,
                     byzantine_proportion_branch_b=record_b,
+                    stake_snapshots=snapshots,
                 )
             )
         return results
 
     # ------------------------------------------------------------------
+    def default_batch(self, n_trials: int, chunk_size: int = DEFAULT_CHUNK_SIZE) -> int:
+        """Kernel-batch width used when ``run`` is not given one explicitly.
+
+        Wide enough to amortize per-kernel-call overhead across trials, but
+        capped so one ``(batch, 2, n_honest + 1)`` state matrix stays within
+        a cache-friendly element budget — at mainnet validator counts a huge
+        batch is *slower* than a moderate one.
+        """
+        cap = max(1, _TARGET_BATCH_ELEMENTS // (2 * (self.n_honest + 1)))
+        return max(chunk_size, min(cap, n_trials))
+
     def run(
         self,
         n_trials: int,
@@ -282,13 +348,23 @@ class BouncingMonteCarlo:
         record_epochs: Optional[Sequence[int]] = None,
         jobs: Optional[int] = None,
         chunk_size: int = DEFAULT_CHUNK_SIZE,
+        batch: Optional[int] = None,
+        record_stakes: bool = False,
     ) -> BouncingMonteCarloResult:
         """Run ``n_trials`` independent attack trials up to ``horizon`` epochs.
 
-        ``jobs`` fans the trial chunks out to a process pool (``None``/1 =
-        serial, <=0 = all cores); the chunk plan and per-chunk seeds depend
-        only on ``(n_trials, chunk_size, seed)``, so the result is the same
-        whatever the parallelism.
+        ``jobs`` fans groups of trial chunks out to a process pool
+        (``None``/1 = serial, <=0 = all cores) and ``batch`` sets how many
+        trials are stacked into one kernel batch (``None`` = a
+        cache-budgeted default; ``batch=1`` with ``chunk_size=1`` is the
+        per-trial reference path the benchmarks compare against).  The
+        chunk plan and per-chunk seeds depend only on ``(n_trials,
+        chunk_size, seed)``, so the result is the same whatever the
+        parallelism *and* whatever the kernel-batch width.
+
+        ``record_stakes`` attaches the full per-branch stake vector at each
+        recorded epoch to every trial — the byte-comparable trajectory used
+        by the batching regression tests.
         """
         if n_trials <= 0:
             raise ValueError("n_trials must be positive")
@@ -299,13 +375,14 @@ class BouncingMonteCarlo:
             if record_epochs is not None
             else [horizon]
         )
-        trials = run_chunked(
-            _simulate_chunk,
+        trials = run_chunk_groups(
+            _simulate_group,
             n_trials,
             seed=self.seed,
             jobs=jobs,
             chunk_size=chunk_size,
-            worker_args=(self, horizon, epochs),
+            batch=batch if batch is not None else self.default_batch(n_trials, chunk_size),
+            worker_args=(self, horizon, epochs, record_stakes),
         )
         return BouncingMonteCarloResult(
             beta0=self.beta0,

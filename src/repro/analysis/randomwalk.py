@@ -185,19 +185,40 @@ def sample_walks(
     n_samples: int,
     seed: int = 0,
     clamp_at_zero: bool = True,
+    chunk_rows: Optional[int] = None,
 ) -> np.ndarray:
     """Monte-Carlo sample of ``n_samples`` inactivity-score walks.
 
     Used by the validation benchmarks to compare the empirical score (and
     stake) distribution against the paper's closed forms.
+
+    ``chunk_rows`` bounds the working set: samples are drawn and folded in
+    row blocks of at most that many walks, so huge sample counts no longer
+    materialise an ``(n_samples, epochs)`` matrix at once.  Because the
+    full-matrix draw fills its values in C (row-major) order, drawing the
+    same rows block by block consumes the generator's stream identically —
+    the result is bit-identical whatever ``chunk_rows`` is.
     """
     _validate_probability(p0)
+    if epochs < 0:
+        raise ValueError("epochs must be non-negative")
+    if chunk_rows is not None and chunk_rows <= 0:
+        raise ValueError("chunk_rows must be positive")
     rng = np.random.default_rng(seed)
-    active = rng.random((n_samples, epochs)) < p0
-    steps = np.where(active, ACTIVE_STEP, INACTIVE_STEP)
-    if not clamp_at_zero:
-        return steps.sum(axis=1)
-    scores = np.zeros(n_samples)
-    for epoch in range(epochs):
-        scores = np.maximum(0, scores + steps[:, epoch])
+    block = n_samples if chunk_rows is None else min(chunk_rows, n_samples)
+    step_dtype = np.result_type(
+        np.asarray(ACTIVE_STEP), np.asarray(INACTIVE_STEP)
+    )
+    scores = np.empty(n_samples, dtype=float if clamp_at_zero else step_dtype)
+    for start in range(0, n_samples, max(block, 1)):
+        stop = min(start + block, n_samples)
+        active = rng.random((stop - start, epochs)) < p0
+        steps = np.where(active, ACTIVE_STEP, INACTIVE_STEP)
+        if not clamp_at_zero:
+            scores[start:stop] = steps.sum(axis=1)
+            continue
+        folded = np.zeros(stop - start)
+        for epoch in range(epochs):
+            folded = np.maximum(0, folded + steps[:, epoch])
+        scores[start:stop] = folded
     return scores

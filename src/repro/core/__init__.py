@@ -5,8 +5,10 @@ Equations 1–2 (inactivity scores and penalties, score floor, 16.75-ETH
 ejection), attestation rewards/penalties (leak-gated, capped at the maximum
 effective balance), slashing with exit scheduling and Casper FFG
 justification/finalization over flat checkpoint-vote arrays — with a
-vectorized ``"numpy"`` backend and a pure-loop ``"python"`` reference, plus
-the seeded parallel trial runner used by the Monte-Carlo experiments.
+vectorized ``"numpy"`` backend, a pure-loop ``"python"`` reference and an
+optional JIT-compiled ``"numba"`` backend (registered only when numba is
+installed), plus the seeded parallel trial runner and trial-batched engine
+used by the Monte-Carlo experiments.
 """
 
 from repro.core.backend import (
@@ -24,22 +26,27 @@ from repro.core.backend import (
     StakeRules,
     available_backends,
     get_backend,
+    leak_mask,
+    register_backend,
 )
 from repro.core.attestation_batch import AttestationBatch, AttestationColumns
 from repro.core.ffg import (
+    BatchedFinalityTracker,
     FinalityTracker,
     FlatVotePool,
     RatioFinality,
     finality_from_ratios,
     justified_at,
 )
-from repro.core.stake_engine import StakeEngine
+from repro.core.stake_engine import BatchedStakeEngine, StakeEngine
 from repro.core.trials import (
     DEFAULT_CHUNK_SIZE,
     TrialChunk,
+    group_chunks,
     parallel_map,
     plan_chunks,
     resolve_jobs,
+    run_chunk_groups,
     run_chunked,
     run_trials,
 )
@@ -47,6 +54,8 @@ from repro.core.trials import (
 __all__ = [
     "AttestationBatch",
     "AttestationColumns",
+    "BatchedFinalityTracker",
+    "BatchedStakeEngine",
     "DEFAULT_CHUNK_SIZE",
     "EpochOutcome",
     "FinalityEvent",
@@ -68,10 +77,14 @@ __all__ = [
     "available_backends",
     "finality_from_ratios",
     "get_backend",
+    "group_chunks",
     "justified_at",
+    "leak_mask",
     "parallel_map",
     "plan_chunks",
+    "register_backend",
     "resolve_jobs",
+    "run_chunk_groups",
     "run_chunked",
     "run_trials",
 ]

@@ -16,7 +16,7 @@ simulation (:mod:`repro.analysis.montecarlo`) and the per-node epoch
 processing behind :mod:`repro.sim` (:mod:`repro.spec.inactivity`,
 :mod:`repro.spec.rewards`, :mod:`repro.spec.slashing`) — delegates here.
 
-Two backends are provided:
+Two backends are always available:
 
 ``"numpy"``
     The fast path: vectorized element-wise updates over the whole
@@ -30,6 +30,23 @@ Two backends are provided:
     bit-identical — which the equivalence tests assert, and which makes the
     loop backend a trustworthy semantics oracle for the vectorized one.
 
+A third, *optional* backend is registered lazily when its dependency
+imports (see :func:`available_backends`):
+
+``"numba"``
+    JIT-compiled fused epoch kernels (:mod:`repro.core.backend_numba`),
+    pinned bit-identical to the numpy path by the same equivalence suites.
+    Requesting it without ``numba`` installed raises a :class:`ValueError`
+    naming the missing extra.
+
+The leak flag of the stake-dynamics and reward kernels may be a scalar
+bool or a *per-trial* array: a mask of shape ``(trials,)`` (or any prefix
+of the state shape) broadcast across the validator axes, so batched
+``(trials, validators)`` sweeps can mix in-leak and out-of-leak trials in
+one kernel call.  Masked updates are defined element-wise as "the scalar
+in-leak update where the mask is set, the scalar no-leak update elsewhere",
+so they are bit-identical to running each trial separately.
+
 The epoch update is decomposed into three stages executed in protocol
 order (penalties from carried-over scores, score updates from this epoch's
 activity, ejections), mirroring Equation 2's ``I(t-1) * s(t-1) / 2**26``
@@ -40,7 +57,17 @@ evolving and they can never be re-ejected.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence, Tuple, Type
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Type,
+    Union,
+)
 
 import numpy as np
 
@@ -203,6 +230,33 @@ class FinalityUpdate:
         ]
 
 
+#: The leak flag accepted by the kernels: a scalar bool or a per-trial mask.
+LeakFlag = Union[bool, np.bool_, np.ndarray, Sequence[bool]]
+
+
+def leak_mask(in_leak: LeakFlag, shape: Tuple[int, ...]) -> Optional[np.ndarray]:
+    """Normalise a kernel leak flag against a state shape.
+
+    Returns ``None`` for scalar flags (the fast path: the caller keeps its
+    scalar branch).  Array flags must match a leading prefix of ``shape``
+    — typically ``(trials,)`` against ``(trials, validators)`` — and are
+    broadcast to the full state shape.
+    """
+    if isinstance(in_leak, (bool, np.bool_)):
+        return None
+    mask = np.asarray(in_leak, dtype=bool)
+    if mask.ndim == 0:
+        return None
+    if mask.shape != shape[: mask.ndim]:
+        raise ValueError(
+            f"in_leak mask of shape {mask.shape} must match a leading prefix "
+            f"of the state shape {shape}"
+        )
+    return np.broadcast_to(
+        mask.reshape(mask.shape + (1,) * (len(shape) - mask.ndim)), shape
+    )
+
+
 class StakeBackend:
     """Interface of an epoch-update backend.
 
@@ -280,7 +334,8 @@ class StakeBackend:
         are paid.  Eligible validators *not* in ``active`` are charged
         ``stake * attestation_penalty_fraction`` (floored so the stake never
         goes negative), leak or not.  The rewarded/penalized masks record
-        only non-zero credits/deductions.
+        only non-zero credits/deductions.  ``in_leak`` may be a per-trial
+        mask (see :func:`leak_mask`) gating the reward path per element.
         """
         raise NotImplementedError
 
@@ -421,7 +476,7 @@ class StakeBackend:
         active: np.ndarray,
         ejected: np.ndarray,
         rules: StakeRules,
-        in_leak: bool = True,
+        in_leak: LeakFlag = True,
     ) -> EpochOutcome:
         """One epoch of stake dynamics in protocol order.
 
@@ -429,7 +484,17 @@ class StakeBackend:
            during a leak).
         2. Score updates from this epoch's activity.
         3. Ejection of live validators at/below the ejection balance.
+
+        ``in_leak`` may be a per-trial mask (see :func:`leak_mask`): each
+        element then follows the in-leak or no-leak scalar update according
+        to its trial's flag, bit-identically to stepping the trials one by
+        one with scalar flags.
         """
+        leak = leak_mask(in_leak, np.shape(stakes))
+        if leak is not None:
+            return self._epoch_update_masked(
+                stakes, scores, active, ejected, rules, leak
+            )
         if in_leak:
             stakes, total_penalty = self.apply_penalties(stakes, scores, ejected, rules)
         else:
@@ -440,6 +505,43 @@ class StakeBackend:
         return EpochOutcome(
             stakes=stakes,
             scores=scores,
+            ejected=ejected,
+            newly_ejected=newly_ejected,
+            total_penalty=total_penalty,
+        )
+
+    def _epoch_update_masked(
+        self,
+        stakes: np.ndarray,
+        scores: np.ndarray,
+        active: np.ndarray,
+        ejected: np.ndarray,
+        rules: StakeRules,
+        leak: np.ndarray,
+    ) -> EpochOutcome:
+        """The per-trial-leak composition, shared by every backend.
+
+        Both scalar variants of each leak-dependent stage are evaluated and
+        stitched element-wise by the mask, so each element's arithmetic is
+        exactly the scalar path its flag selects.
+        """
+        old_stakes = np.asarray(stakes, dtype=float)
+        leaked_stakes, _ = self.apply_penalties(stakes, scores, ejected, rules)
+        new_stakes = np.where(leak, leaked_stakes, old_stakes)
+        if self.track_penalty_totals:
+            total_penalty = float(np.sum(old_stakes) - np.sum(new_stakes))
+        else:
+            total_penalty = 0.0
+        new_scores = np.where(
+            leak,
+            self.update_scores(scores, active, ejected, rules, True),
+            self.update_scores(scores, active, ejected, rules, False),
+        )
+        newly_ejected = self.find_ejections(new_stakes, ejected, rules)
+        ejected = np.logical_or(ejected, newly_ejected)
+        return EpochOutcome(
+            stakes=new_stakes,
+            scores=new_scores,
             ejected=ejected,
             newly_ejected=newly_ejected,
             total_penalty=total_penalty,
@@ -496,13 +598,16 @@ class NumpyBackend(StakeBackend):
         stakes = np.asarray(stakes, dtype=float)
         active = np.asarray(active, dtype=bool)
         eligible = ~np.asarray(ineligible, dtype=bool)
+        leak = leak_mask(in_leak, stakes.shape)
         reward_mask = eligible & active
+        if leak is not None:
+            reward_mask = reward_mask & ~leak
         penalty_mask = eligible & ~active
         new_stakes = stakes.copy()
         # Per element the reward path is min(stake + stake*fraction, cap);
         # the capped value is written back directly (never stake + credited,
         # which would not round-trip bit-exactly through the subtraction).
-        if in_leak:
+        if leak is None and in_leak:
             credited = np.zeros_like(stakes)
         else:
             grown = stakes * rules.base_reward_fraction
@@ -690,18 +795,26 @@ class PythonBackend(StakeBackend):
     def attestation_rewards_epoch_update(self, stakes, active, ineligible, rules, in_leak):
         stakes = np.asarray(stakes, dtype=float)
         shape = stakes.shape
+        leak = leak_mask(in_leak, shape)
         flat_stakes = stakes.ravel().tolist()
         flat_active = np.asarray(active, dtype=bool).ravel().tolist()
         flat_ineligible = np.asarray(ineligible, dtype=bool).ravel().tolist()
+        flat_leak = (
+            [bool(in_leak)] * len(flat_stakes)
+            if leak is None
+            else leak.ravel().tolist()
+        )
         out_stakes = []
         credited = []
         deducted = []
-        for stake, is_active, out in zip(flat_stakes, flat_active, flat_ineligible):
+        for stake, is_active, out, leaked in zip(
+            flat_stakes, flat_active, flat_ineligible, flat_leak
+        ):
             credit = 0.0
             deduct = 0.0
             if not out:
                 if is_active:
-                    if not in_leak:
+                    if not leaked:
                         grown = min(
                             stake + stake * rules.base_reward_fraction,
                             rules.max_effective_balance,
@@ -800,18 +913,24 @@ class PythonBackend(StakeBackend):
         # single conversion round-trip beats a dozen tiny array ops.
         stakes = np.asarray(stakes, dtype=float)
         shape = stakes.shape
+        leak = leak_mask(in_leak, shape)
         flat_stakes = stakes.ravel().tolist()
         flat_scores = np.asarray(scores, dtype=float).ravel().tolist()
         flat_active = np.asarray(active, dtype=bool).ravel().tolist()
         flat_ejected = np.asarray(ejected, dtype=bool).ravel().tolist()
+        flat_leak = (
+            [bool(in_leak)] * len(flat_stakes)
+            if leak is None
+            else leak.ravel().tolist()
+        )
         out_newly = [False] * len(flat_stakes)
         total_penalty = 0.0
-        for i, (stake, score, is_active, gone) in enumerate(
-            zip(flat_stakes, flat_scores, flat_active, flat_ejected)
+        for i, (stake, score, is_active, gone, leaked) in enumerate(
+            zip(flat_stakes, flat_scores, flat_active, flat_ejected, flat_leak)
         ):
             if gone:
                 continue
-            if in_leak:
+            if leaked:
                 new_stake = max(0.0, stake - score * stake / rules.penalty_quotient)
                 total_penalty += stake - new_stake
                 stake = new_stake
@@ -819,7 +938,7 @@ class PythonBackend(StakeBackend):
                 score = max(0.0, score - rules.score_recovery)
             else:
                 score = score + rules.score_bias
-            if not in_leak:
+            if not leaked:
                 score = max(0.0, score - rules.score_recovery_no_leak)
             if stake <= rules.ejection_balance:
                 out_newly[i] = True
@@ -842,9 +961,48 @@ _BACKENDS: Dict[str, Type[StakeBackend]] = {
     PythonBackend.name: PythonBackend,
 }
 
+#: Optional backends: name -> module that registers it on import.  Probed
+#: lazily (importing numba costs seconds) and at most once; a failed probe
+#: records the reason so ``get_backend`` can point at the missing extra.
+_OPTIONAL_BACKENDS: Dict[str, str] = {"numba": "repro.core.backend_numba"}
+_OPTIONAL_BACKEND_ERRORS: Dict[str, str] = {}
+_OPTIONAL_BACKENDS_PROBED = False
+
+
+def register_backend(backend_class: Type[StakeBackend]) -> Type[StakeBackend]:
+    """Register a backend class under its ``name`` (usable as a decorator)."""
+    _BACKENDS[backend_class.name] = backend_class
+    return backend_class
+
+
+def _probe_optional_backends() -> None:
+    """Import-register every optional backend whose dependency is present."""
+    global _OPTIONAL_BACKENDS_PROBED
+    if _OPTIONAL_BACKENDS_PROBED:
+        return
+    _OPTIONAL_BACKENDS_PROBED = True
+    import importlib
+
+    for name, module in _OPTIONAL_BACKENDS.items():
+        if name in _BACKENDS:
+            continue
+        try:
+            importlib.import_module(module)
+        except ImportError as exc:
+            _OPTIONAL_BACKEND_ERRORS[name] = (
+                f"backend {name!r} is optional and its dependency is not "
+                f"installed ({exc}); install it with `pip install {name}` "
+                f"(CI uses requirements-ci-numba.txt)"
+            )
+        except Exception as exc:  # pragma: no cover - e.g. broken numba install
+            _OPTIONAL_BACKEND_ERRORS[name] = (
+                f"backend {name!r} failed to initialise: {exc}"
+            )
+
 
 def available_backends() -> Tuple[str, ...]:
-    """Names of the registered backends."""
+    """Names of the registered backends (optional ones only when importable)."""
+    _probe_optional_backends()
     return tuple(sorted(_BACKENDS))
 
 
@@ -868,9 +1026,13 @@ def get_backend(
         if population is None:
             raise ValueError('backend "auto" needs the population size')
         backend = "python" if population < AUTO_BACKEND_THRESHOLD else "numpy"
+    if backend not in _BACKENDS:
+        _probe_optional_backends()
     try:
         return _BACKENDS[backend]()
     except KeyError:
+        if backend in _OPTIONAL_BACKEND_ERRORS:
+            raise ValueError(_OPTIONAL_BACKEND_ERRORS[backend]) from None
         raise ValueError(
             f"unknown backend {backend!r}; available: {available_backends()}"
         ) from None

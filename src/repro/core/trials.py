@@ -13,6 +13,10 @@ gives them one execution engine with two guarantees:
   so the vectorized backends can batch every trial of a chunk into one
   array program.
 
+``run_chunk_groups`` stacks contiguous chunks into larger kernel batches
+without touching the chunk plan, so batching is a pure throughput knob:
+results are independent of ``batch`` as well as ``jobs``.
+
 ``parallel_map`` is the seedless sibling used by deterministic grid sweeps.
 """
 
@@ -114,6 +118,85 @@ def run_chunked(
             ]
             per_chunk = [future.result() for future in futures]
     return [result for chunk_results in per_chunk for result in chunk_results]
+
+
+def group_chunks(
+    chunks: Sequence[TrialChunk], batch: int
+) -> List[List[TrialChunk]]:
+    """Group contiguous chunks so each group holds at most ``batch`` trials.
+
+    Grouping never splits a chunk and never reorders: each group is a run
+    of consecutive chunks whose combined size fits ``batch`` (a single
+    oversized chunk still forms its own group).  Because the chunk plan —
+    and with it every per-chunk seed — is untouched, a worker that draws
+    from each chunk's own generator produces the same per-trial streams
+    whatever ``batch`` is; grouping only widens the kernel batch.
+    """
+    if batch <= 0:
+        raise ValueError("batch must be positive")
+    groups: List[List[TrialChunk]] = []
+    current: List[TrialChunk] = []
+    current_size = 0
+    for chunk in chunks:
+        if current and current_size + chunk.size > batch:
+            groups.append(current)
+            current = []
+            current_size = 0
+        current.append(chunk)
+        current_size += chunk.size
+    if current:
+        groups.append(current)
+    return groups
+
+
+def _run_group_worker(
+    worker: Callable[..., Sequence[Any]],
+    group: Sequence[TrialChunk],
+    args: Tuple[Any, ...],
+) -> List[Any]:
+    results = list(worker(group, *args))
+    expected = sum(chunk.size for chunk in group)
+    if len(results) != expected:
+        raise ValueError(
+            f"group worker returned {len(results)} results for {expected} trials"
+        )
+    return results
+
+
+def run_chunk_groups(
+    worker: Callable[..., Sequence[Any]],
+    n_trials: int,
+    *,
+    seed: int = 0,
+    jobs: Optional[int] = None,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    batch: Optional[int] = None,
+    worker_args: Tuple[Any, ...] = (),
+) -> List[Any]:
+    """Run ``worker(chunks, *worker_args)`` over groups of seeded chunks.
+
+    The trial-batched sibling of :func:`run_chunked`: the chunk plan (and
+    every per-chunk seed) is still a pure function of ``(n_trials, seed,
+    chunk_size)``, but workers receive whole *groups* of contiguous chunks
+    — up to ``batch`` trials each, default one group per dispatch of
+    everything — so a vectorized engine can advance all of a group's
+    trials per kernel call.  ``worker`` must return one result per trial,
+    in trial order across its chunks.  Results are identical whatever
+    ``jobs`` and ``batch`` are (asserted by the trials tests).
+    """
+    chunks = plan_chunks(n_trials, seed=seed, chunk_size=chunk_size)
+    groups = group_chunks(chunks, batch if batch is not None else n_trials)
+    n_workers = min(resolve_jobs(jobs), len(groups))
+    if n_workers <= 1:
+        per_group = [_run_group_worker(worker, group, worker_args) for group in groups]
+    else:
+        with ProcessPoolExecutor(max_workers=n_workers) as pool:
+            futures = [
+                pool.submit(_run_group_worker, worker, group, worker_args)
+                for group in groups
+            ]
+            per_group = [future.result() for future in futures]
+    return [result for group_results in per_group for result in group_results]
 
 
 class _PerTrialWorker:

@@ -142,13 +142,18 @@ def run(
     seed: int = 0,
     jobs: Optional[int] = None,
     record_every: Optional[int] = 500,
+    batch: Optional[int] = None,
+    backend: str = "numpy",
 ) -> Figure10MonteCarloResult:
     """Compare Equation 24 with the discrete Monte-Carlo simulation.
 
     ``record_every`` spaces the record epochs of the exceed-probability
     curve (``None`` records only the horizon).  ``jobs`` parallelizes the
     trial chunks of each Monte-Carlo run (``None``/1 serial, <=0 all
-    cores); seeded results are identical at any parallelism level.
+    cores), ``batch`` sets the trial-batched kernel width (``None`` = a
+    cache-budgeted default) and ``backend`` selects the stake-dynamics
+    kernel (``numpy``, ``python``, or ``numba`` when installed); seeded
+    results are identical at any parallelism or batch level.
     """
     record_epochs = plan_record_epochs(horizon, record_every)
     closed_form_series: Dict[float, Dict[int, float]] = {}
@@ -170,9 +175,14 @@ def run(
             n_honest=n_honest,
             enforce_stopping=False,
             seed=seed,
+            backend=backend,
         )
         result = monte_carlo.run(
-            n_trials=n_trials, horizon=horizon, record_epochs=record_epochs, jobs=jobs
+            n_trials=n_trials,
+            horizon=horizon,
+            record_epochs=record_epochs,
+            jobs=jobs,
+            batch=batch,
         )
         empirical_series[beta0] = result.exceed_probability_curve()
     return Figure10MonteCarloResult(

@@ -43,13 +43,16 @@ def run_experiments(
     seed: Optional[int] = None,
     trials: Optional[int] = None,
     record_every: Optional[int] = None,
+    batch: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> List[str]:
     """Run the requested experiments and return their textual reports.
 
     When ``output_dir`` is given, each result is also exported there as JSON
     and/or CSV (see :mod:`repro.experiments.export`).  ``jobs``, ``seed``,
-    ``trials`` and ``record_every`` are passed through to experiments that
-    accept them and silently ignored by the rest.
+    ``trials``, ``record_every``, ``batch`` and ``backend`` are passed
+    through to experiments that accept them and silently ignored by the
+    rest.
     """
     reports = []
     for experiment_id in experiment_ids:
@@ -64,6 +67,10 @@ def run_experiments(
             options["n_trials"] = trials
         if record_every is not None and "record_every" in accepted:
             options["record_every"] = record_every
+        if batch is not None and "batch" in accepted:
+            options["batch"] = batch
+        if backend is not None and "backend" in accepted:
+            options["backend"] = backend
         result = experiment.run(**options)
         reports.append(_format_result(result))
         if output_dir is not None:
@@ -148,6 +155,28 @@ def build_parser() -> argparse.ArgumentParser:
             "experiments that accept one (default: each experiment's own)"
         ),
     )
+    parser.add_argument(
+        "--batch",
+        type=_positive_int,
+        default=None,
+        metavar="B",
+        help=(
+            "trials stacked into one kernel batch for Monte-Carlo "
+            "experiments (default: a cache-budgeted width; results are "
+            "identical at any batch)"
+        ),
+    )
+    parser.add_argument(
+        "--backend",
+        type=str,
+        default=None,
+        metavar="NAME",
+        help=(
+            "stake-dynamics kernel for experiments that accept one: "
+            "numpy, python, or numba when installed "
+            "(default: each experiment's own)"
+        ),
+    )
     return parser
 
 
@@ -167,6 +196,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                     ("seed", "seeded"),
                     ("n_trials", "trials"),
                     ("record_every", "curve"),
+                    ("batch", "batch"),
+                    ("backend", "backend"),
                 )
                 if option in accepted
             )
@@ -174,7 +205,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print()
         print(
             "[parallel] experiments honour --jobs; [seeded] ones --seed; "
-            "[trials] ones --trials; [curve] ones --record-every."
+            "[trials] ones --trials; [curve] ones --record-every; "
+            "[batch] ones --batch; [backend] ones --backend."
         )
         return 0
 
@@ -194,6 +226,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         seed=args.seed,
         trials=args.trials,
         record_every=args.record_every,
+        batch=args.batch,
+        backend=args.backend,
     ):
         print(report)
         print()

@@ -106,3 +106,109 @@ class TestHonestStakeSample:
         # With the fast-leak config, a visible fraction has been ejected.
         assert (stakes == 0.0).mean() > 0.0
         assert not ((stakes > 0) & (stakes < 10.0)).any()  # below ~ejection -> zeroed
+
+
+def trials_identical(first, second, compare_stakes=False):
+    assert len(first.trials) == len(second.trials)
+    for a, b in zip(first.trials, second.trials):
+        assert a.stop_epoch == b.stop_epoch
+        assert a.survived == b.survived
+        assert a.byzantine_proportion_branch_a == b.byzantine_proportion_branch_a
+        assert a.byzantine_proportion_branch_b == b.byzantine_proportion_branch_b
+        if compare_stakes:
+            assert a.stake_snapshots is not None and b.stake_snapshots is not None
+            assert set(a.stake_snapshots) == set(b.stake_snapshots)
+            for epoch in a.stake_snapshots:
+                assert np.array_equal(
+                    a.stake_snapshots[epoch], b.stake_snapshots[epoch]
+                )
+
+
+class TestTrialBatching:
+    """The kernel-batch width is a pure throughput knob.
+
+    For a fixed ``(seed, chunk_size)`` the per-chunk RNG streams — and
+    therefore every exceed-probability curve and stake trajectory — must
+    be byte-identical whatever ``batch`` is.  With ``chunk_size=1`` the
+    ``batch=1`` run *is* the per-trial reference path, so these tests pin
+    the batched path against it directly.
+    """
+
+    @pytest.mark.parametrize("backend", ["numpy", "python"])
+    def test_batched_equals_per_trial_path(self, backend):
+        mc = BouncingMonteCarlo(
+            beta0=0.3, n_honest=12, config=FAST, seed=21, backend=backend
+        )
+        per_trial = mc.run(
+            n_trials=12,
+            horizon=30,
+            record_epochs=[10, 20, 30],
+            chunk_size=1,
+            batch=1,
+            record_stakes=True,
+        )
+        batched = mc.run(
+            n_trials=12,
+            horizon=30,
+            record_epochs=[10, 20, 30],
+            chunk_size=1,
+            batch=12,
+            record_stakes=True,
+        )
+        trials_identical(per_trial, batched, compare_stakes=True)
+        assert per_trial.exceed_probability_curve() == batched.exceed_probability_curve()
+
+    @pytest.mark.parametrize("backend", ["numpy", "python"])
+    def test_batch_width_invariance_with_stopping(self, backend):
+        mc = BouncingMonteCarlo(
+            beta0=0.3, n_honest=10, config=FAST, seed=5, backend=backend
+        )
+        baseline = mc.run(
+            n_trials=40,
+            horizon=40,
+            record_epochs=[20, 40],
+            chunk_size=8,
+            batch=8,
+            record_stakes=True,
+        )
+        for batch in (16, 24, 40, None):
+            other = mc.run(
+                n_trials=40,
+                horizon=40,
+                record_epochs=[20, 40],
+                chunk_size=8,
+                batch=batch,
+                record_stakes=True,
+            )
+            trials_identical(baseline, other, compare_stakes=True)
+
+    def test_batch_and_jobs_compose(self):
+        mc = BouncingMonteCarlo(beta0=0.3, n_honest=10, config=FAST, seed=7)
+        serial = mc.run(n_trials=24, horizon=30, chunk_size=6, batch=12, jobs=1)
+        parallel = mc.run(n_trials=24, horizon=30, chunk_size=6, batch=12, jobs=3)
+        trials_identical(serial, parallel)
+
+    def test_default_batch_is_cache_budgeted(self):
+        small = BouncingMonteCarlo(beta0=0.3, n_honest=64, config=FAST)
+        large = BouncingMonteCarlo(beta0=0.3, n_honest=10_000, config=FAST)
+        assert small.default_batch(100_000) > large.default_batch(100_000)
+        # Never below the chunk size, never above the trial count when tiny.
+        assert small.default_batch(8, chunk_size=8) == 8
+        assert large.default_batch(100_000) >= 1
+
+    def test_snapshots_absent_unless_requested(self):
+        mc = BouncingMonteCarlo(beta0=0.3, n_honest=8, config=FAST, seed=3)
+        result = mc.run(n_trials=4, horizon=10)
+        assert all(t.stake_snapshots is None for t in result.trials)
+
+    def test_snapshot_shape_and_filtering(self):
+        mc = BouncingMonteCarlo(
+            beta0=0.3, n_honest=8, config=FAST, seed=3, enforce_stopping=False
+        )
+        result = mc.run(
+            n_trials=4, horizon=10, record_epochs=[5, 10], record_stakes=True
+        )
+        for trial in result.trials:
+            assert set(trial.stake_snapshots) == {5, 10}
+            for snapshot in trial.stake_snapshots.values():
+                assert snapshot.shape == (2, 9)

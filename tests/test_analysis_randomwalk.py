@@ -119,3 +119,29 @@ class TestMonteCarlo:
     def test_clamped_samples_non_negative(self):
         samples = sample_walks(50, 0.9, n_samples=500, seed=3, clamp_at_zero=True)
         assert (samples >= 0).all()
+
+
+class TestChunkedSampling:
+    def test_chunk_rows_is_bit_invariant(self):
+        import numpy as np
+
+        full = sample_walks(25, 0.4, 101, seed=7)
+        for chunk_rows in (1, 10, 101, 500):
+            chunked = sample_walks(25, 0.4, 101, seed=7, chunk_rows=chunk_rows)
+            assert np.array_equal(full, chunked)
+
+    def test_unclamped_dtype_preserved(self):
+        import numpy as np
+
+        full = sample_walks(10, 0.5, 8, seed=0, clamp_at_zero=False)
+        chunked = sample_walks(
+            10, 0.5, 8, seed=0, clamp_at_zero=False, chunk_rows=3
+        )
+        assert np.array_equal(full, chunked)
+        assert full.dtype == chunked.dtype
+
+    def test_invalid_chunk_rows_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            sample_walks(10, 0.5, 8, chunk_rows=0)

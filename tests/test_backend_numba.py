@@ -1,0 +1,129 @@
+"""Equivalence suite for the optional numba backend.
+
+The whole module is skipped when numba is not installed — the dedicated CI
+leg (``requirements-ci-numba.txt``) runs it.  The contract: the ``numba``
+backend registers behind the same :func:`get_backend` seam and its epoch
+updates are **bit-identical** to the numpy/python paths, so every
+consumer (engines, Monte-Carlo) can switch backends without any result
+drift.
+"""
+
+import numpy as np
+import pytest
+
+numba = pytest.importorskip("numba")
+
+from repro.analysis.montecarlo import BouncingMonteCarlo  # noqa: E402
+from repro.core.backend import (  # noqa: E402
+    StakeRules,
+    available_backends,
+    get_backend,
+)
+from repro.core.stake_engine import BatchedStakeEngine, StakeEngine  # noqa: E402
+from repro.spec.config import SpecConfig  # noqa: E402
+
+MAINNET = SpecConfig.mainnet()
+FAST = MAINNET.with_overrides(inactivity_penalty_quotient=2 ** 14)
+
+
+class TestRegistration:
+    def test_numba_backend_registers(self):
+        assert "numba" in available_backends()
+
+    def test_get_backend_returns_instance(self):
+        backend = get_backend("numba")
+        assert backend.name == "numba"
+
+
+class TestEpochUpdateEquivalence:
+    RULES = StakeRules.from_config(FAST)
+
+    def _random_state(self, seed, trials=5, n=11):
+        rng = np.random.default_rng(seed)
+        return (
+            rng.uniform(16.0, 32.0, (trials, n)),
+            rng.uniform(0.0, 60.0, (trials, n)),
+            rng.random((trials, n)) < 0.5,
+            rng.random((trials, n)) < 0.1,
+            rng.random(trials) < 0.5,
+        )
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    @pytest.mark.parametrize("in_leak", [True, False])
+    def test_scalar_leak_bit_identical_to_numpy(self, seed, in_leak):
+        stakes, scores, active, ejected, _ = self._random_state(seed)
+        ours = get_backend("numba").epoch_update(
+            stakes, scores, active, ejected, self.RULES, in_leak=in_leak
+        )
+        reference = get_backend("numpy").epoch_update(
+            stakes, scores, active, ejected, self.RULES, in_leak=in_leak
+        )
+        assert np.array_equal(ours.stakes, reference.stakes)
+        assert np.array_equal(ours.scores, reference.scores)
+        assert np.array_equal(ours.ejected, reference.ejected)
+        assert np.array_equal(ours.newly_ejected, reference.newly_ejected)
+        assert ours.total_penalty == reference.total_penalty
+
+    @pytest.mark.parametrize("seed", [4, 5])
+    def test_per_trial_leak_bit_identical_to_numpy(self, seed):
+        stakes, scores, active, ejected, leaks = self._random_state(seed)
+        ours = get_backend("numba").epoch_update(
+            stakes, scores, active, ejected, self.RULES, in_leak=leaks
+        )
+        reference = get_backend("numpy").epoch_update(
+            stakes, scores, active, ejected, self.RULES, in_leak=leaks
+        )
+        assert np.array_equal(ours.stakes, reference.stakes)
+        assert np.array_equal(ours.scores, reference.scores)
+        assert np.array_equal(ours.ejected, reference.ejected)
+
+    def test_long_trajectory_matches_python_oracle(self):
+        n = 7
+        state = {}
+        for name in ("numba", "python"):
+            engine = StakeEngine.uniform(n, config=FAST, backend=name)
+            walk = np.random.default_rng(99)
+            for _ in range(300):
+                engine.step(walk.random(n) < 0.5)
+            state[name] = engine
+        assert np.array_equal(state["numba"].stakes, state["python"].stakes)
+        assert np.array_equal(state["numba"].scores, state["python"].scores)
+        assert np.array_equal(state["numba"].ejected, state["python"].ejected)
+
+
+class TestConsumers:
+    def test_batched_engine_on_numba(self):
+        rng = np.random.default_rng(12)
+        stakes0 = rng.uniform(17.0, 32.0, (4, 6))
+        engines = {
+            name: BatchedStakeEngine(stakes0, config=FAST, backend=name)
+            for name in ("numba", "numpy")
+        }
+        for _ in range(80):
+            active = rng.random((4, 6)) < 0.4
+            leaks = rng.random(4) < 0.8
+            for engine in engines.values():
+                engine.step(active, in_leak=leaks)
+        assert np.array_equal(engines["numba"].stakes, engines["numpy"].stakes)
+        assert np.array_equal(engines["numba"].scores, engines["numpy"].scores)
+
+    def test_montecarlo_run_matches_numpy(self):
+        results = {}
+        for name in ("numba", "numpy"):
+            mc = BouncingMonteCarlo(
+                beta0=0.3,
+                n_honest=10,
+                config=FAST,
+                enforce_stopping=False,
+                seed=2,
+                backend=name,
+            )
+            results[name] = mc.run(n_trials=6, horizon=25, record_stakes=True)
+        for a, b in zip(results["numba"].trials, results["numpy"].trials):
+            assert a.stop_epoch == b.stop_epoch
+            assert a.byzantine_proportion_branch_a == b.byzantine_proportion_branch_a
+            assert a.byzantine_proportion_branch_b == b.byzantine_proportion_branch_b
+            for epoch in a.stake_snapshots:
+                assert np.array_equal(
+                    a.stake_snapshots[epoch], b.stake_snapshots[epoch]
+                )

@@ -11,9 +11,11 @@ import pytest
 from repro.analysis.montecarlo import BouncingMonteCarlo
 from repro.core.trials import (
     TrialChunk,
+    group_chunks,
     parallel_map,
     plan_chunks,
     resolve_jobs,
+    run_chunk_groups,
     run_chunked,
     run_trials,
 )
@@ -61,6 +63,119 @@ class TestChunkPlanning:
         assert resolve_jobs(4) == 4
         assert resolve_jobs(0) >= 1
         assert resolve_jobs(-1) >= 1
+
+
+class TestChunkPlanningEdgeCases:
+    def test_zero_trials_rejected(self):
+        # A zero-trial run is an error, not an empty plan: every consumer
+        # (run_chunked, run_chunk_groups, the Monte-Carlo layers) validates
+        # its trial count before planning.
+        with pytest.raises(ValueError):
+            plan_chunks(0, seed=3)
+        with pytest.raises(ValueError):
+            run_chunked(lambda chunk: [], 0, seed=3)
+        with pytest.raises(ValueError):
+            run_chunk_groups(lambda group: [], 0, seed=3)
+
+    def test_single_trial_chunks(self):
+        chunks = plan_chunks(5, seed=1, chunk_size=1)
+        assert [(c.start, c.size) for c in chunks] == [
+            (0, 1), (1, 1), (2, 1), (3, 1), (4, 1)
+        ]
+
+    @pytest.mark.parametrize(
+        "n_trials,chunk_size", [(10, 3), (7, 7), (1, 64), (13, 5), (64, 63)]
+    )
+    def test_uneven_splits_cover_every_trial_exactly_once(self, n_trials, chunk_size):
+        chunks = plan_chunks(n_trials, seed=0, chunk_size=chunk_size)
+        covered = [
+            index for chunk in chunks for index in range(chunk.start, chunk.stop)
+        ]
+        assert covered == list(range(n_trials))
+        assert all(chunk.size >= 1 for chunk in chunks)
+
+    def test_jobs_exceeding_trials(self):
+        # More workers than trials must not duplicate or drop results.
+        few = run_trials(draw_sum, 3, seed=11, jobs=8, chunk_size=1)
+        serial = run_trials(draw_sum, 3, seed=11, jobs=1, chunk_size=1)
+        assert few == serial
+        assert [index for index, _ in few] == [0, 1, 2]
+
+
+def group_draw_worker(group):
+    """Picklable group worker: per-chunk generators drawn in chunk order."""
+    results = []
+    for chunk in group:
+        rng = chunk.rng()
+        results.extend(float(value) for value in rng.random(chunk.size))
+    return results
+
+
+class TestChunkGrouping:
+    def test_grouping_preserves_order_and_coverage(self):
+        chunks = plan_chunks(50, seed=2, chunk_size=7)
+        for batch in (1, 7, 10, 14, 49, 100):
+            groups = group_chunks(chunks, batch)
+            assert [c for group in groups for c in group] == chunks
+
+    def test_groups_respect_batch_budget(self):
+        chunks = plan_chunks(60, seed=0, chunk_size=8)
+        for group in group_chunks(chunks, 20):
+            assert sum(c.size for c in group) <= 20
+
+    def test_oversized_chunk_forms_its_own_group(self):
+        chunks = plan_chunks(10, seed=0, chunk_size=10)
+        groups = group_chunks(chunks, 3)
+        assert len(groups) == 1 and groups[0] == chunks
+
+    def test_invalid_batch_rejected(self):
+        chunks = plan_chunks(4, seed=0, chunk_size=2)
+        with pytest.raises(ValueError):
+            group_chunks(chunks, 0)
+
+
+class TestRunChunkGroups:
+    def test_results_independent_of_batch(self):
+        baseline = run_chunk_groups(
+            group_draw_worker, 33, seed=9, chunk_size=5, batch=1
+        )
+        assert len(baseline) == 33
+        for batch in (5, 12, 33, None):
+            assert (
+                run_chunk_groups(
+                    group_draw_worker, 33, seed=9, chunk_size=5, batch=batch
+                )
+                == baseline
+            )
+
+    def test_results_independent_of_jobs(self):
+        serial = run_chunk_groups(
+            group_draw_worker, 24, seed=4, chunk_size=4, batch=8, jobs=1
+        )
+        parallel = run_chunk_groups(
+            group_draw_worker, 24, seed=4, chunk_size=4, batch=8, jobs=3
+        )
+        assert serial == parallel
+
+    def test_matches_per_chunk_runner_streams(self):
+        # The grouped runner must consume exactly the per-chunk streams of
+        # run_chunked: same plan, same seeds, same draws.
+        def chunk_worker(chunk):
+            rng = chunk.rng()
+            return [float(value) for value in rng.random(chunk.size)]
+
+        chunked = run_chunked(chunk_worker, 21, seed=6, chunk_size=4)
+        grouped = run_chunk_groups(
+            group_draw_worker, 21, seed=6, chunk_size=4, batch=16
+        )
+        assert chunked == grouped
+
+    def test_group_worker_must_return_one_result_per_trial(self):
+        def bad_worker(group):
+            return [0] * (sum(chunk.size for chunk in group) + 1)
+
+        with pytest.raises(ValueError):
+            run_chunk_groups(bad_worker, 6, seed=0, chunk_size=2, batch=4)
 
 
 class TestRunTrials:
@@ -158,8 +273,33 @@ class TestRunnerCLI:
         assert not registry.get("fig2").parallelizable
 
     def test_run_experiments_forwards_options(self):
-        # sweep-grid accepts jobs (not seed); the run must not fail when
-        # both are supplied, and parallel output must match serial output.
+        # The run must not fail when extra options are supplied, and
+        # parallel output must match serial output.
         serial = run_experiments(["sweep-grid"], jobs=1, seed=3)
         parallel = run_experiments(["sweep-grid"], jobs=2, seed=3)
         assert serial == parallel
+
+    def test_parser_accepts_batch_and_backend(self):
+        args = build_parser().parse_args(
+            ["fig10-montecarlo", "--batch", "256", "--backend", "python"]
+        )
+        assert args.batch == 256
+        assert args.backend == "python"
+        # Defaults leave each experiment's own choices untouched.
+        defaults = build_parser().parse_args(["fig10-montecarlo"])
+        assert defaults.batch is None
+        assert defaults.backend is None
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig10-montecarlo", "--batch", "0"])
+
+    def test_registry_reports_batched_experiments(self):
+        assert "batch" in registry.get("fig10-montecarlo").accepted_options()
+        assert "backend" in registry.get("fig10-montecarlo").accepted_options()
+        assert "batch" not in registry.get("fig2").accepted_options()
+
+    def test_run_experiments_forwards_batch_and_backend(self):
+        default = run_experiments(["sweep-grid"], jobs=1)
+        pinned = run_experiments(
+            ["sweep-grid"], jobs=1, batch=8, backend="numpy"
+        )
+        assert default == pinned
