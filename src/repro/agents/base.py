@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Hashable, List, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Hashable, List, Optional, Sequence, Tuple, Union
 
 from repro.core.attestation_batch import AttestationBatch
 from repro.spec.attestation import Attestation
@@ -29,11 +29,20 @@ class ProposalAction:
     """A block proposal to publish.
 
     ``audience`` restricts delivery to one partition (by name); ``None``
-    broadcasts to every participant the network can reach.
+    broadcasts to every participant the network can reach.  ``recipients``
+    targets an exact set of *validator indices* instead — the adversary's
+    sharpest capability, used by the balancing attack to show different
+    blocks to different halves of the honest validators (it takes
+    precedence over ``audience`` and, under view sharding, dynamically
+    splits any view group it only partially covers).  ``delay`` releases
+    the message that many seconds after its nominal send time; honoured
+    only together with ``recipients``.
     """
 
     block: BeaconBlock
     audience: Optional[str] = None
+    recipients: Optional[Tuple[int, ...]] = None
+    delay: float = 0.0
 
 
 @dataclass
@@ -42,12 +51,16 @@ class AttestationAction:
 
     ``audience`` restricts delivery to one partition; ``withhold`` hands the
     attestation to the adversary instead of the network, to be released
-    later (the bouncing attack's withheld votes).
+    later (the bouncing attack's withheld votes).  ``recipients``/``delay``
+    target an exact validator set with a timed release, as for
+    :class:`ProposalAction` (the swayer votes of the balancing attack).
     """
 
     attestation: Attestation
     audience: Optional[str] = None
     withhold: bool = False
+    recipients: Optional[Tuple[int, ...]] = None
+    delay: float = 0.0
 
 
 @dataclass
@@ -56,12 +69,14 @@ class AttestationBatchAction:
 
     Emitted by batch-capable agents (:meth:`ValidatorAgent.attest_committee`)
     for the members of one view group in one committee; routed exactly like
-    a single attestation (``audience``/``withhold``).
+    a single attestation (``audience``/``withhold``/``recipients``/``delay``).
     """
 
     batch: AttestationBatch
     audience: Optional[str] = None
     withhold: bool = False
+    recipients: Optional[Tuple[int, ...]] = None
+    delay: float = 0.0
 
 
 @dataclass

@@ -11,11 +11,16 @@ can target messages at one partition or withhold them for later release.
   two consecutive epochs on a branch to finalize it.
 * :class:`BouncingAgent` — Section 5.3: withholds votes and releases them at
   epoch boundaries to keep honest validators bouncing between branches.
+* :class:`SwayerByzantine` — the Gasper balancing attack (Neu/Tas/Tse,
+  referenced by the paper's related-work discussion): an adversarial
+  proposer shows two competing blocks to two halves of the honest
+  validators over a *healthy* network, and "swayer" votes keep the halves
+  balanced so neither branch ever reaches a supermajority.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -294,3 +299,159 @@ class BouncingAgent(ByzantineAgent):
         partition = self._losing_partition(ctx)
         attestation = self.attestation_for_branch(ctx, partition)
         return [AttestationAction(attestation=attestation, withhold=True)]
+
+
+class SwayerByzantine(ValidatorAgent):
+    """Balancing-attack agent: split proposal plus swaying votes.
+
+    Unlike the partition-based agents above, this strategy needs no
+    network partition at all — the network is healthy and the fork is
+    manufactured purely with *targeted* messages (``recipients`` actions),
+    which is what exercises the engine's dynamic view splitting:
+
+    1. At ``split_slot`` the adversarial proposer publishes two competing
+       blocks on the same parent, tagged ``tag_left``/``tag_right``; the
+       left block goes to the left half of the honest validators (plus
+       every Byzantine validator, so the adversary's view group never
+       splits), the right block to the right half.
+    2. From then on, swayers in each slot's committee vote for the
+       currently *lighter* tagged branch and show that vote only to the
+       honest half supporting the *heavier* branch (plus the Byzantine
+       validators), optionally ``sway_delay`` seconds late — just in time
+       to flip that half's fork choice before its own attestation duty,
+       keeping the two branches balanced.
+    3. An adversarial proposer after the split extends the lighter branch
+       and broadcasts, feeding both halves material to stay split on.
+
+    Until two tagged branches exist, votes are withheld (released at the
+    next epoch start to everyone — audience-uniform, so no view splits).
+    """
+
+    def __init__(
+        self,
+        validator_index: int,
+        left: Sequence[int],
+        right: Sequence[int],
+        byzantine: Sequence[int],
+        split_slot: int = 1,
+        sway_delay: float = 0.0,
+        tag_left: str = "balance-left",
+        tag_right: str = "balance-right",
+    ) -> None:
+        super().__init__(validator_index)
+        self.left = tuple(sorted(left))
+        self.right = tuple(sorted(right))
+        self.byzantine = tuple(sorted(byzantine))
+        self.split_slot = split_slot
+        self.sway_delay = sway_delay
+        self.tag_left = tag_left
+        self.tag_right = tag_right
+
+    @property
+    def is_byzantine(self) -> bool:
+        return True
+
+    # ------------------------------------------------------------------
+    def _tagged_branch_heads(self, ctx: AgentContext) -> Dict[str, Root]:
+        """Highest-slot leaf per balancing tag, from the local tree.
+
+        A leaf belongs to the branch of the first tagged ancestor on its
+        path to genesis (the split blocks and all swayer extensions carry
+        the tag, honest extensions do not).
+        """
+        tree = ctx.node.store.tree
+        tags = {self.tag_left, self.tag_right}
+        heads: Dict[str, Root] = {}
+        best_slot: Dict[str, int] = {}
+        for leaf in tree.leaves():
+            current = tree.get(leaf)
+            while True:
+                if current.branch_tag in tags:
+                    tag = current.branch_tag
+                    leaf_slot = tree.get(leaf).slot
+                    if leaf_slot > best_slot.get(tag, -1):
+                        best_slot[tag] = leaf_slot
+                        heads[tag] = leaf
+                    break
+                if current.is_genesis():
+                    break
+                current = tree.get(current.parent_root)
+        return heads
+
+    def _lighter_and_heavier(
+        self, ctx: AgentContext, heads: Dict[str, Root]
+    ) -> Tuple[str, str]:
+        """Tags of the (lighter, heavier) branch by attesting stake.
+
+        Ties go to the left branch as lighter — a fixed rule every swayer
+        computes identically from the shared Byzantine view.
+        """
+        left_weight = ctx.node.branch_weight(heads[self.tag_left])
+        right_weight = ctx.node.branch_weight(heads[self.tag_right])
+        if left_weight <= right_weight:
+            return self.tag_left, self.tag_right
+        return self.tag_right, self.tag_left
+
+    def _half_of(self, tag: str) -> Tuple[int, ...]:
+        return self.left if tag == self.tag_left else self.right
+
+    # ------------------------------------------------------------------
+    def propose(self, ctx: AgentContext) -> List[ProposalAction]:
+        if not ctx.is_proposer:
+            return []
+        if ctx.slot == self.split_slot:
+            parent = ctx.node.head()
+            left_block = ctx.node.build_block(
+                slot=ctx.slot,
+                parent=parent,
+                branch_tag=self.tag_left,
+                include_evidence=False,
+            )
+            right_block = ctx.node.build_block(
+                slot=ctx.slot,
+                parent=parent,
+                branch_tag=self.tag_right,
+                include_evidence=False,
+            )
+            return [
+                ProposalAction(
+                    block=left_block, recipients=self.left + self.byzantine
+                ),
+                ProposalAction(
+                    block=right_block, recipients=self.right + self.byzantine
+                ),
+            ]
+        heads = self._tagged_branch_heads(ctx)
+        if len(heads) < 2:
+            # No split yet (or it never reached us): propose honestly.
+            return [ProposalAction(block=ctx.node.build_block(slot=ctx.slot))]
+        lighter, _ = self._lighter_and_heavier(ctx, heads)
+        block = ctx.node.build_block(
+            slot=ctx.slot,
+            parent=heads[lighter],
+            branch_tag=lighter,
+            include_evidence=False,
+        )
+        return [ProposalAction(block=block)]
+
+    def attest(self, ctx: AgentContext) -> List[AttestationAction]:
+        if not ctx.is_attester:
+            return []
+        heads = self._tagged_branch_heads(ctx)
+        if len(heads) < 2:
+            # Keep powder dry until both split blocks are visible.
+            return [
+                AttestationAction(
+                    attestation=ctx.node.attestation_for(slot=ctx.slot),
+                    withhold=True,
+                )
+            ]
+        lighter, heavier = self._lighter_and_heavier(ctx, heads)
+        attestation = ctx.node.attestation_for(slot=ctx.slot, head=heads[lighter])
+        return [
+            AttestationAction(
+                attestation=attestation,
+                recipients=self._half_of(heavier) + self.byzantine,
+                delay=self.sway_delay,
+            )
+        ]

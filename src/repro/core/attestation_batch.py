@@ -69,6 +69,18 @@ class RootInterner:
         """The interned roots in id order (treat as read-only)."""
         return self._roots
 
+    def clone(self) -> "RootInterner":
+        """An independent interner with the same id assignments.
+
+        Used when a view splits: the child must keep interning into the
+        same id space it inherited, without new ids leaking back into the
+        parent.
+        """
+        copy = RootInterner()
+        copy._ids = dict(self._ids)
+        copy._roots = list(self._roots)
+        return copy
+
     def __len__(self) -> int:
         return len(self._roots)
 
@@ -214,6 +226,21 @@ class AttestationColumns:
             self.source_roots[:n],
             self.target_roots[:n],
         )
+
+    def clone(self) -> "AttestationColumns":
+        """An independent snapshot of the recorded rows.
+
+        Copies exactly the occupied prefix (capacity restarts at the row
+        count), so forking a view group does not duplicate growth slack.
+        """
+        copy = AttestationColumns(initial_capacity=max(self.count, 1))
+        n = self.count
+        copy.validators[:n] = self.validators[:n]
+        copy.source_epochs[:n] = self.source_epochs[:n]
+        copy.source_roots[:n] = self.source_roots[:n]
+        copy.target_roots[:n] = self.target_roots[:n]
+        copy.count = n
+        return copy
 
     def voters_for_target_root(self, target_root_id: int) -> np.ndarray:
         """Distinct validator indices whose vote carried ``target_root_id``."""

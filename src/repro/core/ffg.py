@@ -83,6 +83,19 @@ class _EpochVotes:
             new[: self.count] = old[: self.count]
             setattr(self, name, new)
 
+    def clone(self) -> "_EpochVotes":
+        """Independent copy of this epoch's rows, guards and link tallies."""
+        copy = _EpochVotes(max(self.count, 1))
+        n = self.count
+        copy.validators[:n] = self.validators[:n]
+        copy.source_epochs[:n] = self.source_epochs[:n]
+        copy.source_roots[:n] = self.source_roots[:n]
+        copy.target_roots[:n] = self.target_roots[:n]
+        copy.count = n
+        copy.rows = dict(self.rows)
+        copy.links = {key: list(tally) for key, tally in self.links.items()}
+        return copy
+
 
 class FlatVotePool:
     """Flat-array accumulator of FFG checkpoint votes.
@@ -118,6 +131,22 @@ class FlatVotePool:
         self._interner = RootInterner()
         self._rank_cache: Optional[np.ndarray] = None
         self._epochs: Dict[int, _EpochVotes] = {}
+
+    def clone(self) -> "FlatVotePool":
+        """An independent pool with the same votes, links and root ids.
+
+        The interner is duplicated so both sides keep interning into the
+        id space they inherited without sharing it — required when a view
+        group splits and each child accumulates votes on its own.
+        """
+        copy = FlatVotePool(
+            initial_capacity=self._initial_capacity,
+            stakes=None if self._stakes is None else self._stakes.copy(),
+        )
+        copy._interner = self._interner.clone()
+        copy._rank_cache = None if self._rank_cache is None else self._rank_cache.copy()
+        copy._epochs = {epoch: bucket.clone() for epoch, bucket in self._epochs.items()}
+        return copy
 
     # ------------------------------------------------------------------
     # Root interning

@@ -8,6 +8,7 @@ from typing import Callable, Dict, FrozenSet, List
 
 from repro.experiments import (
     ablations,
+    balancing_feasibility,
     bouncing_duration,
     fig2_stake_trajectories,
     fig3_active_ratio,
@@ -135,6 +136,11 @@ EXPERIMENTS: Dict[str, Experiment] = {
         "sweep-grid",
         "(p0, beta0) sweep of the conflicting-finalization time (Figure-6 extension)",
         sweep_grid.run,
+    ),
+    "balancing-feasibility": Experiment(
+        "balancing-feasibility",
+        "Gasper balancing-attack role feasibility over (C, N, F)",
+        balancing_feasibility.run,
     ),
 }
 

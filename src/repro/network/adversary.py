@@ -21,7 +21,7 @@ sends O(groups) instead of O(validators).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Set, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.network.message import Message
 from repro.network.partition import PartitionSchedule
@@ -40,6 +40,7 @@ class Adversary:
         self.byzantine_indices = set(self.byzantine_indices)
         self._endpoint_of: Callable[[int], int] = lambda index: index
         self._audience_cache: Dict[Tuple[str, bool], Tuple[int, ...]] = {}
+        self._split_hook: Optional[Callable[[Tuple[int, ...]], Tuple[int, ...]]] = None
 
     # ------------------------------------------------------------------
     # Endpoint resolution (installed by the engine)
@@ -49,9 +50,34 @@ class Adversary:
 
         Under view sharding several validators share one endpoint (their
         view group's representative); without sharding the resolver is
-        the identity.  Clears the audience cache.
+        the identity.  Invalidates all endpoint-derived caches.
         """
         self._endpoint_of = resolver
+        self.notify_topology_changed()
+
+    def set_split_hook(
+        self, hook: Callable[[Tuple[int, ...]], Tuple[int, ...]]
+    ) -> None:
+        """Install the engine's exact-audience hook.
+
+        ``hook(recipients)`` must return delivery endpoints that cover
+        *exactly* the given validators, splitting any view group that the
+        audience only partially covers.  Installed by the view-sharded
+        engine; without it per-validator sends fall back to plain
+        endpoint resolution (correct for per-node simulations, where
+        endpoints are validators).
+        """
+        self._split_hook = hook
+
+    def notify_topology_changed(self) -> None:
+        """Invalidate every cache derived from the endpoint mapping.
+
+        Must be called whenever validator → endpoint assignments change:
+        resolver (re)installation, view-group splits and merges, and any
+        post-construction mutation of the partition map all route through
+        here.  Stale audiences would silently deliver to endpoints that
+        no longer exist (or miss freshly split ones).
+        """
         self._audience_cache.clear()
 
     def resolve_endpoints(self, recipients: Iterable[int]) -> Tuple[int, ...]:
@@ -119,6 +145,31 @@ class Adversary:
     def broadcast_everywhere(self, message: Message) -> None:
         """Deliver a Byzantine message to every participant (both branches)."""
         self.network.broadcast(message)
+
+    def send_to_validators(
+        self, message: Message, recipients: Iterable[int], delay: float = 0.0
+    ) -> None:
+        """Deliver a message to an exact set of validators, optionally late.
+
+        The sharpest targeting primitive the fault model grants the
+        adversary: any subset of validators, independent of partition
+        boundaries (Byzantine coordination is unaffected by partitions).
+        Under view sharding the engine's split hook first forks any view
+        group the audience only partially covers, so the returned
+        endpoints cover exactly ``recipients``; a positive ``delay``
+        releases the message that many seconds after its nominal send
+        time (the swayer's "just before the deadline" timing).
+        """
+        targets = tuple(recipients)
+        if self._split_hook is not None:
+            endpoints = self._split_hook(targets)
+        else:
+            endpoints = self.resolve_endpoints(targets)
+        if delay > 0.0:
+            for endpoint in endpoints:
+                self.network.send_delayed(message, endpoint, delay)
+        else:
+            self.network.broadcast(message, recipients=endpoints)
 
     def withhold(self, message: Message, recipients: Iterable[int]) -> None:
         """Withhold a message addressed to ``recipients`` for later release."""

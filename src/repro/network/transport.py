@@ -86,6 +86,24 @@ class Network:
         self.stats.sent += 1
         self._schedule(message, recipient)
 
+    def send_delayed(self, message: Message, recipient: int, delay: float) -> None:
+        """Point-to-point send that leaves the sender ``delay`` seconds late.
+
+        Models an adversary timing a message's *release* (a swayer voting
+        "just before the deadline"): the network sees the message as if it
+        were sent at ``sent_at + delay``, so partition rules and ``delta``
+        apply from that later instant.
+        """
+        self.stats.sent += 1
+        deliver_at = self.schedule.delivery_time(
+            message.sender, recipient, message.sent_at + delay
+        )
+        if deliver_at > message.sent_at + delay + self.schedule.delta:
+            self.stats.delayed_across_partition += 1
+        heapq.heappush(
+            self._queue, Delivery(message=message, recipient=recipient, deliver_at=deliver_at)
+        )
+
     def withhold(self, message: Message, recipient: int) -> None:
         """Hold a message outside the network until :meth:`release` is called.
 
@@ -122,6 +140,67 @@ class Network:
         heapq.heappush(
             self._queue, Delivery(message=message, recipient=recipient, deliver_at=deliver_at)
         )
+
+    # ------------------------------------------------------------------
+    # Endpoint lifecycle (dynamic view splits/merges)
+    # ------------------------------------------------------------------
+    def split_endpoint(self, old: int, new: int) -> None:
+        """Register ``new`` as a participant whose view just forked off ``old``.
+
+        Everything still in flight towards ``old`` — queued deliveries and
+        withheld messages — is duplicated for ``new`` with identical
+        delivery times and message ids: the members that moved to the new
+        endpoint were going to receive those messages, and the split must
+        not change that.  Ordering between the copies is irrelevant (they
+        land on distinct nodes); ordering *within* each endpoint's stream
+        is preserved because ``Delivery`` sorts by
+        ``(deliver_at, message_id, recipient)`` and both fields are kept.
+        """
+        if new in self.participants:
+            raise ValueError(f"endpoint {new} already registered")
+        self.participants.append(new)
+        for delivery in [d for d in self._queue if d.recipient == old]:
+            heapq.heappush(
+                self._queue,
+                Delivery(
+                    message=delivery.message,
+                    recipient=new,
+                    deliver_at=delivery.deliver_at,
+                ),
+            )
+        for message, recipient in [w for w in self._withheld if w[1] == old]:
+            self._withheld.append((message, new))
+
+    def deregister_endpoint(self, endpoint: int) -> None:
+        """Forget ``endpoint`` after its view group merged into another.
+
+        In-flight deliveries addressed to it are left in the queue; the
+        engine drops deliveries whose endpoint no longer resolves to a
+        view (the merge legality check guarantees the surviving endpoint
+        carries an identical stream).
+        """
+        self.participants.remove(endpoint)
+
+    def pending_for(self, endpoint: int) -> List[Tuple[float, int]]:
+        """In-flight ``(deliver_at, message_id)`` stream of one endpoint, sorted.
+
+        Used by the engine's merge check: two view groups may only fuse
+        when — besides equal node state — their future message streams
+        are identical.
+        """
+        return sorted(
+            (delivery.deliver_at, delivery.message.message_id)
+            for delivery in self._queue
+            if delivery.recipient == endpoint
+        )
+
+    def withheld_for(self, endpoint: int) -> List[int]:
+        """Withheld message ids addressed to ``endpoint``, in withhold order."""
+        return [
+            message.message_id
+            for message, recipient in self._withheld
+            if recipient == endpoint
+        ]
 
     # ------------------------------------------------------------------
     # Receiving

@@ -24,6 +24,18 @@ the configuration for differential testing (``tests/test_sim_view_groups``
 pins both modes bit-identical) and the only mode whose cost scales with
 O(N²).
 
+**Dynamic view splitting.**  Static groups only stay valid while every
+message reaches a group's members uniformly.  When the adversary targets
+an exact validator subset (``recipients`` on an action), any group the
+audience partially covers is copy-on-write split at send time
+(:meth:`SimulationEngine._ensure_exact_audience`): the covered members
+fork off with a full ``Node.split_clone`` under a fresh endpoint, and
+in-flight traffic to the old endpoint is duplicated so both children see
+the same past.  With ``merge_views=True``, groups whose state
+fingerprints and in-flight streams re-converge are fused back at epoch
+starts.  Per-slot cost stays O(live groups): a balancing attack at 10k
+validators runs with ~3 groups, not 10k nodes.
+
 **Batch-native message flow.**  Honest committee members of one view are
 clustered per slot and their identical votes travel as a single
 :class:`~repro.core.attestation_batch.AttestationBatch` message; Byzantine
@@ -52,7 +64,7 @@ from repro.network.message import Message
 from repro.network.partition import PartitionSchedule
 from repro.network.transport import Network
 from repro.sim.node import MemberView, Node
-from repro.sim.results import EpochSnapshot, SimulationResult
+from repro.sim.results import EpochSnapshot, SimulationResult, ViewEvent
 from repro.spec.blocktree import BlockTree
 from repro.spec.committees import DutyScheduler, EpochDuties
 from repro.spec.config import SpecConfig
@@ -89,6 +101,8 @@ class SimulationEngine:
         observers: Optional[Sequence["EngineObserver"]] = None,
         view_sharding: bool = True,
         backend: str = "numpy",
+        merge_views: bool = False,
+        inclusion_horizon_epochs: Optional[int] = 2,
     ) -> None:
         if set(agents) != {validator.index for validator in registry}:
             raise ValueError("every validator in the registry needs exactly one agent")
@@ -100,6 +114,12 @@ class SimulationEngine:
         self.scheduler = DutyScheduler(config=self.config, seed=seed)
         self.view_sharding = view_sharding
         self.backend = backend
+        #: Re-fuse view groups whose states and in-flight streams have
+        #: re-converged (checked at epoch starts).  Off by default: merging
+        #: is pure optimisation and the fingerprint comparison costs more
+        #: than it saves for scenarios that never re-converge.
+        self.merge_views = merge_views
+        self.inclusion_horizon_epochs = inclusion_horizon_epochs
         self.release_withheld_at_epoch_start = release_withheld_at_epoch_start
         self.observers: List[EngineObserver] = list(observers or [])
         self._partition_names: Tuple[str, ...] = tuple(self.schedule.partition_names())
@@ -121,9 +141,15 @@ class SimulationEngine:
                 config=self.config,
                 backend=backend,
                 members=members,
+                inclusion_horizon_epochs=inclusion_horizon_epochs,
             )
             for name, members in self.view_groups.items()
         }
+        #: Origin class of each live group: split children inherit their
+        #: parent's class, and only groups of the same class are merge
+        #: candidates (groups born from different reachability classes
+        #: have different future delay behaviour even with equal state).
+        self._class_of: Dict[str, str] = {name: name for name in self.view_groups}
         self.group_of: Dict[int, str] = {
             index: name
             for name, members in self.view_groups.items()
@@ -156,6 +182,13 @@ class SimulationEngine:
             schedule=self.schedule,
         )
         self.adversary.set_endpoint_resolver(self._endpoint_of.__getitem__)
+        self.adversary.set_split_hook(self._ensure_exact_audience)
+
+        #: Timeline of dynamic view splits/merges, in occurrence order.
+        self.view_events: List[ViewEvent] = []
+        self._peak_views = len(self.views)
+        self._current_slot = 0
+        self._current_time = 0.0
 
         # Views containing at least one honest member drive the global
         # Safety/Liveness observables (duplicated states add nothing).
@@ -228,6 +261,187 @@ class SimulationEngine:
         return groups
 
     # ------------------------------------------------------------------
+    # Dynamic view splitting / merging
+    # ------------------------------------------------------------------
+    def _ensure_exact_audience(self, recipients: Tuple[int, ...]) -> Tuple[int, ...]:
+        """Endpoints covering exactly ``recipients``, splitting groups as needed.
+
+        Installed as the adversary's split hook.  Any view group the
+        audience only partially covers is copy-on-write split *before*
+        the message is scheduled: the split happens at send time, which
+        is safe because the clone is exact and deliveries only occur
+        between slot phases — the two children stay bit-identical until
+        the diverging message actually lands.  Per-node simulations have
+        singleton groups, which a subset always covers fully or not at
+        all, so this degenerates to plain endpoint resolution there.
+        """
+        target = set(recipients)
+        partial = [
+            name
+            for name, members in self.view_groups.items()
+            if 0 < len(target.intersection(members)) < len(members)
+        ]
+        for name in partial:
+            inside = tuple(i for i in self.view_groups[name] if i in target)
+            self._split_group(name, inside)
+        seen: Set[int] = set()
+        endpoints: List[int] = []
+        for index in recipients:
+            endpoint = self._endpoint_of[index]
+            if endpoint not in seen:
+                seen.add(endpoint)
+                endpoints.append(endpoint)
+        return tuple(endpoints)
+
+    def _split_group(self, name: str, subset: Tuple[int, ...]) -> str:
+        """Fork the group ``name`` along ``subset`` (a strict, nonempty subset).
+
+        The side keeping the old representative keeps the existing node
+        and transport endpoint; the other side gets a ``split_clone``
+        registered under a new endpoint (its lowest member, which — being
+        a non-representative — cannot collide with any live endpoint).
+        In-flight and withheld messages addressed to the old endpoint are
+        duplicated for the new one, and every endpoint-derived cache
+        (audiences, facades, honest-view list) is rebuilt.  Returns the
+        child group's name.
+        """
+        members = self.view_groups[name]
+        subset_set = set(subset)
+        node = self.views[name]
+        old_rep = node.validator_index
+        if old_rep in subset_set:
+            stay = tuple(i for i in members if i in subset_set)
+            move = tuple(i for i in members if i not in subset_set)
+        else:
+            stay = tuple(i for i in members if i not in subset_set)
+            move = tuple(i for i in members if i in subset_set)
+        new_rep = min(move)
+        child_name = f"{name}/{new_rep}"
+        while child_name in self.view_groups:  # pragma: no cover - defensive
+            child_name = f"{child_name}~2"
+
+        clone = node.split_clone(move, new_rep)
+        node.restrict_members(stay)
+        self.view_groups[name] = stay
+        self.view_groups[child_name] = move
+        self.views[child_name] = clone
+        self._class_of[child_name] = self._class_of[name]
+        for index in move:
+            self.group_of[index] = child_name
+            self.nodes[index] = clone.for_member(index)
+            self._endpoint_of[index] = new_rep
+        self._view_by_endpoint[new_rep] = clone
+        self._endpoints = tuple(sorted(self._view_by_endpoint))
+        self.network.split_endpoint(old_rep, new_rep)
+        self.adversary.notify_topology_changed()
+        self._refresh_honest_views()
+        self.view_events.append(
+            ViewEvent(
+                slot=self._current_slot,
+                time=self._current_time,
+                kind="split",
+                parent=name,
+                child=child_name,
+                members=move,
+            )
+        )
+        self._peak_views = max(self._peak_views, len(self.views))
+        return child_name
+
+    def _try_merges(self) -> None:
+        """Re-fuse view groups whose observable futures have re-converged.
+
+        Two groups of the same origin class may merge when their nodes'
+        state fingerprints are equal *and* their endpoints' in-flight and
+        withheld message streams are identical — the exact converse of
+        the split condition, so the grouped==per-node contract is
+        untouched (per-node runs never merge: singleton groups of
+        distinct validators never share a class).  Runs at epoch starts
+        only; fingerprints are computed once per group per attempt.
+        """
+        by_class: Dict[str, List[str]] = {}
+        for group_name in self.view_groups:
+            by_class.setdefault(self._class_of[group_name], []).append(group_name)
+        fingerprints: Dict[str, Tuple] = {}
+        for names in by_class.values():
+            if len(names) < 2:
+                continue
+            # Lowest representative first: the survivor of every merge is
+            # the lower-endpoint node, preserving the rep = min(members)
+            # convention transitively.
+            names.sort(key=lambda n: self.views[n].validator_index)
+            survivors: List[str] = []
+            for candidate in names:
+                merged = False
+                for keeper in survivors:
+                    if self._can_merge(keeper, candidate, fingerprints):
+                        self._merge_groups(keeper, candidate)
+                        merged = True
+                        break
+                if not merged:
+                    survivors.append(candidate)
+
+    def _can_merge(
+        self, keep_name: str, drop_name: str, fingerprints: Dict[str, Tuple]
+    ) -> bool:
+        keep, drop = self.views[keep_name], self.views[drop_name]
+        if self.network.pending_for(keep.validator_index) != self.network.pending_for(
+            drop.validator_index
+        ):
+            return False
+        if self.network.withheld_for(keep.validator_index) != self.network.withheld_for(
+            drop.validator_index
+        ):
+            return False
+        for name, view in ((keep_name, keep), (drop_name, drop)):
+            if name not in fingerprints:
+                fingerprints[name] = view.state_fingerprint()
+        return fingerprints[keep_name] == fingerprints[drop_name]
+
+    def _merge_groups(self, keep_name: str, drop_name: str) -> None:
+        """Absorb ``drop_name`` into ``keep_name`` (caller checked legality)."""
+        keep, drop = self.views[keep_name], self.views[drop_name]
+        drop_rep = drop.validator_index
+        moved = drop.members
+        keep.absorb_members(drop)
+        self.view_groups[keep_name] = keep.members
+        del self.view_groups[drop_name]
+        del self.views[drop_name]
+        del self._class_of[drop_name]
+        for index in moved:
+            self.group_of[index] = keep_name
+            self.nodes[index] = keep.for_member(index)
+            self._endpoint_of[index] = keep.validator_index
+        del self._view_by_endpoint[drop_rep]
+        self._endpoints = tuple(sorted(self._view_by_endpoint))
+        # In-flight duplicates addressed to the dead endpoint are dropped
+        # by _deliver_due (the stream equality check guarantees the
+        # surviving endpoint carries identical copies).
+        self.network.deregister_endpoint(drop_rep)
+        self.adversary.notify_topology_changed()
+        self._refresh_honest_views()
+        self.view_events.append(
+            ViewEvent(
+                slot=self._current_slot,
+                time=self._current_time,
+                kind="merge",
+                parent=keep_name,
+                child=drop_name,
+                members=moved,
+            )
+        )
+
+    def _refresh_honest_views(self) -> None:
+        self._honest_views = [
+            view
+            for view in self.views.values()
+            if any(not self.agents[m].is_byzantine for m in view.members)
+        ]
+        # The safety fingerprint is positional over the honest views, so a
+        # topology change invalidates the memo (the latch survives).
+        self._safety_cache = None
+
+    # ------------------------------------------------------------------
     # Helpers
     # ------------------------------------------------------------------
     def honest_indices(self) -> List[int]:
@@ -275,18 +489,27 @@ class SimulationEngine:
         message = Message.block(action.block, sender=sender, sent_at=time)
         if action.block.parent_root in self._global_tree:
             self._global_tree.add_block(action.block)
-        if action.audience is None:
+        if action.recipients is not None:
+            self.adversary.send_to_validators(message, action.recipients, action.delay)
+        elif action.audience is None:
             self.network.broadcast(message)
         else:
             self.adversary.send_to_partition(message, action.audience)
 
     def _route_attestation_message(
-        self, message: Message, audience: Optional[str], withhold: bool
+        self,
+        message: Message,
+        audience: Optional[str],
+        withhold: bool,
+        recipients: Optional[Tuple[int, ...]] = None,
+        delay: float = 0.0,
     ) -> None:
         if withhold:
             self.adversary.withhold(message, self._endpoints)
             return
-        if audience is None:
+        if recipients is not None:
+            self.adversary.send_to_validators(message, recipients, delay)
+        elif audience is None:
             self.network.broadcast(message)
         else:
             self.adversary.send_to_partition(message, audience)
@@ -295,14 +518,26 @@ class SimulationEngine:
         self, action: AttestationAction, sender: int, time: float
     ) -> None:
         message = Message.attestation(action.attestation, sender=sender, sent_at=time)
-        self._route_attestation_message(message, action.audience, action.withhold)
+        self._route_attestation_message(
+            message,
+            action.audience,
+            action.withhold,
+            action.recipients,
+            action.delay,
+        )
 
     def _publish_batch(self, action: AttestationBatchAction, time: float) -> None:
         batch = action.batch
         message = Message.attestation_batch(
             batch, sender=int(batch.validators[0]), sent_at=time
         )
-        self._route_attestation_message(message, action.audience, action.withhold)
+        self._route_attestation_message(
+            message,
+            action.audience,
+            action.withhold,
+            action.recipients,
+            action.delay,
+        )
 
     # ------------------------------------------------------------------
     # Slot phases
@@ -443,6 +678,8 @@ class SimulationEngine:
         for slot in range(total_slots):
             slot_start = self.clock.start_of_slot(slot)
             epoch = self.config.epoch_of_slot(slot)
+            self._current_slot = slot
+            self._current_time = slot_start
 
             if self.clock.is_epoch_start(slot):
                 if epoch > 0:
@@ -453,6 +690,8 @@ class SimulationEngine:
                         observer(self, epoch - 1)
                 if self.release_withheld_at_epoch_start and self.network.withheld_count():
                     self.adversary.release_all(slot_start)
+                if self.merge_views:
+                    self._try_merges()
                 for index, agent in self.agents.items():
                     agent.on_epoch_start(self._context_for(index, slot, slot_start))
 
@@ -464,6 +703,7 @@ class SimulationEngine:
 
             # Attestations are produced a third of the way into the slot.
             attestation_time = self.clock.attestation_deadline(slot)
+            self._current_time = attestation_time
             self._deliver_due(attestation_time)
             self._run_attestations(slot, attestation_time)
 
@@ -491,4 +731,6 @@ class SimulationEngine:
             transport_stats=self.network.stats,
             slashed_indices=slashed,
             view_groups=dict(self.view_groups),
+            view_events=list(self.view_events),
+            peak_view_count=self._peak_views,
         )

@@ -72,6 +72,7 @@ class Node:
         config: Optional[SpecConfig] = None,
         backend: Union[str, StakeBackend] = "numpy",
         members: Optional[Sequence[int]] = None,
+        inclusion_horizon_epochs: Optional[int] = 2,
     ) -> None:
         self.validator_index = validator_index
         #: Validators sharing this view (representative first by convention).
@@ -79,6 +80,13 @@ class Node:
             tuple(members) if members is not None else (validator_index,)
         )
         self.config = config or SpecConfig.mainnet()
+        #: Attestations whose target epoch has fallen more than this many
+        #: epochs behind the processed epoch are dropped from the
+        #: inclusion log and the per-epoch vote columns — real clients
+        #: only accept attestations within about an epoch, so unincluded
+        #: stale votes must not accumulate forever.  ``None`` disables
+        #: the horizon (the pre-PR-7 unbounded behaviour).
+        self.inclusion_horizon_epochs = inclusion_horizon_epochs
         #: Stake-dynamics kernel driving this node's epoch processing
         #: (FFG justification, rewards, inactivity and slashing all run
         #: array-native on it).
@@ -159,6 +167,187 @@ class Node:
         if validator_index == self.validator_index:
             return self
         return MemberView(self, validator_index)
+
+    # ------------------------------------------------------------------
+    # View lifecycle: copy-on-write splits and fingerprint merges
+    # ------------------------------------------------------------------
+    def split_clone(self, members: Sequence[int], validator_index: int) -> "Node":
+        """An independent deep copy of this view for a child group.
+
+        Called when the message streams of a view group's members are
+        about to diverge: the child gets its own state, store, vote pool,
+        detector, columns, logs and caches — every mutable structure —
+        so the two sides evolve independently from a provably identical
+        starting point.  Only the cursors of ``members`` travel with the
+        child.  The stake-dynamics backend is stateless per call and
+        stays shared.
+        """
+        member_set = set(members)
+        clone = Node.__new__(Node)
+        clone.validator_index = validator_index
+        clone.members = tuple(members)
+        clone.config = self.config
+        clone.inclusion_horizon_epochs = self.inclusion_horizon_epochs
+        clone.backend = self.backend
+        clone.state = self.state.fork()
+        clone.store = self.store.clone()
+        clone.pool = self.pool.clone()
+        clone.detector = self.detector.clone()
+        clone.history = ChainHistory(reports=list(self.history.reports))
+        clone.pending = PendingQueues(
+            blocks=list(self.pending.blocks),
+            attestations=list(self.pending.attestations),
+        )
+        clone.attestations_by_epoch = {
+            epoch: columns.clone()
+            for epoch, columns in self.attestations_by_epoch.items()
+        }
+        clone._inclusion_log = list(self._inclusion_log)
+        clone._inclusion_cursors = {
+            index: cursor
+            for index, cursor in self._inclusion_cursors.items()
+            if index in member_set
+        }
+        clone._evidence_log = list(self._evidence_log)
+        clone._evidence_cursors = {
+            index: cursor
+            for index, cursor in self._evidence_cursors.items()
+            if index in member_set
+        }
+        clone.slashings_observed = defaultdict(set)
+        for epoch, indices in self.slashings_observed.items():
+            if indices:
+                clone.slashings_observed[epoch] = set(indices)
+        clone.blocks_received = self.blocks_received
+        clone.attestations_received = self.attestations_received
+        clone._justified_stakes = self._justified_stakes.copy()
+        clone._weights_version = self._weights_version
+        clone._head_cache = self._head_cache
+        clone._checkpoint_cache = dict(self._checkpoint_cache)
+        clone._stake_arr = self._stake_arr.copy()
+        clone._fc_stakes = self._fc_stakes.copy()
+        return clone
+
+    def restrict_members(self, members: Sequence[int]) -> None:
+        """Shrink this view to ``members`` after a split carved the rest away.
+
+        Cursors of departed members move out with their ``split_clone``;
+        keeping them here would pin the log-pruning floor forever.
+        """
+        member_set = set(members)
+        self.members = tuple(members)
+        self._inclusion_cursors = {
+            index: cursor
+            for index, cursor in self._inclusion_cursors.items()
+            if index in member_set
+        }
+        self._evidence_cursors = {
+            index: cursor
+            for index, cursor in self._evidence_cursors.items()
+            if index in member_set
+        }
+
+    def absorb_members(self, other: "Node") -> None:
+        """Adopt ``other``'s members after a fingerprint-equal merge.
+
+        Caller guarantees ``state_fingerprint()`` equality, so the logs
+        are element-wise identical and ``other``'s cursors transplant
+        verbatim.
+        """
+        self._inclusion_cursors.update(
+            (index, other._inclusion_cursors.get(index, 0)) for index in other.members
+        )
+        self._evidence_cursors.update(
+            (index, other._evidence_cursors.get(index, 0)) for index in other.members
+        )
+        self.members = tuple(sorted(set(self.members) | set(other.members)))
+
+    def state_fingerprint(self) -> Tuple:
+        """A content-based summary of everything that drives future behaviour.
+
+        Two views with equal fingerprints react identically to any future
+        common message stream, so the engine may merge their groups (the
+        exact converse of the split legality argument).  Deliberately
+        strict — interner-dependent ids are mapped back to root keys, and
+        row order is included because scan order breaks ties.
+        """
+        store = self.store
+        state = self.state
+        flat = self.pool.flat
+        pool_rows = []
+        for epoch in sorted(flat.epochs()):
+            arrays = flat.vote_arrays(epoch)
+            if arrays is None:
+                continue
+            validators, source_epochs, source_roots, target_roots = arrays
+            pool_rows.append(
+                (
+                    epoch,
+                    tuple(
+                        (int(v), int(se), flat.root_of(int(sr)), flat.root_of(int(tr)))
+                        for v, se, sr, tr in zip(
+                            validators, source_epochs, source_roots, target_roots
+                        )
+                    ),
+                )
+            )
+        column_rows = []
+        for epoch in sorted(self.attestations_by_epoch):
+            validators, source_epochs, source_roots, target_roots = (
+                self.attestations_by_epoch[epoch].arrays()
+            )
+            column_rows.append(
+                (
+                    epoch,
+                    tuple(
+                        (int(v), int(se), flat.root_of(int(sr)), flat.root_of(int(tr)))
+                        for v, se, sr, tr in zip(
+                            validators, source_epochs, source_roots, target_roots
+                        )
+                    ),
+                )
+            )
+        latest = store.latest_messages
+        return (
+            frozenset(block.root for block in store.tree.blocks()),
+            tuple(
+                (index, message.epoch, message.root)
+                for index, message in sorted(latest.items())
+            ),
+            store.justified_checkpoint,
+            store.finalized_checkpoint,
+            tuple(sorted(store.checkpoint_roots.items())),
+            tuple(
+                (v.index, v.stake, v.inactivity_score, v.slashed, v.exit_epoch)
+                for v in state.validators
+            ),
+            state.current_epoch,
+            state.current_justified_checkpoint,
+            state.previous_justified_checkpoint,
+            state.finalized_checkpoint,
+            frozenset(state.justified_epochs),
+            tuple(sorted(state.justified_checkpoints.items())),
+            tuple(sorted(state.finalized_checkpoints.items())),
+            state.last_finalized_epoch,
+            tuple(pool_rows),
+            tuple(column_rows),
+            tuple(self._inclusion_log),
+            tuple(self._evidence_log),
+            tuple(
+                (epoch, frozenset(indices))
+                for epoch, indices in sorted(self.slashings_observed.items())
+                if indices
+            ),
+            tuple(
+                (index, tuple((a.ffg, a.head_root) for a in seen))
+                for index, seen in sorted(self.detector._seen.items())
+                if seen
+            ),
+            tuple(sorted(self.detector._evidence)),
+            tuple(self.pending.blocks),
+            tuple(self.pending.attestations),
+            self._justified_stakes.tobytes(),
+        )
 
     def inclusion_view(self, validator_index: int) -> List[Attestation]:
         """Attestations ``validator_index`` has seen but not yet included."""
@@ -330,6 +519,16 @@ class Node:
         """All leaf roots of the local tree (competing branch heads)."""
         return list(self.store.tree.leaves())
 
+    def branch_weight(self, root: Root) -> float:
+        """Attesting stake on the subtree rooted at ``root``.
+
+        Uses the same justified-balance weights as :meth:`head`, so a
+        swayer comparing two branches sees exactly what LMD-GHOST sees.
+        """
+        return self.store.subtree_weight(
+            root, self.store._vote_weights_from_stakes(self._fc_stakes)
+        )
+
     def checkpoint_of_epoch(self, epoch: int, head: Optional[Root] = None) -> Checkpoint:
         """Checkpoint of ``epoch`` on the chain of ``head`` (default: own head)."""
         head_root = head if head is not None else self.head()
@@ -477,6 +676,7 @@ class Node:
             )
         self._refresh_view_arrays()
         self._prune_consumed_logs()
+        self._prune_inclusion_horizon(epoch)
         return report
 
     def _prune_consumed_logs(self) -> None:
@@ -513,6 +713,47 @@ class Node:
             return cursors
         del log[:floor]
         return {member: cursor - floor for member, cursor in cursors.items()}
+
+    def _prune_inclusion_horizon(self, epoch: int) -> None:
+        """Expire attestations older than the inclusion horizon.
+
+        After processing ``epoch``, attestations whose target epoch is
+        ``<= epoch - inclusion_horizon_epochs`` can no longer influence
+        anything: their FFG epoch is settled, their fork-choice votes are
+        superseded, and real clients would refuse to include them.  They
+        are dropped from the inclusion log — *even if some member never
+        consumed them* (this is the semantics change over the pure
+        min-cursor pruning: backlog is now bounded at roughly two epochs
+        of attestations instead of growing forever behind an idle
+        member) — and the per-epoch vote columns below the cutoff are
+        deleted.  The evidence log is untouched (evidence never
+        expires).  Cursors are rebased through a keep-mask prefix count
+        so every member's unconsumed *live* suffix is preserved exactly;
+        the rule depends only on shared view state, so grouped and
+        per-node engines prune identically.
+        """
+        if self.inclusion_horizon_epochs is None:
+            return
+        cutoff = epoch - self.inclusion_horizon_epochs + 1
+        for target_epoch in [
+            e for e in self.attestations_by_epoch if e < cutoff
+        ]:
+            del self.attestations_by_epoch[target_epoch]
+        log = self._inclusion_log
+        if not log:
+            return
+        keep = [a.target_epoch >= cutoff for a in log]
+        if all(keep):
+            return
+        # kept_before[i] = number of surviving entries strictly before i.
+        kept_before = [0] * (len(log) + 1)
+        for i, k in enumerate(keep):
+            kept_before[i + 1] = kept_before[i] + (1 if k else 0)
+        self._inclusion_log = [a for a, k in zip(log, keep) if k]
+        self._inclusion_cursors = {
+            member: kept_before[cursor]
+            for member, cursor in self._inclusion_cursors.items()
+        }
 
     # ------------------------------------------------------------------
     def finalized_epochs(self) -> Set[int]:

@@ -19,10 +19,16 @@ from __future__ import annotations
 from typing import Any, Dict, Optional
 
 from repro.agents.base import ValidatorAgent
-from repro.agents.byzantine import AlternatingAgent, BouncingAgent, DoubleVotingAgent
+from repro.agents.byzantine import (
+    AlternatingAgent,
+    BouncingAgent,
+    DoubleVotingAgent,
+    SwayerByzantine,
+)
 from repro.agents.honest import HonestAgent, OfflineAgent
 from repro.network.partition import PartitionSchedule
 from repro.sim.engine import SimulationEngine
+from repro.spec.committees import DutyScheduler
 from repro.spec.config import SpecConfig
 from repro.spec.validator import make_registry
 
@@ -176,6 +182,88 @@ def build_partitioned_simulation(
     )
 
 
+def build_balancing_attack_simulation(
+    n_validators: int = 16,
+    byzantine_fraction: float = 0.25,
+    config: Optional[SpecConfig] = None,
+    seed: str = "repro",
+    delta: float = 1.0,
+    sway_delay: float = 0.0,
+    view_sharding: bool = True,
+    backend: str = "numpy",
+    merge_views: bool = False,
+    max_attempts: int = 256,
+) -> SimulationEngine:
+    """The Gasper balancing attack over a *healthy* network.
+
+    An adversarial slot-1 proposer equivocates two tagged blocks, showing
+    one to each half of the honest validators, and Byzantine "swayers" in
+    later committees keep the two branches balanced with targeted,
+    optionally delayed votes (:class:`~repro.agents.byzantine.SwayerByzantine`).
+    There is no partition: the fork lives purely on targeted messages, so
+    under ``view_sharding=True`` this is the scenario that exercises
+    dynamic view splitting (the single honest group fragments into a left
+    and a right view at slot 1; peak live groups stay ~3 at any N).
+
+    The attack needs the slot-1 proposer to be adversarial, so the duty
+    seed is *rejection-sampled*: derived seeds ``"{seed}/balancing-{k}"``
+    are probed against the deterministic duty schedule until one puts a
+    Byzantine validator in the slot-1 proposer role (the same
+    role-feasibility question the ``balancing-feasibility`` experiment
+    sweeps).  Raises ``ValueError`` when no feasible assignment is found
+    within ``max_attempts``.
+    """
+    cfg = config or SpecConfig.minimal()
+    registry = make_registry(n_validators, cfg, byzantine_fraction=byzantine_fraction)
+    honest_indices = [v.index for v in registry if v.label == "honest"]
+    byzantine_indices = [v.index for v in registry if v.label == "byzantine"]
+    if not byzantine_indices:
+        raise ValueError("the balancing attack needs byzantine_fraction > 0")
+    byzantine_set = set(byzantine_indices)
+
+    split_slot = 1  # slot 0 carries the genesis block; the fork starts at 1.
+    duty_seed = None
+    for attempt in range(max_attempts):
+        candidate = f"{seed}/balancing-{attempt}"
+        duties = DutyScheduler(config=cfg, seed=candidate).duties_for_epoch(
+            0, registry
+        )
+        if duties.proposers[split_slot] in byzantine_set:
+            duty_seed = candidate
+            break
+    if duty_seed is None:
+        raise ValueError(
+            f"no duty seed with an adversarial slot-{split_slot} proposer found "
+            f"in {max_attempts} attempts (F={len(byzantine_indices)}, N={n_validators})"
+        )
+
+    half = len(honest_indices) // 2
+    left = tuple(honest_indices[:half])
+    right = tuple(honest_indices[half:])
+    agents: Dict[int, ValidatorAgent] = {
+        index: HonestAgent(index) for index in honest_indices
+    }
+    for index in byzantine_indices:
+        agents[index] = SwayerByzantine(
+            index,
+            left=left,
+            right=right,
+            byzantine=byzantine_indices,
+            split_slot=split_slot,
+            sway_delay=sway_delay,
+        )
+    return SimulationEngine(
+        registry=registry,
+        agents=agents,
+        schedule=PartitionSchedule.fully_connected(delta=delta),
+        config=cfg,
+        seed=duty_seed,
+        view_sharding=view_sharding,
+        backend=backend,
+        merge_views=merge_views,
+    )
+
+
 # ----------------------------------------------------------------------
 # Mainnet-scale presets
 # ----------------------------------------------------------------------
@@ -233,12 +321,23 @@ SCENARIO_PRESETS: Dict[str, Dict[str, Any]] = {
             "config": SpecConfig.mainnet(),
         },
     },
+    # Balancing attack over a healthy network: the dynamic-view-splitting
+    # showcase (peak live view groups ~3 even at 10k validators).
+    "mainnet-balancing-10k": {
+        "builder": "balancing",
+        "kwargs": {
+            "n_validators": 10_000,
+            "byzantine_fraction": 0.15,
+            "config": SpecConfig.mainnet(),
+        },
+    },
 }
 
 _PRESET_BUILDERS = {
     "honest": build_honest_simulation,
     "offline": build_offline_fraction_simulation,
     "partitioned": build_partitioned_simulation,
+    "balancing": build_balancing_attack_simulation,
 }
 
 

@@ -27,6 +27,9 @@ class BeaconBlock:
     attestations: Tuple[Attestation, ...] = field(default_factory=tuple)
     #: Indices of validators for which this block includes slashing evidence.
     slashing_evidence: Tuple[int, ...] = field(default_factory=tuple)
+    #: Fork label chosen by the proposer (already folded into ``root``);
+    #: carried so attack agents can recognise their own branches later.
+    branch_tag: str = ""
 
     def __post_init__(self) -> None:
         if self.slot < 0:
@@ -66,6 +69,7 @@ class BeaconBlock:
             root=Root.from_label(label),
             attestations=tuple(attestations),
             slashing_evidence=tuple(slashing_evidence),
+            branch_tag=branch_tag,
         )
 
     def is_genesis(self) -> bool:

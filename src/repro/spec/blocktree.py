@@ -92,6 +92,21 @@ class BlockTree:
         self._children[block.parent_root].append(block.root)
         return True
 
+    def clone(self) -> "BlockTree":
+        """An independent tree holding the same blocks.
+
+        Blocks are immutable, so the copy is structural only (dict and
+        child-list duplication); used when a view group splits.
+        """
+        copy = BlockTree.__new__(BlockTree)
+        copy._blocks = dict(self._blocks)
+        copy._children = defaultdict(list)
+        for root, children in self._children.items():
+            if children:
+                copy._children[root] = list(children)
+        copy._genesis_root = self._genesis_root
+        return copy
+
     # ------------------------------------------------------------------
     # Ancestry queries
     # ------------------------------------------------------------------

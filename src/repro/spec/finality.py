@@ -69,6 +69,12 @@ class FFGVotePool:
         #: The underlying flat-array accumulator.
         self.flat = FlatVotePool()
 
+    def clone(self) -> "FFGVotePool":
+        """An independent pool with the same recorded votes (view splits)."""
+        copy = FFGVotePool()
+        copy.flat = self.flat.clone()
+        return copy
+
     def add_attestation(self, attestation: Attestation) -> bool:
         """Record the checkpoint vote carried by ``attestation``.
 

@@ -114,6 +114,27 @@ class Store:
             for index in indices
         }
 
+    def clone(self) -> "Store":
+        """An independent store with identical tree, votes and checkpoints.
+
+        The latest-message arrays, the interner (ids stay comparable only
+        within one store) and the checkpoint maps are all duplicated, so
+        mutations on either side never leak across — the copy-on-write
+        primitive behind dynamic view splitting.
+        """
+        copy = Store(
+            config=self.config,
+            tree=self.tree.clone(),
+            justified_checkpoint=self.justified_checkpoint,
+            finalized_checkpoint=self.finalized_checkpoint,
+            checkpoint_roots=dict(self.checkpoint_roots),
+            version=self.version,
+        )
+        copy._latest_epoch = self._latest_epoch.copy()
+        copy._latest_root = self._latest_root.copy()
+        copy._interner = self._interner.clone()
+        return copy
+
     # ------------------------------------------------------------------
     # Ingestion
     # ------------------------------------------------------------------

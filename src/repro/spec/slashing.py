@@ -64,6 +64,19 @@ class SlashingDetector:
         self._seen: Dict[int, List[Attestation]] = defaultdict(list)
         self._evidence: Dict[int, SlashingEvidence] = {}
 
+    def clone(self) -> "SlashingDetector":
+        """An independent detector with the same observations (view splits).
+
+        Attestations and evidence are immutable, so only the containers
+        are duplicated.
+        """
+        copy = SlashingDetector()
+        for index, seen in self._seen.items():
+            if seen:
+                copy._seen[index] = list(seen)
+        copy._evidence = dict(self._evidence)
+        return copy
+
     def observe(self, attestation: Attestation) -> Optional[SlashingEvidence]:
         """Record an attestation; return new evidence if it is slashable.
 

@@ -21,6 +21,7 @@ import pytest
 
 from repro.sim.scenarios import (
     SCENARIO_PRESETS,
+    build_balancing_attack_simulation,
     build_honest_simulation,
     build_offline_fraction_simulation,
     build_partitioned_simulation,
@@ -116,13 +117,40 @@ SCENARIOS = [
         },
         5,
     ),
+    # Balancing scenarios run over a *healthy* network: the fork exists
+    # purely through targeted sends, so the grouped engine must split its
+    # single honest view dynamically — the tentpole of the refactor.
+    (
+        "balancing",
+        build_balancing_attack_simulation,
+        {"n_validators": 16},
+        4,
+    ),
+    (
+        "balancing-sway-delay",
+        build_balancing_attack_simulation,
+        {"n_validators": 16, "sway_delay": 2.0},
+        4,
+    ),
+    (
+        "balancing-uneven",
+        build_balancing_attack_simulation,
+        {"n_validators": 12, "byzantine_fraction": 0.25},
+        4,
+    ),
+    (
+        "balancing-merge",
+        build_balancing_attack_simulation,
+        {"n_validators": 16, "merge_views": True},
+        4,
+    ),
 ]
 
 SCENARIO_IDS = [scenario[0] for scenario in SCENARIOS]
 
 #: Scenarios re-run on the pure-python kernel backend (kept to the
 #: families that exercise distinct code paths, for runtime).
-PYTHON_BACKEND_IDS = {"healthy", "partition", "double-voting", "bouncing"}
+PYTHON_BACKEND_IDS = {"healthy", "partition", "double-voting", "bouncing", "balancing"}
 
 
 def assert_runs_equivalent(grouped, per_node):
@@ -164,8 +192,8 @@ class TestGroupedEquivalence:
 
     @pytest.mark.parametrize(
         "name, builder, kwargs, epochs",
-        [s for s in SCENARIOS if s[0] in {"partition", "bouncing"}],
-        ids=["partition", "bouncing"],
+        [s for s in SCENARIOS if s[0] in {"partition", "bouncing", "balancing"}],
+        ids=["partition", "bouncing", "balancing"],
     )
     def test_per_node_python_backend_matches(self, name, builder, kwargs, epochs):
         # The full 2x2 (sharding x backend) closes on these two families.
@@ -389,6 +417,40 @@ class TestViewGroupStructure:
         assert first.attestations == second.attestations
         follow_up = view.build_block(slot=3, proposer=0)
         assert follow_up.attestations == ()
+
+
+class TestBalancingStructure:
+    """The balancing scenario is the canonical dynamic-split exercise."""
+
+    def test_grouped_run_fragments_once_and_stays_bounded(self):
+        engine = build_balancing_attack_simulation(n_validators=16)
+        # Before slot 1 the healthy network is one honest view (+ the
+        # Byzantine coordination group).
+        assert len(engine.views) == 2
+        result = engine.run(4)
+        splits = result.split_events()
+        assert len(splits) == 1
+        (event,) = splits
+        assert event.kind == "split"
+        assert event.parent == "global"
+        assert event.slot == 1
+        # Left honest half + right honest half + Byzantine group: peak
+        # live views stay O(branches), never O(N).
+        assert result.peak_view_count == 3
+        assert set(result.view_groups[event.child]) == set(event.members)
+
+    def test_split_preserves_representative_convention(self):
+        engine = build_balancing_attack_simulation(n_validators=16)
+        engine.run(2)
+        for name, members in engine.view_groups.items():
+            assert engine.views[name].validator_index == min(members)
+            assert engine.views[name].members == tuple(sorted(members))
+
+    def test_per_node_run_records_no_view_events(self):
+        result = build_balancing_attack_simulation(
+            n_validators=16, view_sharding=False
+        ).run(2)
+        assert result.view_events == []
 
 
 class TestMainnetScalePresets:

@@ -1,0 +1,284 @@
+"""Unit tests for dynamic view splitting, re-merging and their plumbing.
+
+The differential suite (``test_sim_view_groups.py``) pins the end-to-end
+grouped==per-node contract for scenarios that fragment; this file tests
+the mechanics in isolation:
+
+* ``_ensure_exact_audience`` copy-on-write splits exactly the partially
+  covered groups, duplicates in-flight/withheld traffic, and preserves
+  the representative-is-min-member convention;
+* ``_try_merges`` re-fuses groups only when their message streams *and*
+  state fingerprints have re-converged, gated by ``merge_views``;
+* the adversary's audience caches are invalidated on every topology
+  change (the staleness regression of this PR);
+* the inclusion horizon bounds the attestation backlog and rebases
+  member cursors without changing what proposers include.
+"""
+
+import pytest
+
+from repro.agents.honest import HonestAgent, OfflineAgent
+from repro.network.message import Message
+from repro.network.partition import PartitionSchedule
+from repro.sim.engine import SimulationEngine
+from repro.sim.node import Node
+from repro.sim.scenarios import (
+    build_honest_simulation,
+    build_partitioned_simulation,
+)
+from repro.spec.config import SpecConfig
+from repro.spec.validator import make_registry
+
+
+def _offline_engine(n: int = 8, merge_views: bool = True) -> SimulationEngine:
+    """A healthy network of silent validators: one 'global' view group."""
+    config = SpecConfig.minimal()
+    registry = make_registry(n, config)
+    return SimulationEngine(
+        registry=registry,
+        agents={i: OfflineAgent(i) for i in range(n)},
+        schedule=PartitionSchedule.fully_connected(delta=1.0),
+        config=config,
+        view_sharding=True,
+        merge_views=merge_views,
+    )
+
+
+def _attestation_message(engine: SimulationEngine, group: str = "global"):
+    view = engine.views[group]
+    attestation = view.attestation_for(slot=1, validator_index=view.members[0])
+    return Message.attestation(
+        attestation, sender=view.members[0], sent_at=0.0
+    )
+
+
+class TestSplitMechanics:
+    def test_partial_audience_splits_group(self):
+        engine = build_honest_simulation(n_validators=12)
+        message = _attestation_message(engine)
+        engine.adversary.send_to_validators(message, (0, 1, 2, 3))
+        assert set(engine.view_groups) == {"global", "global/4"}
+        assert engine.view_groups["global"] == (0, 1, 2, 3)
+        assert engine.view_groups["global/4"] == tuple(range(4, 12))
+        # Representative = min(members) on both children; facades and
+        # endpoint maps rebound for the moved side.
+        for name, members in engine.view_groups.items():
+            assert engine.views[name].validator_index == min(members)
+            assert engine.views[name].members == members
+        assert engine.group_of[5] == "global/4"
+        assert engine.nodes[5].node is engine.views["global/4"]
+        assert engine._endpoint_of[5] == 4
+        # The split happened *before* scheduling: only the covered side's
+        # endpoint receives the diverging message.
+        assert [m for _, m in engine.network.pending_for(0)] == [message.message_id]
+        assert engine.network.pending_for(4) == []
+        (event,) = engine.view_events
+        assert event.kind == "split"
+        assert (event.parent, event.child) == ("global", "global/4")
+        assert event.members == tuple(range(4, 12))
+
+    def test_full_or_empty_audience_does_not_split(self):
+        engine = build_honest_simulation(n_validators=12)
+        engine.adversary.send_to_validators(
+            _attestation_message(engine), tuple(range(12))
+        )
+        assert set(engine.view_groups) == {"global"}
+        assert engine.view_events == []
+
+    def test_split_duplicates_in_flight_and_withheld_traffic(self):
+        engine = build_honest_simulation(n_validators=12)
+        in_flight = _attestation_message(engine)
+        withheld = _attestation_message(engine)
+        engine.network.broadcast(in_flight)
+        engine.adversary.withhold(withheld, range(12))
+        diverging = _attestation_message(engine)
+        engine.adversary.send_to_validators(diverging, (0, 1, 2, 3))
+        # Both children must observe the identical pre-split stream; the
+        # diverging message itself reaches only the covered child.
+        pending_old = engine.network.pending_for(0)
+        pending_new = engine.network.pending_for(4)
+        assert pending_new == [(1.0, in_flight.message_id)]
+        assert pending_old == pending_new + [(1.0, diverging.message_id)]
+        assert engine.network.withheld_for(0) == [withheld.message_id]
+        assert engine.network.withheld_for(4) == [withheld.message_id]
+
+    def test_per_node_mode_never_splits(self):
+        engine = build_honest_simulation(n_validators=8, view_sharding=False)
+        engine.adversary.send_to_validators(
+            _attestation_message(engine, group=next(iter(engine.views))), (0, 1, 2)
+        )
+        assert len(engine.views) == 8
+        assert engine.view_events == []
+
+
+class TestMergeMechanics:
+    def _split_and_cross_deliver(self, engine):
+        """Split 'global' along (0,1,2), then deliver the same content to
+        both sides via two distinct messages.  Returns the child name."""
+        first = _attestation_message(engine)
+        second = Message.attestation(first.payload, first.sender, first.sent_at)
+        engine.adversary.send_to_validators(first, (0, 1, 2))
+        child = "global/3"
+        assert set(engine.view_groups) == {"global", child}
+        engine.adversary.send_to_validators(
+            second, tuple(engine.view_groups[child])
+        )
+        return child
+
+    def test_converged_groups_remerge(self):
+        engine = _offline_engine()
+        child = self._split_and_cross_deliver(engine)
+        engine._deliver_due(1.0)
+        engine._try_merges()
+        assert set(engine.view_groups) == {"global"}
+        assert engine.views["global"].members == tuple(range(8))
+        assert engine.group_of[7] == "global"
+        assert engine.nodes[7].node is engine.views["global"]
+        assert engine.adversary.resolve_endpoints(range(8)) == (0,)
+        merge = engine.view_events[-1]
+        assert merge.kind == "merge"
+        assert (merge.parent, merge.child) == ("global", child)
+
+    def test_divergent_groups_do_not_merge(self):
+        engine = _offline_engine()
+        # Deliver the diverging message to one side only.
+        engine.adversary.send_to_validators(
+            _attestation_message(engine), (0, 1, 2)
+        )
+        engine._deliver_due(1.0)
+        engine._try_merges()
+        assert set(engine.view_groups) == {"global", "global/3"}
+
+    def test_unequal_pending_streams_block_merge(self):
+        engine = _offline_engine()
+        self._split_and_cross_deliver(engine)
+        # Same content is in flight to both sides, but under *different*
+        # message ids — the stream check must refuse until delivery.
+        engine._try_merges()
+        assert set(engine.view_groups) == {"global", "global/3"}
+
+    def test_stale_deliveries_to_dead_endpoint_are_dropped(self):
+        engine = _offline_engine()
+        self._split_and_cross_deliver(engine)
+        engine._deliver_due(1.0)
+        # A broadcast sits identically in both endpoints' queues: merge is
+        # legal, and the dead endpoint's copy must be dropped silently.
+        late = _attestation_message(engine)
+        engine.network.broadcast(late)
+        engine._try_merges()
+        assert set(engine.view_groups) == {"global"}
+        engine._deliver_due(2.0)  # must not raise on the dead endpoint
+
+    def test_merge_views_flag_gates_the_run_loop(self):
+        merging = _offline_engine(merge_views=True)
+        self._split_and_cross_deliver(merging)
+        result = merging.run(2)
+        assert len(merging.views) == 1
+        assert len(result.merge_events()) == 1
+        assert result.peak_view_count == 2
+
+        frozen = _offline_engine(merge_views=False)
+        self._split_and_cross_deliver(frozen)
+        result = frozen.run(2)
+        assert len(frozen.views) == 2
+        assert result.merge_events() == []
+
+
+class TestAdversaryCacheInvalidation:
+    """Satellite regression: `_audience_endpoints` must never go stale."""
+
+    def test_notify_topology_changed_clears_cache(self):
+        engine = build_partitioned_simulation(n_validators=12, p0=0.5)
+        adversary = engine.adversary
+        adversary._audience_endpoints("branch-1", True)
+        assert adversary._audience_cache
+        adversary.notify_topology_changed()
+        assert adversary._audience_cache == {}
+
+    def test_resolver_reinstall_routes_through_invalidation(self):
+        engine = build_partitioned_simulation(n_validators=12, p0=0.5)
+        adversary = engine.adversary
+        adversary._audience_endpoints("branch-1", True)
+        adversary.set_endpoint_resolver(lambda index: 99)
+        assert adversary._audience_cache == {}
+        assert adversary.resolve_endpoints((0, 1, 2)) == (99,)
+
+    def test_split_refreshes_partition_audiences(self):
+        # The regression this PR fixes: after a view split, a cached
+        # partition audience would keep addressing only the old endpoint,
+        # silently skipping the freshly split group.
+        engine = build_partitioned_simulation(n_validators=12, p0=0.5)
+        adversary = engine.adversary
+        before = adversary._audience_endpoints("branch-1", False)
+        members = engine.view_groups["branch-1"]
+        view = engine.views["branch-1"]
+        message = Message.attestation(
+            view.attestation_for(slot=1, validator_index=members[0]),
+            sender=members[0],
+            sent_at=0.0,
+        )
+        adversary.send_to_validators(message, members[:2])
+        after = adversary._audience_endpoints("branch-1", False)
+        assert after != before
+        assert set(after) > set(before)
+        new_rep = min(set(members) - set(members[:2]))
+        assert new_rep in after
+
+
+class TestInclusionHorizon:
+    """Satellite: the ~2-epoch inclusion horizon bounds the backlog."""
+
+    def test_prune_drops_expired_columns_and_rebases_cursors(self):
+        config = SpecConfig.minimal()  # 4-slot epochs
+        view = Node(
+            validator_index=0,
+            registry=make_registry(8, config),
+            config=config,
+            members=(0, 1),
+        )
+        # Two attestations targeting epoch 0, two targeting epoch 2.
+        for validator, slot in ((4, 1), (5, 2), (6, 9), (7, 10)):
+            attestation = view.attestation_for(slot=slot, validator_index=validator)
+            view.receive(
+                Message.attestation(attestation, sender=validator, sent_at=float(slot))
+            )
+        # Member 0 consumes the whole log; member 1 consumes nothing.
+        assert len(view.build_block(slot=11, proposer=0).attestations) == 4
+        view._prune_inclusion_horizon(2)  # horizon 2 -> cutoff epoch 1
+        assert set(view.attestations_by_epoch) == {2}
+        assert all(a.target_epoch >= 1 for a in view._inclusion_log)
+        # Cursors point at the same logical position: the caught-up member
+        # re-includes nothing, the fresh member sees only the survivors.
+        assert view.build_block(slot=11, proposer=0).attestations == ()
+        assert len(view.build_block(slot=11, proposer=1).attestations) == 2
+
+    def test_horizon_bounds_columns_in_a_long_run(self):
+        engine = build_honest_simulation(n_validators=12)
+        engine.run(6)
+        for view in engine.views.values():
+            horizon = view.inclusion_horizon_epochs
+            assert horizon == 2
+            assert len(view.attestations_by_epoch) <= horizon + 1
+            assert all(epoch >= 4 for epoch in view.attestations_by_epoch)
+
+    def test_horizon_none_restores_unbounded_backlog(self):
+        config = SpecConfig.minimal()
+        registry = make_registry(12, config)
+        engine = SimulationEngine(
+            registry=registry,
+            agents={i: HonestAgent(i) for i in range(12)},
+            schedule=PartitionSchedule.fully_connected(delta=1.0),
+            config=config,
+            inclusion_horizon_epochs=None,
+        )
+        engine.run(4)
+        (view,) = engine.views.values()
+        assert view.inclusion_horizon_epochs is None
+        assert {0, 1, 2, 3} <= set(view.attestations_by_epoch)
+
+    def test_horizon_identical_across_sharding_modes(self):
+        grouped = build_honest_simulation(n_validators=10).run(5)
+        per_node = build_honest_simulation(n_validators=10, view_sharding=False).run(5)
+        assert grouped.snapshots == per_node.snapshots
+        for index in grouped.final_states:
+            assert grouped.final_states[index] == per_node.final_states[index]
