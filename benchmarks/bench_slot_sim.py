@@ -213,6 +213,53 @@ def test_balancing_at_mainnet_scale_completes_in_seconds():
     assert elapsed < 120.0
 
 
+def test_gossip_latency_at_mainnet_scale_completes_in_seconds():
+    """The realistic-network gate: 10k validators under gossip propagation.
+
+    The per-hop gossip model samples one latency per validator per
+    message, yet the default parameters keep every arrival inside one
+    phase window — so the healthy network must stay a *single* view
+    (zero split overhead), keep finalizing, and hold throughput within
+    an order of magnitude of the uniform-delay run.  Latency statistics
+    go into the JSON artifact alongside the throughput numbers.
+    """
+    engine = build_preset("mainnet-gossip-10k")
+    start = time.perf_counter()
+    result = engine.run(EPOCHS)
+    elapsed = time.perf_counter() - start
+    assert result.epochs_run == EPOCHS
+    # Liveness survives realistic propagation...
+    assert result.max_finalized_epoch() >= 0
+    # ...without fragmenting the single honest view (origin-pays-one-hop
+    # rule plus sub-phase default hop delays).
+    assert result.peak_view_count == 1
+    stats = result.transport_stats
+    model = engine.latency_model
+    _record(
+        "gossip_mainnet_10k",
+        {
+            "epochs": EPOCHS,
+            "n_validators": len(engine.registry),
+            "latency_model": type(model).__name__,
+            "degree": model.degree,
+            "hop_delay": list(model.hop_delay),
+            "seconds": elapsed,
+            "slots_per_second": _slots_per_second(engine, result, elapsed),
+            "peak_view_count": result.peak_view_count,
+            "messages_sent": stats.sent,
+            "messages_delivered": stats.delivered,
+            "latency_delayed": stats.latency_delayed,
+            "finalized_epoch": result.max_finalized_epoch(),
+        },
+    )
+    print(
+        f"\ngossip @10k (mainnet config, {EPOCHS} epochs): {elapsed:.1f}s, "
+        f"{stats.latency_delayed} latency-delayed deliveries, "
+        f"peak views {result.peak_view_count}"
+    )
+    assert elapsed < 120.0
+
+
 @pytest.mark.skipif(
     not os.environ.get("BENCH_SLOT_SIM_FULL"),
     reason="direct per-node 10k run needs tens of GB of RAM (BENCH_SLOT_SIM_FULL=1)",

@@ -13,6 +13,7 @@ from repro.agents.byzantine import (
     DoubleVotingAgent,
 )
 from repro.agents.honest import HonestAgent, IntermittentAgent, OfflineAgent
+from repro.agents.profiles import IntermittentValidator, LazyValidator
 
 __all__ = [
     "AgentContext",
@@ -23,6 +24,8 @@ __all__ = [
     "DoubleVotingAgent",
     "HonestAgent",
     "IntermittentAgent",
+    "IntermittentValidator",
+    "LazyValidator",
     "OfflineAgent",
     "ProposalAction",
     "ValidatorAgent",

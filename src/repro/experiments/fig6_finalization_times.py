@@ -7,8 +7,8 @@ in slashable behaviour (Equation 9) and when they do not (Equation 10).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -21,12 +21,20 @@ from repro.analysis.finalization_time import (
 
 @dataclass
 class Figure6Result:
-    """Crossing-time curves for the two Byzantine strategies."""
+    """Crossing-time curves for the two Byzantine strategies.
+
+    ``network_validation`` (present when a ``--latency-model`` was
+    requested) holds a measured mainnet-scale slot-simulation run under
+    that model: the finalization lag of a healthy network, confirming
+    that the closed-form curves' Liveness baseline survives realistic
+    propagation.
+    """
 
     p0: float
     beta0_values: Sequence[float]
     slashing_epochs: List[float]
     non_slashing_epochs: List[float]
+    network_validation: Optional[Dict[str, object]] = None
 
     def rows(self) -> List[Dict[str, float]]:
         """One row per beta0 with both curves."""
@@ -49,6 +57,16 @@ class Figure6Result:
                 f"  {row['beta0']:>6.3f}  {row['epochs_slashing']:>9.0f}  "
                 f"{row['epochs_non_slashing']:>12.0f}"
             )
+        if self.network_validation is not None:
+            v = self.network_validation
+            lines.append(
+                f"  network validation ({v['latency_model']}, "
+                f"{v['n_validators']} validators, {v['epochs']} epochs): "
+                f"finalized epoch {v['finalized_epoch']} "
+                f"(lag {v['finalization_lag_epochs']}), "
+                f"{v['slots_per_second']:.0f} slots/s, "
+                f"{v['latency_delayed']} deliveries past the uniform bound"
+            )
         return "\n".join(lines)
 
     def non_slashing_always_slower(self) -> bool:
@@ -63,14 +81,36 @@ def run(
     beta0_max: float = 0.33,
     n_points: int = 67,
     p0: float = 0.5,
+    latency_model: Optional[str] = None,
+    latency_seed: int = 0,
+    latency_validators: int = 10_000,
+    latency_epochs: int = 4,
 ) -> Figure6Result:
-    """Reproduce the Figure-6 curves."""
+    """Reproduce the Figure-6 curves.
+
+    With ``latency_model`` set (``"uniform"``, ``"jitter"``,
+    ``"lognormal"`` or ``"gossip"``) the closed-form curves are
+    accompanied by a measured mainnet-scale (default 10k validators)
+    slot-simulation run under that model, validating the Liveness
+    baseline the curves extrapolate from.
+    """
     beta0_values = [float(b) for b in np.linspace(0.0, beta0_max, n_points)]
     slashing = [threshold_epoch_slashing(p0, beta0) for beta0 in beta0_values]
     non_slashing = [threshold_epoch_non_slashing(p0, beta0) for beta0 in beta0_values]
+    validation: Optional[Dict[str, object]] = None
+    if latency_model is not None:
+        from repro.experiments.network_measure import measure_healthy_finalization
+
+        validation = measure_healthy_finalization(
+            latency_model,
+            latency_seed=latency_seed,
+            n_validators=latency_validators,
+            epochs=latency_epochs,
+        )
     return Figure6Result(
         p0=p0,
         beta0_values=beta0_values,
         slashing_epochs=slashing,
         non_slashing_epochs=non_slashing,
+        network_validation=validation,
     )

@@ -37,11 +37,21 @@ class Experiment:
     run: Callable[..., object]
 
     #: Runner-level options an experiment may accept, in display order.
-    RUNNER_OPTIONS = ("jobs", "seed", "n_trials", "record_every", "batch", "backend")
+    RUNNER_OPTIONS = (
+        "jobs",
+        "seed",
+        "n_trials",
+        "record_every",
+        "batch",
+        "backend",
+        "latency_model",
+        "latency_seed",
+    )
 
     def accepted_options(self) -> FrozenSet[str]:
         """Which runner-level options (``jobs``, ``seed``, ``n_trials``,
-        ``record_every``, ``batch``, ``backend``) this run accepts."""
+        ``record_every``, ``batch``, ``backend``, ``latency_model``,
+        ``latency_seed``) this run accepts."""
         parameters = inspect.signature(self.run).parameters
         return frozenset(name for name in self.RUNNER_OPTIONS if name in parameters)
 

@@ -8,9 +8,10 @@ Usage::
     repro-experiments fig10-montecarlo --jobs 8 --seed 7
     repro-experiments fig10-montecarlo --jobs 0 --trials 1024 --record-every 250
 
-``--jobs``/``--seed``/``--trials``/``--record-every`` are forwarded to
-every selected experiment that accepts them (``--list`` marks those with
-``[parallel]`` / ``[seeded]`` / ``[trials]`` / ``[curve]``).
+``--jobs``/``--seed``/``--trials``/``--record-every``/``--latency-model``
+are forwarded to every selected experiment that accepts them (``--list``
+marks those with ``[parallel]`` / ``[seeded]`` / ``[trials]`` /
+``[curve]`` / ``[latency]``).
 Seeded experiments produce identical results at any ``--jobs`` level: the
 parallel trial runner (:mod:`repro.core.trials`) spawns per-chunk seeds
 deterministically.
@@ -25,6 +26,7 @@ from typing import List, Optional, Sequence
 
 from repro.experiments import registry
 from repro.experiments.export import export_csv, export_json
+from repro.network.latency import LATENCY_MODEL_NAMES
 
 
 def _format_result(result: object) -> str:
@@ -45,14 +47,16 @@ def run_experiments(
     record_every: Optional[int] = None,
     batch: Optional[int] = None,
     backend: Optional[str] = None,
+    latency_model: Optional[str] = None,
+    latency_seed: Optional[int] = None,
 ) -> List[str]:
     """Run the requested experiments and return their textual reports.
 
     When ``output_dir`` is given, each result is also exported there as JSON
     and/or CSV (see :mod:`repro.experiments.export`).  ``jobs``, ``seed``,
-    ``trials``, ``record_every``, ``batch`` and ``backend`` are passed
-    through to experiments that accept them and silently ignored by the
-    rest.
+    ``trials``, ``record_every``, ``batch``, ``backend``, ``latency_model``
+    and ``latency_seed`` are passed through to experiments that accept
+    them and silently ignored by the rest.
     """
     reports = []
     for experiment_id in experiment_ids:
@@ -71,6 +75,10 @@ def run_experiments(
             options["batch"] = batch
         if backend is not None and "backend" in accepted:
             options["backend"] = backend
+        if latency_model is not None and "latency_model" in accepted:
+            options["latency_model"] = latency_model
+        if latency_seed is not None and "latency_seed" in accepted:
+            options["latency_seed"] = latency_seed
         result = experiment.run(**options)
         reports.append(_format_result(result))
         if output_dir is not None:
@@ -177,6 +185,25 @@ def build_parser() -> argparse.ArgumentParser:
             "(default: each experiment's own)"
         ),
     )
+    parser.add_argument(
+        "--latency-model",
+        choices=LATENCY_MODEL_NAMES,
+        default=None,
+        metavar="MODEL",
+        help=(
+            "network latency model for experiments that run the slot "
+            "simulator: "
+            + ", ".join(LATENCY_MODEL_NAMES)
+            + " (default: the uniform-delay network of the paper)"
+        ),
+    )
+    parser.add_argument(
+        "--latency-seed",
+        type=int,
+        default=None,
+        metavar="S",
+        help="RNG seed of the latency model (default: 0)",
+    )
     return parser
 
 
@@ -198,6 +225,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                     ("record_every", "curve"),
                     ("batch", "batch"),
                     ("backend", "backend"),
+                    ("latency_model", "latency"),
                 )
                 if option in accepted
             )
@@ -206,7 +234,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(
             "[parallel] experiments honour --jobs; [seeded] ones --seed; "
             "[trials] ones --trials; [curve] ones --record-every; "
-            "[batch] ones --batch; [backend] ones --backend."
+            "[batch] ones --batch; [backend] ones --backend; "
+            "[latency] ones --latency-model/--latency-seed."
         )
         return 0
 
@@ -228,6 +257,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         record_every=args.record_every,
         batch=args.batch,
         backend=args.backend,
+        latency_model=args.latency_model,
+        latency_seed=args.latency_seed,
     ):
         print(report)
         print()

@@ -21,13 +21,20 @@ PAPER_ROWS: Dict[float, int] = {0.0: 4685, 0.1: 4066, 0.15: 3622, 0.2: 3107, 0.3
 
 @dataclass
 class Table2Result:
-    """Measured vs paper epochs for the slashable-Byzantine strategy."""
+    """Measured vs paper epochs for the slashable-Byzantine strategy.
+
+    ``network_validation`` (present when a ``--latency-model`` was
+    requested) holds a measured mainnet-scale partitioned slot-simulation
+    run under that model, confirming the table's premise — no epoch
+    finalizes while the partition holds — under realistic propagation.
+    """
 
     p0: float
     beta0_values: Sequence[float]
     analytical_epochs: Dict[float, int]
     simulated_threshold_epochs: Dict[float, Optional[int]]
     paper_epochs: Dict[float, Optional[int]]
+    network_validation: Optional[Dict[str, object]] = None
 
     def rows(self) -> List[Dict[str, object]]:
         """The Table-2 rows: beta0 and the epoch of conflicting finalization."""
@@ -53,6 +60,15 @@ class Table2Result:
                 f"{simulated if simulated is not None else '-':>10}  "
                 f"{row['epochs_paper'] if row['epochs_paper'] is not None else '-':>6}"
             )
+        if self.network_validation is not None:
+            v = self.network_validation
+            lines.append(
+                f"  network validation ({v['latency_model']}, "
+                f"{v['n_validators']} validators, p0={v['p0']}): "
+                f"finalization stalled={v['finalization_stalled']}, "
+                f"{v['delayed_across_partition']} deliveries held to GST, "
+                f"{v['slots_per_second']:.0f} slots/s"
+            )
         return "\n".join(lines)
 
 
@@ -61,12 +77,18 @@ def run(
     p0: float = 0.5,
     include_simulation: bool = True,
     simulation_max_epochs: int = 6000,
+    latency_model: Optional[str] = None,
+    latency_seed: int = 0,
+    latency_validators: int = 10_000,
 ) -> Table2Result:
     """Reproduce Table 2.
 
     ``include_simulation`` additionally cross-checks each row against the
     discrete aggregate simulator (scenario 5.2.1), reporting the epoch at
-    which the slower branch regains the supermajority.
+    which the slower branch regains the supermajority.  ``latency_model``
+    adds a measured partitioned slot-simulation at mainnet scale under
+    the named latency model, re-validating the table's
+    partition-stalls-finalization premise under realistic propagation.
     """
     analytical = {
         beta0: epochs_to_conflicting_finalization(ByzantineStrategy.SLASHING, p0, beta0)
@@ -85,10 +107,21 @@ def run(
                 if branch.threshold_epoch is not None
             ]
             simulated[beta0] = max(threshold_epochs) if len(threshold_epochs) == len(branches) else None
+    validation: Optional[Dict[str, object]] = None
+    if latency_model is not None:
+        from repro.experiments.network_measure import measure_partitioned_premise
+
+        validation = measure_partitioned_premise(
+            latency_model,
+            latency_seed=latency_seed,
+            n_validators=latency_validators,
+            p0=p0,
+        )
     return Table2Result(
         p0=p0,
         beta0_values=list(beta0_values),
         analytical_epochs=analytical,
         simulated_threshold_epochs=simulated,
         paper_epochs={beta0: PAPER_ROWS.get(beta0) for beta0 in beta0_values},
+        network_validation=validation,
     )

@@ -28,6 +28,8 @@ class Table3Result:
     analytical_epochs: Dict[float, int]
     simulated_threshold_epochs: Dict[float, Optional[int]]
     paper_epochs: Dict[float, Optional[int]]
+    #: Measured partitioned slot-sim under a latency model (see Table 2).
+    network_validation: Optional[Dict[str, object]] = None
 
     def rows(self) -> List[Dict[str, object]]:
         """The Table-3 rows."""
@@ -53,6 +55,15 @@ class Table3Result:
                 f"{simulated if simulated is not None else '-':>10}  "
                 f"{row['epochs_paper'] if row['epochs_paper'] is not None else '-':>6}"
             )
+        if self.network_validation is not None:
+            v = self.network_validation
+            lines.append(
+                f"  network validation ({v['latency_model']}, "
+                f"{v['n_validators']} validators, p0={v['p0']}): "
+                f"finalization stalled={v['finalization_stalled']}, "
+                f"{v['delayed_across_partition']} deliveries held to GST, "
+                f"{v['slots_per_second']:.0f} slots/s"
+            )
         return "\n".join(lines)
 
 
@@ -61,8 +72,15 @@ def run(
     p0: float = 0.5,
     include_simulation: bool = True,
     simulation_max_epochs: int = 6000,
+    latency_model: Optional[str] = None,
+    latency_seed: int = 0,
+    latency_validators: int = 10_000,
 ) -> Table3Result:
-    """Reproduce Table 3, optionally cross-checking against the discrete simulator."""
+    """Reproduce Table 3, optionally cross-checking against the discrete simulator.
+
+    ``latency_model`` adds a measured partitioned slot-simulation at
+    mainnet scale under the named model (see Table 2).
+    """
     analytical = {
         beta0: epochs_to_conflicting_finalization(
             ByzantineStrategy.NON_SLASHING, p0, beta0
@@ -84,10 +102,21 @@ def run(
             simulated[beta0] = (
                 max(threshold_epochs) if len(threshold_epochs) == len(branches) else None
             )
+    validation: Optional[Dict[str, object]] = None
+    if latency_model is not None:
+        from repro.experiments.network_measure import measure_partitioned_premise
+
+        validation = measure_partitioned_premise(
+            latency_model,
+            latency_seed=latency_seed,
+            n_validators=latency_validators,
+            p0=p0,
+        )
     return Table3Result(
         p0=p0,
         beta0_values=list(beta0_values),
         analytical_epochs=analytical,
         simulated_threshold_epochs=simulated,
         paper_epochs={beta0: PAPER_ROWS.get(beta0) for beta0 in beta0_values},
+        network_validation=validation,
     )

@@ -2,6 +2,16 @@
 
 from repro.network.adversary import Adversary
 from repro.network.clock import SlotClock
+from repro.network.latency import (
+    LATENCY_MODEL_NAMES,
+    FixedJitter,
+    GossipPropagation,
+    LatencyModel,
+    LogNormalLatency,
+    UniformDelay,
+    make_latency_model,
+    resolve_latency_model,
+)
 from repro.network.message import Delivery, Message, MessageKind
 from repro.network.partition import Partition, PartitionSchedule
 from repro.network.transport import Network, TransportStats
@@ -9,6 +19,11 @@ from repro.network.transport import Network, TransportStats
 __all__ = [
     "Adversary",
     "Delivery",
+    "FixedJitter",
+    "GossipPropagation",
+    "LATENCY_MODEL_NAMES",
+    "LatencyModel",
+    "LogNormalLatency",
     "Message",
     "MessageKind",
     "Network",
@@ -16,4 +31,7 @@ __all__ = [
     "PartitionSchedule",
     "SlotClock",
     "TransportStats",
+    "UniformDelay",
+    "make_latency_model",
+    "resolve_latency_model",
 ]

@@ -128,8 +128,9 @@ class Adversary:
         message: Message,
         partition_name: str,
         include_byzantine: bool = True,
+        delay: float = 0.0,
     ) -> None:
-        """Deliver a Byzantine message to one partition only.
+        """Deliver a Byzantine message to one partition only, optionally late.
 
         Because Byzantine senders are bridge nodes in the partition
         schedule, restricting the audience is how "being active on branch 1
@@ -139,7 +140,9 @@ class Adversary:
         included, learns of the message through the same delivery path.
         """
         self.network.broadcast(
-            message, recipients=self._audience_endpoints(partition_name, include_byzantine)
+            message,
+            recipients=self._audience_endpoints(partition_name, include_byzantine),
+            delay=delay,
         )
 
     def broadcast_everywhere(self, message: Message) -> None:

@@ -1,0 +1,539 @@
+"""Pluggable message-latency models for the slot-level network.
+
+The transport's historical timing rule is *uniform delay*: every message
+arrives exactly ``delta`` seconds after it becomes available (its send
+time, or GST for messages held across a partition).  This module keeps
+that rule as :class:`UniformDelay` — the default, bit-identical to the
+pre-latency-layer behaviour — and adds seeded stochastic models on the
+same seam:
+
+* :class:`FixedJitter` — a base propagation delay plus a bounded uniform
+  jitter per recipient,
+* :class:`LogNormalLatency` — heavy-tailed per-recipient latency with a
+  closed-form mean/quantile structure (the classical fit for internet
+  round-trip times),
+* :class:`GossipPropagation` — per-hop delays accumulated over a sparse
+  seeded peer topology instead of a one-shot broadcast, GossipSub-style.
+
+**Determinism and mode independence.**  Samples are *counter-based*: a
+latency is a pure hash of ``(model seed, payload class, effective send
+time, recipient validator index)`` — never of the RNG call order, the
+message identity, or the audience it was sampled in.  Same seed ⇒
+byte-identical delivery schedules, regardless of how recipients are
+chunked into queries.  Crucially the key uses the payload *class*, not
+the concrete message: a committee's votes travel as one
+:class:`~repro.core.attestation_batch.AttestationBatch` under view
+sharding but as per-validator attestations in the per-node fallback, and
+both packagings must sample identical delivery times for the
+grouped==per-node equivalence contract to survive.  For the same reason
+:class:`GossipPropagation` roots attestation-phase traffic at a
+deterministic per-phase *virtual source* rather than at the (packaging
+dependent) message sender; block proposals, which are identical objects
+in both modes, use their true sender as the gossip origin.
+
+**Phase quantization.**  Agents only observe the network at the engine's
+slot phases (slot start, attestation deadline, next slot start), so a
+stochastic model's raw arrival times are rounded up to the next phase
+boundary (:func:`quantize_to_phase`).  This is what makes per-validator
+latency compatible with view sharding: members of a view group whose
+sampled latencies land in the *same* phase window still share a provably
+identical message stream, and only divergence *past a boundary* forces a
+copy-on-write view split (see ``Network._schedule_modeled``).
+:class:`UniformDelay` never quantizes — its schedule is the exact legacy
+computation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.network.message import Message, MessageKind
+from repro.network.partition import PartitionSchedule
+
+_MASK64 = (1 << 64) - 1
+
+#: Payload classes for latency keying.  ``ATTESTATION`` and
+#: ``ATTESTATION_BATCH`` deliberately share a class: the two are
+#: alternative packagings of the same votes (see module docstring).
+_CLASS_OF_KIND = {
+    MessageKind.BLOCK: 1,
+    MessageKind.ATTESTATION: 2,
+    MessageKind.ATTESTATION_BATCH: 2,
+    MessageKind.SLASHING_EVIDENCE: 3,
+}
+
+
+# ----------------------------------------------------------------------
+# Counter-based hashing (splitmix64)
+# ----------------------------------------------------------------------
+def _mix_scalar(*words: int) -> int:
+    """Fold integer words into one well-mixed 64-bit key (splitmix64)."""
+    z = 0x9E3779B97F4A7C15
+    for word in words:
+        z = (z + (word & _MASK64)) & _MASK64
+        z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+        z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+        z = z ^ (z >> 31)
+    return z
+
+
+def _mix_array(values: np.ndarray) -> np.ndarray:
+    """Vectorized splitmix64 finalizer over a uint64 array."""
+    z = values.astype(np.uint64, copy=True)
+    z += np.uint64(0x9E3779B97F4A7C15)
+    z = (z ^ (z >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+    z = (z ^ (z >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+    z = z ^ (z >> np.uint64(31))
+    # A second round for avalanche on small consecutive inputs.
+    z += np.uint64(0x9E3779B97F4A7C15)
+    z = (z ^ (z >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+    z = (z ^ (z >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+    return z ^ (z >> np.uint64(31))
+
+
+def hashed_u64(key: int, ids: np.ndarray) -> np.ndarray:
+    """Per-id 64-bit hashes for ``key``: order- and chunking-independent."""
+    return _mix_array(np.asarray(ids, dtype=np.uint64) ^ np.uint64(key & _MASK64))
+
+
+def hashed_uniform(key: int, ids: np.ndarray) -> np.ndarray:
+    """Per-id uniforms in ``[0, 1)`` drawn from the counter-based stream."""
+    return (hashed_u64(key, ids) >> np.uint64(11)) * (2.0 ** -53)
+
+
+def hashed_uniform_scalar(key: int) -> float:
+    """A single uniform in ``[0, 1)`` from an integer key."""
+    return (_mix_scalar(key) >> 11) * (2.0 ** -53)
+
+
+def _time_bits(time: float) -> int:
+    """Stable integer key for a float timestamp (bit pattern, not rounding)."""
+    return int(np.float64(time).view(np.uint64))
+
+
+# ----------------------------------------------------------------------
+# Phase grid
+# ----------------------------------------------------------------------
+def quantize_to_phase(times: np.ndarray, seconds_per_slot: float) -> np.ndarray:
+    """Round raw arrival times up to the next engine phase boundary.
+
+    The engine drains deliveries at slot starts and at the attestation
+    deadline a third of the way into each slot, so the observable phase
+    grid is ``{s*T, s*T + T/3}``.  Times already on the grid map to
+    themselves.
+    """
+    times = np.asarray(times, dtype=np.float64)
+    slots = np.floor(times / seconds_per_slot)
+    slot_start = slots * seconds_per_slot
+    offset = times - slot_start
+    third = seconds_per_slot / 3.0
+    return np.where(
+        offset <= 0.0,
+        slot_start,
+        np.where(offset <= third, slot_start + third, slot_start + seconds_per_slot),
+    )
+
+
+# ----------------------------------------------------------------------
+# Model hierarchy
+# ----------------------------------------------------------------------
+class LatencyModel:
+    """Base class: per-recipient delivery-time computation for one message.
+
+    Subclasses implement :meth:`_latencies`.  A model must be *bound*
+    (:meth:`bind`) before computing delivery times: binding attaches the
+    partition schedule (availability rules), the full validator index
+    set (gossip topology) and the slot length (phase quantization).  The
+    engine binds the model it is given; standalone users bind manually.
+    """
+
+    #: ``True`` only for :class:`UniformDelay`: the transport then takes
+    #: the exact legacy scheduling path (no sampling, no quantization).
+    is_uniform = False
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = int(seed)
+        self.schedule: Optional[PartitionSchedule] = None
+        self.seconds_per_slot: Optional[float] = None
+        self._part_code: Optional[np.ndarray] = None
+        self.indices: Tuple[int, ...] = ()
+
+    # ------------------------------------------------------------------
+    def bind(
+        self,
+        schedule: PartitionSchedule,
+        indices: Sequence[int],
+        seconds_per_slot: Optional[float] = None,
+    ) -> "LatencyModel":
+        """Attach the partition schedule, validator set and phase grid."""
+        self.schedule = schedule
+        self.indices = tuple(sorted(int(i) for i in indices))
+        self.seconds_per_slot = (
+            float(seconds_per_slot) if seconds_per_slot is not None else None
+        )
+        size = (max(self.indices) + 1) if self.indices else 1
+        # Partition code per validator: 0.. for named partitions, -1 for
+        # bridge validators (reachable from every side).
+        codes = np.full(size, -1, dtype=np.int64)
+        for part_id, name in enumerate(schedule.partition_names()):
+            for member in schedule.members_of(name):
+                if member < size:
+                    codes[member] = part_id
+        self._part_code = codes
+        return self
+
+    def _require_bound(self) -> None:
+        if self.schedule is None or self._part_code is None:
+            raise RuntimeError(
+                f"{type(self).__name__} must be bound (bind(schedule, indices, ...)) "
+                "before computing delivery times"
+            )
+
+    # ------------------------------------------------------------------
+    def availability(
+        self, sender: int, recipients: np.ndarray, available_at: float
+    ) -> np.ndarray:
+        """Earliest time the message can start travelling to each recipient.
+
+        This is the partition rule of :class:`PartitionSchedule`, applied
+        before the latency sample: within a partition (or after GST) a
+        message is available at its effective send time; across a
+        partition before GST it is held until GST.
+        """
+        self._require_bound()
+        schedule = self.schedule
+        if available_at >= schedule.gst or not schedule.partition_names():
+            return np.full(len(recipients), available_at, dtype=np.float64)
+        codes = self._part_code
+        sender_code = codes[sender] if 0 <= sender < len(codes) else -1
+        r = np.asarray(recipients, dtype=np.int64)
+        r_codes = np.where(r < len(codes), codes[np.minimum(r, len(codes) - 1)], -1)
+        reachable = (
+            (r == sender)
+            | (sender_code < 0)
+            | (r_codes < 0)
+            | (r_codes == sender_code)
+        )
+        return np.where(reachable, available_at, schedule.gst)
+
+    def _message_key(self, message: Message, available_at: float) -> int:
+        """Sampling key: seed x payload class x effective send time.
+
+        Deliberately excludes the message id and sender (see module
+        docstring: packaging differs between sharding modes).
+        """
+        return _mix_scalar(
+            self.seed, _CLASS_OF_KIND[message.kind], _time_bits(available_at)
+        )
+
+    def _latencies(
+        self, message: Message, recipients: np.ndarray, available_at: float
+    ) -> np.ndarray:
+        """Per-recipient propagation latencies (seconds), to be sampled."""
+        raise NotImplementedError
+
+    def delivery_times(
+        self,
+        message: Message,
+        recipients: Sequence[int],
+        available_at: float,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """``(delivery_time, availability)`` arrays for the recipients.
+
+        ``availability`` is the partition-gated start time (send time or
+        GST); the delivery time adds the sampled latency and — when a
+        phase grid is bound — rounds up to the next phase boundary.
+        """
+        self._require_bound()
+        recipients = np.asarray(recipients, dtype=np.int64)
+        avail = self.availability(message.sender, recipients, available_at)
+        raw = avail + self._latencies(message, recipients, float(available_at))
+        if self.seconds_per_slot is not None:
+            return quantize_to_phase(raw, self.seconds_per_slot), avail
+        return raw, avail
+
+
+class UniformDelay(LatencyModel):
+    """The exact legacy timing rule: every message arrives ``delta`` late.
+
+    With ``delta=None`` (default) the bound is taken from the partition
+    schedule, making this model *provably* the pre-latency-layer
+    behaviour — the transport routes it through the identical legacy
+    code path, so configuring ``latency_model=UniformDelay()`` is
+    byte-for-byte the same simulation as configuring no model at all.
+    A custom ``delta`` overrides the schedule's bound but keeps the
+    deterministic one-shot semantics.
+    """
+
+    is_uniform = True
+
+    def __init__(self, delta: Optional[float] = None) -> None:
+        super().__init__(seed=0)
+        if delta is not None and delta <= 0:
+            raise ValueError("delta must be positive")
+        self.delta = delta
+
+    def effective_delta(self, schedule: PartitionSchedule) -> float:
+        """The delay bound actually applied under ``schedule``."""
+        return schedule.delta if self.delta is None else self.delta
+
+    def _latencies(
+        self, message: Message, recipients: np.ndarray, available_at: float
+    ) -> np.ndarray:
+        self._require_bound()
+        return np.full(
+            len(recipients), self.effective_delta(self.schedule), dtype=np.float64
+        )
+
+
+class FixedJitter(LatencyModel):
+    """A base propagation delay plus bounded uniform jitter per recipient.
+
+    ``latency = base + U[0, jitter)`` with the uniform drawn from the
+    counter-based stream keyed on (payload class, send time, recipient).
+    """
+
+    def __init__(self, base: float = 0.2, jitter: float = 0.4, seed: int = 0) -> None:
+        super().__init__(seed=seed)
+        if base < 0 or jitter < 0:
+            raise ValueError("base and jitter must be non-negative")
+        self.base = float(base)
+        self.jitter = float(jitter)
+
+    def _latencies(
+        self, message: Message, recipients: np.ndarray, available_at: float
+    ) -> np.ndarray:
+        key = self._message_key(message, available_at)
+        return self.base + hashed_uniform(key, recipients) * self.jitter
+
+
+class LogNormalLatency(LatencyModel):
+    """Heavy-tailed per-recipient latency: ``median * exp(sigma * Z)``.
+
+    The closed forms pinned by the property suite:
+
+    * mean      = ``median * exp(sigma**2 / 2)``
+    * quantile  = ``median * exp(sigma * Phi^-1(q))``
+
+    ``Z`` is a standard normal produced by Box-Muller over two
+    independent counter-based uniforms.
+    """
+
+    def __init__(self, median: float = 0.25, sigma: float = 0.5, seed: int = 0) -> None:
+        super().__init__(seed=seed)
+        if median <= 0:
+            raise ValueError("median must be positive")
+        if sigma < 0:
+            raise ValueError("sigma must be non-negative")
+        self.median = float(median)
+        self.sigma = float(sigma)
+
+    @property
+    def mean(self) -> float:
+        """Closed-form mean of the latency distribution."""
+        return self.median * math.exp(self.sigma ** 2 / 2.0)
+
+    def quantile(self, q: float) -> float:
+        """Closed-form quantile of the latency distribution."""
+        if not 0.0 < q < 1.0:
+            raise ValueError("q must lie strictly between 0 and 1")
+        # Acklam-free route: inverse error function via statistics.NormalDist.
+        from statistics import NormalDist
+
+        return self.median * math.exp(self.sigma * NormalDist().inv_cdf(q))
+
+    def _latencies(
+        self, message: Message, recipients: np.ndarray, available_at: float
+    ) -> np.ndarray:
+        key = self._message_key(message, available_at)
+        # Two independent uniform streams for Box-Muller; u1 mapped into
+        # (0, 1] so the log never sees zero.
+        u1 = (hashed_u64(_mix_scalar(key, 1), recipients) >> np.uint64(11)).astype(
+            np.float64
+        )
+        u1 = (u1 + 1.0) * (2.0 ** -53)
+        u2 = hashed_uniform(_mix_scalar(key, 2), recipients)
+        z = np.sqrt(-2.0 * np.log(u1)) * np.cos(2.0 * np.pi * u2)
+        return self.median * np.exp(self.sigma * z)
+
+
+class GossipPropagation(LatencyModel):
+    """Per-hop delays accumulated over a sparse seeded peer topology.
+
+    Binding builds a connected ``degree``-regular-ish overlay over the
+    validator set (a deterministic ring for connectivity plus seeded
+    random peers, GossipSub-style).  A recipient's latency is the sum of
+    ``hops`` independent per-hop delays ``U[hop_min, hop_max)``, where
+    ``hops`` is its BFS distance from the message's gossip *origin*:
+
+    * block proposals and their sender are identical objects in both
+      sharding modes, so blocks use ``message.sender`` as the origin;
+    * attestation-phase traffic is packaged differently per mode (one
+      batch per view group vs per-validator messages), so its origin is
+      a deterministic *virtual source* hashed from the send time — the
+      subnet-aggregation point of the phase, identical in both modes.
+
+    Partition rules still gate availability (a partition severs links
+    regardless of overlay distance); the overlay models propagation
+    spread within the reachable side.
+    """
+
+    def __init__(
+        self,
+        degree: int = 8,
+        hop_delay: Tuple[float, float] = (0.05, 0.2),
+        seed: int = 0,
+    ) -> None:
+        super().__init__(seed=seed)
+        if degree < 2:
+            raise ValueError("degree must be at least 2")
+        lo, hi = hop_delay
+        if lo < 0 or hi < lo:
+            raise ValueError("hop_delay must satisfy 0 <= min <= max")
+        self.degree = int(degree)
+        self.hop_delay = (float(lo), float(hi))
+        self._position: Optional[np.ndarray] = None
+        self._neighbors: Optional[np.ndarray] = None
+        self._hops_cache: Dict[int, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    def bind(
+        self,
+        schedule: PartitionSchedule,
+        indices: Sequence[int],
+        seconds_per_slot: Optional[float] = None,
+    ) -> "GossipPropagation":
+        super().bind(schedule, indices, seconds_per_slot)
+        self._hops_cache.clear()
+        n = len(self.indices)
+        positions = np.full((max(self.indices) + 1) if n else 1, -1, dtype=np.int64)
+        for pos, index in enumerate(self.indices):
+            positions[index] = pos
+        self._position = positions
+        # Ring edges guarantee connectivity; seeded extra peers give the
+        # small-world fan-out.  Adjacency is a padded (n, max_deg) matrix.
+        rng = np.random.default_rng(self.seed)
+        neighbor_sets = [set() for _ in range(n)]
+        if n > 1:
+            for pos in range(n):
+                neighbor_sets[pos].add((pos + 1) % n)
+                neighbor_sets[(pos + 1) % n].add(pos)
+            extra = max(0, self.degree - 2)
+            if extra:
+                targets = rng.integers(0, n, size=(n, extra))
+                for pos in range(n):
+                    for target in targets[pos]:
+                        if target != pos:
+                            neighbor_sets[pos].add(int(target))
+                            neighbor_sets[int(target)].add(pos)
+        width = max((len(s) for s in neighbor_sets), default=1) or 1
+        adjacency = np.full((n, width), -1, dtype=np.int64)
+        for pos, peers in enumerate(neighbor_sets):
+            for column, peer in enumerate(sorted(peers)):
+                adjacency[pos, column] = peer
+        self._neighbors = adjacency
+        return self
+
+    def hops_from(self, origin_index: int) -> np.ndarray:
+        """BFS hop distances (by overlay) from a validator to every position."""
+        self._require_bound()
+        if self._neighbors is None:
+            raise RuntimeError("GossipPropagation.bind must run before hops_from")
+        cached = self._hops_cache.get(origin_index)
+        if cached is not None:
+            return cached
+        n = len(self.indices)
+        hops = np.full(n, -1, dtype=np.int64)
+        start = int(self._position[origin_index]) if origin_index < len(self._position) else -1
+        if start < 0:
+            # Unknown origins (never the engine's case) propagate from the
+            # deterministic position 0 so distances stay defined.
+            start = 0
+        hops[start] = 0
+        frontier = np.array([start], dtype=np.int64)
+        level = 0
+        while frontier.size:
+            level += 1
+            candidates = self._neighbors[frontier].ravel()
+            candidates = candidates[candidates >= 0]
+            fresh = candidates[hops[candidates] < 0]
+            if fresh.size == 0:
+                break
+            fresh = np.unique(fresh)
+            hops[fresh] = level
+            frontier = fresh
+        self._hops_cache[origin_index] = hops
+        return hops
+
+    def _origin_for(self, message: Message, available_at: float) -> int:
+        if message.kind == MessageKind.BLOCK:
+            return message.sender
+        # Virtual per-phase source: identical in both sharding modes.
+        draw = _mix_scalar(self.seed, 0xA77E57, _time_bits(available_at))
+        return self.indices[draw % len(self.indices)]
+
+    def _latencies(
+        self, message: Message, recipients: np.ndarray, available_at: float
+    ) -> np.ndarray:
+        hops_by_position = self.hops_from(self._origin_for(message, available_at))
+        positions = self._position[np.asarray(recipients, dtype=np.int64)]
+        hops = hops_by_position[positions]
+        # Disconnected positions cannot occur (ring), but stay defined.
+        hops = np.where(hops < 0, int(hops_by_position.max()) + 1, hops)
+        # The origin pays one hop too (local validation + publish): a
+        # zero-latency self-delivery would otherwise split the origin out
+        # of its view group on every single message.
+        hops = np.maximum(hops, 1)
+        key = self._message_key(message, available_at)
+        lo, hi = self.hop_delay
+        latency = np.zeros(len(recipients), dtype=np.float64)
+        max_hops = int(hops.max()) if len(hops) else 0
+        for hop in range(max_hops):
+            live = hops > hop
+            if not live.any():
+                break
+            u = hashed_uniform(_mix_scalar(key, hop), recipients)
+            latency += np.where(live, lo + u * (hi - lo), 0.0)
+        return latency
+
+
+# ----------------------------------------------------------------------
+# Factory
+# ----------------------------------------------------------------------
+#: Model names accepted by :func:`make_latency_model` (and the
+#: ``--latency-model`` CLI flag).
+LATENCY_MODEL_NAMES = ("uniform", "jitter", "lognormal", "gossip")
+
+
+def make_latency_model(
+    name: str, seed: int = 0, **params: object
+) -> LatencyModel:
+    """Build a latency model by name (the CLI/preset seam).
+
+    ``params`` are forwarded to the model constructor, so presets can
+    override e.g. ``degree`` or ``sigma`` without new factory names.
+    """
+    key = name.lower().replace("_", "-")
+    if key == "uniform":
+        return UniformDelay(**params)  # type: ignore[arg-type]
+    if key in ("jitter", "fixed-jitter"):
+        return FixedJitter(seed=seed, **params)  # type: ignore[arg-type]
+    if key in ("lognormal", "log-normal"):
+        return LogNormalLatency(seed=seed, **params)  # type: ignore[arg-type]
+    if key == "gossip":
+        return GossipPropagation(seed=seed, **params)  # type: ignore[arg-type]
+    raise ValueError(
+        f"unknown latency model {name!r}; expected one of {LATENCY_MODEL_NAMES}"
+    )
+
+
+def resolve_latency_model(
+    model: Union[None, str, LatencyModel], seed: int = 0
+) -> Optional[LatencyModel]:
+    """Normalize a builder argument: ``None``, a name, or a model instance."""
+    if model is None or isinstance(model, LatencyModel):
+        return model
+    return make_latency_model(model, seed=seed)

@@ -23,18 +23,36 @@ import heapq
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
+import numpy as np
+
+from repro.network.latency import LatencyModel, quantize_to_phase
 from repro.network.message import Delivery, Message
 from repro.network.partition import PartitionSchedule
 
 
 @dataclass
 class TransportStats:
-    """Counters describing the traffic handled by the transport."""
+    """Counters describing the traffic handled by the transport.
+
+    The three delay counters are disjoint by cause:
+
+    * ``delayed_across_partition`` — the partition schedule held the
+      delivery until GST (it could not cross the split earlier),
+    * ``adversary_delayed`` — the sender deliberately timed the release
+      (the adversary's ``send_delayed`` primitive),
+    * ``lazy_delayed`` — an honest sender published late (the lazy
+      behaviour profiles' delayed broadcasts),
+    * ``latency_delayed`` — a stochastic latency model pushed the
+      delivery past the synchronous bound ``availability + delta``.
+    """
 
     sent: int = 0
     delivered: int = 0
     withheld: int = 0
     delayed_across_partition: int = 0
+    adversary_delayed: int = 0
+    lazy_delayed: int = 0
+    latency_delayed: int = 0
 
 
 class Network:
@@ -50,12 +68,54 @@ class Network:
         self,
         schedule: PartitionSchedule,
         participants: Sequence[int],
+        latency_model: Optional[LatencyModel] = None,
     ) -> None:
         self.schedule = schedule
         self.participants = list(participants)
         self._queue: List[Delivery] = []
         self._withheld: List[Tuple[Message, int]] = []
         self.stats = TransportStats()
+        #: Optional latency model.  ``None`` and a default
+        #: :class:`~repro.network.latency.UniformDelay` take the exact
+        #: legacy scheduling path; other models sample per-recipient
+        #: delivery times (``_schedule_modeled``).
+        self.latency_model = latency_model
+        if latency_model is not None and latency_model.schedule is None:
+            # Standalone use (no engine): bind with endpoints as the
+            # validator set and no phase grid (raw delivery times).
+            latency_model.bind(schedule, self.participants)
+        self._modeled = latency_model is not None and not latency_model.is_uniform
+        #: Custom uniform bound (``UniformDelay(delta=...)``); ``None``
+        #: means the schedule's own ``delta`` — the untouched legacy rule.
+        self._uniform_delta: Optional[float] = None
+        if latency_model is not None and latency_model.is_uniform:
+            delta = latency_model.delta  # type: ignore[attr-defined]
+            if delta is not None and delta != schedule.delta:
+                self._uniform_delta = delta
+        # View hooks, installed by the view-sharded engine: endpoint →
+        # member validators, and exact-audience resolution (which
+        # copy-on-write splits any view group an audience only partially
+        # covers).  Without hooks an endpoint is its own single member.
+        self._members_of: Callable[[int], Sequence[int]] = lambda endpoint: (endpoint,)
+        self._exact_audience: Callable[[Tuple[int, ...]], Tuple[int, ...]] = (
+            lambda recipients: recipients
+        )
+
+    def set_view_hooks(
+        self,
+        members_of: Callable[[int], Sequence[int]],
+        exact_audience: Callable[[Tuple[int, ...]], Tuple[int, ...]],
+    ) -> None:
+        """Install the engine's view-group resolution hooks.
+
+        ``members_of(endpoint)`` lists the validators behind a delivery
+        endpoint; ``exact_audience(validators)`` returns endpoints
+        covering exactly those validators, splitting partially-covered
+        view groups first.  Only the modeled (non-uniform latency)
+        scheduling path consults these.
+        """
+        self._members_of = members_of
+        self._exact_audience = exact_audience
 
     # ------------------------------------------------------------------
     # Sending
@@ -65,26 +125,35 @@ class Network:
         message: Message,
         exclude: Iterable[int] = (),
         recipients: Optional[Iterable[int]] = None,
+        delay: float = 0.0,
     ) -> None:
         """Best-effort broadcast of ``message`` to every participant.
 
         ``recipients`` restricts the audience (the adversary uses this to
         release withheld votes to one partition only); ``exclude`` removes
         specific recipients (usually the sender itself, which processes its
-        own messages locally).
+        own messages locally).  A positive ``delay`` models a *lazy*
+        sender that publishes that many seconds after the nominal send
+        time: partition rules (and any latency model) apply from the
+        later instant.
         """
-        audience = list(recipients) if recipients is not None else self.participants
+        # Snapshot: the modeled path can split view groups mid-broadcast,
+        # which appends fresh endpoints to ``self.participants``.
+        audience = list(recipients) if recipients is not None else list(self.participants)
         excluded = set(exclude)
         self.stats.sent += 1
+        if delay > 0.0:
+            self.stats.lazy_delayed += 1
+        effective = message.sent_at + delay
         for recipient in audience:
             if recipient in excluded:
                 continue
-            self._schedule(message, recipient)
+            self._dispatch(message, recipient, effective)
 
     def send(self, message: Message, recipient: int) -> None:
         """Point-to-point send (same timing rules as broadcast)."""
         self.stats.sent += 1
-        self._schedule(message, recipient)
+        self._dispatch(message, recipient, message.sent_at)
 
     def send_delayed(self, message: Message, recipient: int, delay: float) -> None:
         """Point-to-point send that leaves the sender ``delay`` seconds late.
@@ -95,14 +164,8 @@ class Network:
         apply from that later instant.
         """
         self.stats.sent += 1
-        deliver_at = self.schedule.delivery_time(
-            message.sender, recipient, message.sent_at + delay
-        )
-        if deliver_at > message.sent_at + delay + self.schedule.delta:
-            self.stats.delayed_across_partition += 1
-        heapq.heappush(
-            self._queue, Delivery(message=message, recipient=recipient, deliver_at=deliver_at)
-        )
+        self.stats.adversary_delayed += 1
+        self._dispatch(message, recipient, message.sent_at + delay)
 
     def withhold(self, message: Message, recipient: int) -> None:
         """Hold a message outside the network until :meth:`release` is called.
@@ -122,24 +185,98 @@ class Network:
         """
         count = 0
         for message, recipient in self._withheld:
-            deliver_at = max(
-                release_time,
-                self.schedule.delivery_time(message.sender, recipient, release_time),
-            )
-            heapq.heappush(
-                self._queue, Delivery(message=message, recipient=recipient, deliver_at=deliver_at)
-            )
+            if self._modeled:
+                self._schedule_modeled(message, recipient, release_time, floor=release_time)
+            else:
+                deliver_at = max(
+                    release_time,
+                    self._legacy_deliver_at(message.sender, recipient, release_time),
+                )
+                heapq.heappush(
+                    self._queue,
+                    Delivery(message=message, recipient=recipient, deliver_at=deliver_at),
+                )
             count += 1
         self._withheld.clear()
         return count
 
-    def _schedule(self, message: Message, recipient: int) -> None:
-        deliver_at = self.schedule.delivery_time(message.sender, recipient, message.sent_at)
-        if deliver_at > message.sent_at + self.schedule.delta:
+    def _dispatch(self, message: Message, recipient: int, effective_sent: float) -> None:
+        """Schedule one endpoint's delivery under the configured timing rule."""
+        if self._modeled:
+            self._schedule_modeled(message, recipient, effective_sent)
+            return
+        deliver_at = self._legacy_deliver_at(message.sender, recipient, effective_sent)
+        bound = self._uniform_delta if self._uniform_delta is not None else self.schedule.delta
+        if deliver_at > effective_sent + bound:
             self.stats.delayed_across_partition += 1
         heapq.heappush(
             self._queue, Delivery(message=message, recipient=recipient, deliver_at=deliver_at)
         )
+
+    def _legacy_deliver_at(
+        self, sender: int, recipient: int, effective_sent: float
+    ) -> float:
+        """The deterministic uniform-delay rule (optionally a custom bound)."""
+        if self._uniform_delta is None:
+            return self.schedule.delivery_time(sender, recipient, effective_sent)
+        if self.schedule.can_communicate(sender, recipient, effective_sent):
+            return effective_sent + self._uniform_delta
+        return self.schedule.gst + self._uniform_delta
+
+    def _schedule_modeled(
+        self,
+        message: Message,
+        recipient: int,
+        effective_sent: float,
+        floor: Optional[float] = None,
+    ) -> None:
+        """Per-member sampled delivery times for one endpoint's view group.
+
+        The latency model draws one delivery time per *member validator*
+        behind the endpoint.  When every member lands in the same phase
+        bucket (the common case: default model parameters keep latencies
+        well inside one phase window) a single delivery is scheduled for
+        the whole group.  Members whose sampled times diverge past a
+        phase boundary can no longer share a view, so the engine's
+        exact-audience hook copy-on-write splits the group per bucket —
+        all splits are performed *before* any of this message's
+        deliveries are pushed, because ``split_endpoint`` duplicates
+        in-flight traffic for the new endpoint and must not duplicate
+        the very message being scheduled.
+        """
+        model = self.latency_model
+        members = np.asarray(self._members_of(recipient), dtype=np.int64)
+        times, avail = model.delivery_times(message, members, effective_sent)
+        if floor is not None:
+            times = np.maximum(times, floor)
+        self.stats.delayed_across_partition += int(np.count_nonzero(avail > effective_sent))
+        # A delivery counts as latency-delayed when the model pushed it
+        # past where the uniform-delay rule would have landed it *on the
+        # same phase grid* — quantization alone is not a model delay.
+        bound = avail + self.schedule.delta
+        if model.seconds_per_slot is not None:
+            bound = quantize_to_phase(bound, model.seconds_per_slot)
+        self.stats.latency_delayed += int(np.count_nonzero(times > bound))
+        unique_times = np.unique(times)
+        if len(unique_times) == 1:
+            heapq.heappush(
+                self._queue,
+                Delivery(
+                    message=message, recipient=recipient, deliver_at=float(unique_times[0])
+                ),
+            )
+            return
+        buckets: List[Tuple[float, Tuple[int, ...]]] = []
+        for bucket_time in unique_times:
+            bucket_members = tuple(int(m) for m in members[times == bucket_time])
+            endpoints = self._exact_audience(bucket_members)
+            buckets.append((float(bucket_time), endpoints))
+        for deliver_at, endpoints in buckets:
+            for endpoint in endpoints:
+                heapq.heappush(
+                    self._queue,
+                    Delivery(message=message, recipient=endpoint, deliver_at=deliver_at),
+                )
 
     # ------------------------------------------------------------------
     # Endpoint lifecycle (dynamic view splits/merges)

@@ -60,6 +60,7 @@ from repro.agents.base import (
 )
 from repro.network.adversary import Adversary
 from repro.network.clock import SlotClock
+from repro.network.latency import LatencyModel, resolve_latency_model
 from repro.network.message import Message
 from repro.network.partition import PartitionSchedule
 from repro.network.transport import Network
@@ -103,6 +104,8 @@ class SimulationEngine:
         backend: str = "numpy",
         merge_views: bool = False,
         inclusion_horizon_epochs: Optional[int] = 2,
+        latency_model: Union[None, str, LatencyModel] = None,
+        latency_seed: int = 0,
     ) -> None:
         if set(agents) != {validator.index for validator in registry}:
             raise ValueError("every validator in the registry needs exactly one agent")
@@ -172,7 +175,25 @@ class SimulationEngine:
         }
         self._endpoints: Tuple[int, ...] = tuple(sorted(self._view_by_endpoint))
 
-        self.network = Network(self.schedule, participants=list(self._endpoints))
+        #: Optional realistic-latency model (a name like ``"gossip"`` or
+        #: a bound/unbound :class:`~repro.network.latency.LatencyModel`).
+        #: ``None`` keeps the legacy uniform-delay rule byte-for-byte.
+        self.latency_model = resolve_latency_model(latency_model, seed=latency_seed)
+        if self.latency_model is not None:
+            self.latency_model.bind(
+                self.schedule,
+                [validator.index for validator in registry],
+                self.config.seconds_per_slot,
+            )
+        self.network = Network(
+            self.schedule,
+            participants=list(self._endpoints),
+            latency_model=self.latency_model,
+        )
+        self.network.set_view_hooks(
+            lambda endpoint: self._view_by_endpoint[endpoint].members,
+            self._ensure_exact_audience,
+        )
         byzantine_indices = {
             index for index, agent in agents.items() if agent.is_byzantine
         }
@@ -492,9 +513,9 @@ class SimulationEngine:
         if action.recipients is not None:
             self.adversary.send_to_validators(message, action.recipients, action.delay)
         elif action.audience is None:
-            self.network.broadcast(message)
+            self.network.broadcast(message, delay=action.delay)
         else:
-            self.adversary.send_to_partition(message, action.audience)
+            self.adversary.send_to_partition(message, action.audience, delay=action.delay)
 
     def _route_attestation_message(
         self,
@@ -510,9 +531,9 @@ class SimulationEngine:
         if recipients is not None:
             self.adversary.send_to_validators(message, recipients, delay)
         elif audience is None:
-            self.network.broadcast(message)
+            self.network.broadcast(message, delay=delay)
         else:
-            self.adversary.send_to_partition(message, audience)
+            self.adversary.send_to_partition(message, audience, delay=delay)
 
     def _publish_attestation(
         self, action: AttestationAction, sender: int, time: float

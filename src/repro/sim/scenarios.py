@@ -16,7 +16,7 @@ reference) and forward them to the engine.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Union
 
 from repro.agents.base import ValidatorAgent
 from repro.agents.byzantine import (
@@ -26,11 +26,18 @@ from repro.agents.byzantine import (
     SwayerByzantine,
 )
 from repro.agents.honest import HonestAgent, OfflineAgent
+from repro.agents.profiles import IntermittentValidator, LazyValidator
+from repro.network.latency import LatencyModel
 from repro.network.partition import PartitionSchedule
 from repro.sim.engine import SimulationEngine
 from repro.spec.committees import DutyScheduler
 from repro.spec.config import SpecConfig
 from repro.spec.validator import make_registry
+
+#: Builder-level latency-model argument: ``None`` (legacy uniform delay),
+#: a model name (``"uniform"``/``"jitter"``/``"lognormal"``/``"gossip"``),
+#: or a :class:`~repro.network.latency.LatencyModel` instance.
+LatencySpec = Union[None, str, LatencyModel]
 
 #: Names of the Byzantine strategies the builders know how to instantiate.
 BYZANTINE_STRATEGIES = ("none", "double-voting", "alternating", "alternating-finalizer", "bouncing")
@@ -42,10 +49,15 @@ def build_honest_simulation(
     seed: str = "repro",
     view_sharding: bool = True,
     backend: str = "numpy",
+    merge_views: bool = False,
+    latency_model: LatencySpec = None,
+    latency_seed: int = 0,
 ) -> SimulationEngine:
     """A healthy network: all honest validators, no partition.
 
     This is the Liveness baseline: the finalized chain grows every epoch.
+    ``merge_views`` re-fuses equal views at epoch starts — relevant here
+    when a wide latency model fragments the single honest view.
     """
     cfg = config or SpecConfig.minimal()
     registry = make_registry(n_validators, cfg)
@@ -61,6 +73,9 @@ def build_honest_simulation(
         seed=seed,
         view_sharding=view_sharding,
         backend=backend,
+        merge_views=merge_views,
+        latency_model=latency_model,
+        latency_seed=latency_seed,
     )
 
 
@@ -71,6 +86,8 @@ def build_offline_fraction_simulation(
     seed: str = "repro",
     view_sharding: bool = True,
     backend: str = "numpy",
+    latency_model: LatencySpec = None,
+    latency_seed: int = 0,
 ) -> SimulationEngine:
     """A network where a fraction of honest validators is simply unreachable.
 
@@ -95,6 +112,8 @@ def build_offline_fraction_simulation(
         seed=seed,
         view_sharding=view_sharding,
         backend=backend,
+        latency_model=latency_model,
+        latency_seed=latency_seed,
     )
 
 
@@ -109,6 +128,8 @@ def build_partitioned_simulation(
     delta: float = 1.0,
     view_sharding: bool = True,
     backend: str = "numpy",
+    latency_model: LatencySpec = None,
+    latency_seed: int = 0,
 ) -> SimulationEngine:
     """A partitioned network with an optional Byzantine contingent.
 
@@ -179,6 +200,8 @@ def build_partitioned_simulation(
         seed=seed,
         view_sharding=view_sharding,
         backend=backend,
+        latency_model=latency_model,
+        latency_seed=latency_seed,
     )
 
 
@@ -193,6 +216,8 @@ def build_balancing_attack_simulation(
     backend: str = "numpy",
     merge_views: bool = False,
     max_attempts: int = 256,
+    latency_model: LatencySpec = None,
+    latency_seed: int = 0,
 ) -> SimulationEngine:
     """The Gasper balancing attack over a *healthy* network.
 
@@ -261,6 +286,72 @@ def build_balancing_attack_simulation(
         view_sharding=view_sharding,
         backend=backend,
         merge_views=merge_views,
+        latency_model=latency_model,
+        latency_seed=latency_seed,
+    )
+
+
+def build_behavior_mix_simulation(
+    n_validators: int = 16,
+    lazy_fraction: float = 0.2,
+    intermittent_fraction: float = 0.2,
+    miss_rate: float = 0.1,
+    max_delay: float = 4.0,
+    online_probability: float = 0.75,
+    profile_seed: int = 0,
+    config: Optional[SpecConfig] = None,
+    seed: str = "repro",
+    view_sharding: bool = True,
+    backend: str = "numpy",
+    latency_model: LatencySpec = None,
+    latency_seed: int = 0,
+) -> SimulationEngine:
+    """A healthy network with realistic non-ideal honest behaviour.
+
+    The registry is split into three contiguous bands: fully honest
+    validators first, then ``lazy_fraction`` lazy validators
+    (:class:`~repro.agents.profiles.LazyValidator` — seeded late/missed
+    attestations), then ``intermittent_fraction`` intermittent validators
+    (:class:`~repro.agents.profiles.IntermittentValidator` — seeded
+    per-epoch availability).  Combine with a latency model for the full
+    "realistic network" configuration the ROADMAP calls for.
+    """
+    if lazy_fraction < 0 or intermittent_fraction < 0:
+        raise ValueError("behaviour fractions must be non-negative")
+    if lazy_fraction + intermittent_fraction > 1.0:
+        raise ValueError("behaviour fractions must sum to at most 1")
+    cfg = config or SpecConfig.minimal()
+    registry = make_registry(n_validators, cfg)
+    n_lazy = int(round(n_validators * lazy_fraction))
+    n_intermittent = int(round(n_validators * intermittent_fraction))
+    n_plain = n_validators - n_lazy - n_intermittent
+    agents: Dict[int, ValidatorAgent] = {}
+    for validator in registry:
+        if validator.index < n_plain:
+            agents[validator.index] = HonestAgent(validator.index)
+        elif validator.index < n_plain + n_lazy:
+            agents[validator.index] = LazyValidator(
+                validator.index,
+                miss_rate=miss_rate,
+                max_delay=max_delay,
+                seed=profile_seed,
+            )
+        else:
+            agents[validator.index] = IntermittentValidator(
+                validator.index,
+                online_probability=online_probability,
+                seed=profile_seed,
+            )
+    return SimulationEngine(
+        registry=registry,
+        agents=agents,
+        schedule=PartitionSchedule.fully_connected(delta=1.0),
+        config=cfg,
+        seed=seed,
+        view_sharding=view_sharding,
+        backend=backend,
+        latency_model=latency_model,
+        latency_seed=latency_seed,
     )
 
 
@@ -331,6 +422,38 @@ SCENARIO_PRESETS: Dict[str, Dict[str, Any]] = {
             "config": SpecConfig.mainnet(),
         },
     },
+    # Healthy network under GossipSub-style per-hop propagation: the
+    # realistic-network benchmark workload (latency models are named, so
+    # each build binds a fresh seeded model instance).
+    "mainnet-gossip-10k": {
+        "builder": "honest",
+        "kwargs": {
+            "n_validators": 10_000,
+            "config": SpecConfig.mainnet(),
+            "latency_model": "gossip",
+        },
+    },
+    # Healthy network under heavy-tailed log-normal latency.
+    "mainnet-lognormal-10k": {
+        "builder": "honest",
+        "kwargs": {
+            "n_validators": 10_000,
+            "config": SpecConfig.mainnet(),
+            "latency_model": "lognormal",
+        },
+    },
+    # Gossip propagation plus lazy/intermittent honest behaviour: the
+    # full realistic-network configuration of ROADMAP item 2.
+    "mainnet-behavior-10k": {
+        "builder": "behavior-mix",
+        "kwargs": {
+            "n_validators": 10_000,
+            "lazy_fraction": 0.1,
+            "intermittent_fraction": 0.1,
+            "config": SpecConfig.mainnet(),
+            "latency_model": "gossip",
+        },
+    },
 }
 
 _PRESET_BUILDERS = {
@@ -338,6 +461,7 @@ _PRESET_BUILDERS = {
     "offline": build_offline_fraction_simulation,
     "partitioned": build_partitioned_simulation,
     "balancing": build_balancing_attack_simulation,
+    "behavior-mix": build_behavior_mix_simulation,
 }
 
 

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.network.adversary import Adversary
+from repro.network.latency import FixedJitter
 from repro.network.message import Message
 from repro.network.partition import Partition, PartitionSchedule
 from repro.network.transport import Network
@@ -150,6 +151,81 @@ class TestNetwork:
         assert network.next_delivery_time() is None
         network.send(block_message(0, sent_at=3.0), recipient=1)
         assert network.next_delivery_time() == pytest.approx(5.0)
+
+
+class TestDelayAccounting:
+    """The delay counters are disjoint by cause.
+
+    ``delayed_across_partition`` counts only deliveries the partition
+    schedule held to GST; deliberate sender-side delays and latency-model
+    delays have their own counters and never leak into it.
+    """
+
+    def test_send_delayed_counts_as_adversary_delay(self, schedule):
+        network = Network(schedule, participants=list(range(10)))
+        network.send_delayed(block_message(0, sent_at=0.0), recipient=1, delay=5.0)
+        assert network.stats.adversary_delayed == 1
+        assert network.stats.delayed_across_partition == 0
+        assert network.stats.lazy_delayed == 0
+        # Partition rules apply from the delayed instant.
+        assert network.next_delivery_time() == pytest.approx(5.0 + schedule.delta)
+
+    def test_send_delayed_across_partition_counts_both_causes(self, schedule):
+        network = Network(schedule, participants=list(range(10)))
+        network.send_delayed(block_message(0, sent_at=0.0), recipient=4, delay=5.0)
+        assert network.stats.adversary_delayed == 1
+        assert network.stats.delayed_across_partition == 1
+        assert network.next_delivery_time() == pytest.approx(
+            schedule.gst + schedule.delta
+        )
+
+    def test_lazy_broadcast_counts_once_per_publication(self, schedule):
+        network = Network(schedule, participants=list(range(10)))
+        network.broadcast(block_message(0, sent_at=0.0), exclude={0}, delay=2.0)
+        network.broadcast(block_message(1, sent_at=12.0), exclude={1})
+        assert network.stats.lazy_delayed == 1
+        assert network.stats.adversary_delayed == 0
+        # The lazy copy still lands delta after its *effective* send time.
+        in_partition = [
+            d for d in network.deliveries_until(100.0) if d.message.sender == 0
+        ]
+        assert all(d.deliver_at == pytest.approx(2.0 + schedule.delta) for d in in_partition)
+
+    def test_latency_model_delays_have_their_own_counter(self, schedule):
+        # base=5s exceeds delta=2s for every recipient; an unbound model
+        # is auto-bound without a phase grid, so delivery times are raw.
+        network = Network(
+            schedule,
+            participants=list(range(10)),
+            latency_model=FixedJitter(base=5.0, jitter=0.0, seed=1),
+        )
+        network.broadcast(block_message(0, sent_at=0.0), exclude={0}, recipients=[1, 2, 3])
+        assert network.stats.latency_delayed == 3
+        assert network.stats.delayed_across_partition == 0
+        assert network.stats.adversary_delayed == 0
+        deliveries = network.deliveries_until(100.0)
+        assert all(d.deliver_at == pytest.approx(5.0) for d in deliveries)
+
+    def test_modeled_cross_partition_still_held_to_gst(self, schedule):
+        network = Network(
+            schedule,
+            participants=list(range(10)),
+            latency_model=FixedJitter(base=0.1, jitter=0.0, seed=1),
+        )
+        network.broadcast(block_message(0, sent_at=0.0), exclude={0})
+        assert network.stats.delayed_across_partition == 4  # branch-2
+        assert network.stats.latency_delayed == 0  # 0.1s < delta
+        late = [d for d in network.deliveries_until(10_000.0) if d.recipient in {4, 5, 6, 7}]
+        assert all(d.deliver_at >= schedule.gst for d in late)
+
+    def test_sub_delta_model_is_not_counted_as_delayed(self, schedule):
+        network = Network(
+            schedule,
+            participants=list(range(10)),
+            latency_model=FixedJitter(base=0.2, jitter=0.4, seed=1),
+        )
+        network.broadcast(block_message(0, sent_at=0.0), exclude={0}, recipients=[1, 2, 3])
+        assert network.stats.latency_delayed == 0
 
 
 class TestAdversary:

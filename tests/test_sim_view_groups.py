@@ -19,9 +19,11 @@ reference backend agrees with ``"numpy"`` inside the grouped engine.
 
 import pytest
 
+from repro.network.latency import FixedJitter
 from repro.sim.scenarios import (
     SCENARIO_PRESETS,
     build_balancing_attack_simulation,
+    build_behavior_mix_simulation,
     build_honest_simulation,
     build_offline_fraction_simulation,
     build_partitioned_simulation,
@@ -144,13 +146,86 @@ SCENARIOS = [
         {"n_validators": 16, "merge_views": True},
         4,
     ),
+    # Latency-model scenarios: per-validator sampled delivery times must
+    # not break the grouped==per-node contract.  Default parameters keep
+    # every latency inside one phase window (no splits); the wide-jitter
+    # entry deliberately scatters deliveries across phase boundaries so
+    # equivalence must survive latency-induced view splits.
+    (
+        "healthy-jitter",
+        build_honest_simulation,
+        {"n_validators": 12, "latency_model": "jitter"},
+        4,
+    ),
+    (
+        "healthy-lognormal",
+        build_honest_simulation,
+        {"n_validators": 12, "latency_model": "lognormal", "latency_seed": 3},
+        4,
+    ),
+    (
+        "healthy-gossip",
+        build_honest_simulation,
+        {"n_validators": 16, "latency_model": "gossip"},
+        4,
+    ),
+    (
+        "partition-gossip",
+        build_partitioned_simulation,
+        {"n_validators": 12, "p0": 0.5, "latency_model": "gossip"},
+        4,
+    ),
+    (
+        "partition-lognormal-heals",
+        build_partitioned_simulation,
+        {"n_validators": 12, "p0": 0.5, "gst_epoch": 2, "latency_model": "lognormal"},
+        6,
+    ),
+    (
+        "wide-jitter-splits",
+        build_honest_simulation,
+        {
+            "n_validators": 12,
+            "latency_model": FixedJitter(base=0.5, jitter=6.0, seed=2),
+        },
+        4,
+    ),
+    # Behavior profiles: lazy (missed/late attestations) and intermittent
+    # (whole epochs offline) honest validators take the per-validator
+    # dispatch path; their seeded draws must agree across sharding modes.
+    (
+        "behavior-mix",
+        build_behavior_mix_simulation,
+        {"n_validators": 16, "lazy_fraction": 0.25, "intermittent_fraction": 0.25},
+        6,
+    ),
+    (
+        "behavior-gossip",
+        build_behavior_mix_simulation,
+        {
+            "n_validators": 16,
+            "lazy_fraction": 0.25,
+            "intermittent_fraction": 0.25,
+            "latency_model": "gossip",
+        },
+        4,
+    ),
 ]
 
 SCENARIO_IDS = [scenario[0] for scenario in SCENARIOS]
 
 #: Scenarios re-run on the pure-python kernel backend (kept to the
 #: families that exercise distinct code paths, for runtime).
-PYTHON_BACKEND_IDS = {"healthy", "partition", "double-voting", "bouncing", "balancing"}
+PYTHON_BACKEND_IDS = {
+    "healthy",
+    "partition",
+    "double-voting",
+    "bouncing",
+    "balancing",
+    "healthy-gossip",
+    "wide-jitter-splits",
+    "behavior-mix",
+}
 
 
 def assert_runs_equivalent(grouped, per_node):
@@ -451,6 +526,62 @@ class TestBalancingStructure:
             n_validators=16, view_sharding=False
         ).run(2)
         assert result.view_events == []
+
+
+class TestLatencyViewStructure:
+    """How sampled latencies interact with view sharding."""
+
+    def test_default_models_do_not_fragment_views(self):
+        # Default parameters keep every latency within one phase window:
+        # the healthy network must stay a single view (this pins the
+        # origin-pays-one-hop rule — a zero-latency self-delivery would
+        # split the proposer out of its group on every message).
+        for model in ("jitter", "lognormal", "gossip"):
+            result = build_honest_simulation(
+                n_validators=16, latency_model=model
+            ).run(3)
+            assert result.peak_view_count == 1, model
+            assert result.split_events() == []
+
+    def test_wide_jitter_forces_latency_induced_splits(self):
+        result = build_honest_simulation(
+            n_validators=12, latency_model=FixedJitter(base=0.5, jitter=6.0, seed=2)
+        ).run(4)
+        assert result.split_events(), "6s jitter must cross phase boundaries"
+        assert result.peak_view_count > 1
+        assert result.transport_stats.latency_delayed > 0
+
+    def test_merge_views_refuses_wide_jitter_fragmentation(self):
+        fragmented = build_honest_simulation(
+            n_validators=12, latency_model=FixedJitter(base=0.5, jitter=6.0, seed=2)
+        )
+        merged = build_honest_simulation(
+            n_validators=12,
+            latency_model=FixedJitter(base=0.5, jitter=6.0, seed=2),
+            merge_views=True,
+        )
+        frag_result = fragmented.run(4)
+        merge_result = merged.run(4)
+        assert any(e.kind == "merge" for e in merge_result.view_events)
+        assert merge_result.peak_view_count <= frag_result.peak_view_count
+        assert_runs_equivalent(
+            merge_result,
+            build_honest_simulation(
+                n_validators=12,
+                latency_model=FixedJitter(base=0.5, jitter=6.0, seed=2),
+                view_sharding=False,
+            ).run(4),
+        )
+
+    def test_behavior_mix_marks_lazy_delays(self):
+        result = build_behavior_mix_simulation(
+            n_validators=16,
+            lazy_fraction=0.5,
+            miss_rate=0.0,
+            max_delay=4.0,
+        ).run(4)
+        assert result.transport_stats.lazy_delayed > 0
+        assert result.transport_stats.adversary_delayed == 0
 
 
 class TestMainnetScalePresets:
