@@ -38,9 +38,11 @@ import pytest
 
 from repro.sim.scenarios import (
     build_balancing_attack_simulation,
+    build_honest_simulation,
     build_partitioned_simulation,
     build_preset,
 )
+from repro.spec.config import SpecConfig
 
 SMALL = 512
 LARGE = 10_000
@@ -293,3 +295,49 @@ def test_mainnet_preset_throughput(benchmark):
     result = benchmark.pedantic(run, rounds=3, iterations=1)
     assert result.epochs_run == EPOCHS
     assert not result.safety_violated()
+
+
+# ----------------------------------------------------------------------
+# Small-scenario micro-benchmarks (formerly bench_slot_simulator.py):
+# engineering baselines at 12–16 validators that assert the invariants
+# every run must satisfy (Liveness when healthy, leak + stalled finality
+# under partition, detected equivocation under double voting).
+# ----------------------------------------------------------------------
+@pytest.mark.benchmark(group="simulator")
+def test_healthy_network_throughput(benchmark):
+    def run():
+        engine = build_honest_simulation(n_validators=16)
+        return engine.run(6)
+
+    result = benchmark(run)
+    assert result.liveness_held(min_progress=3)
+    assert not result.safety_violated()
+
+
+@pytest.mark.benchmark(group="simulator")
+def test_partitioned_network_throughput(benchmark):
+    def run():
+        engine = build_partitioned_simulation(n_validators=16, p0=0.5)
+        return engine.run(6)
+
+    result = benchmark(run)
+    assert result.max_finalized_epoch() == 0
+    assert result.leak_epochs()
+
+
+@pytest.mark.benchmark(group="simulator")
+def test_double_voting_attack_run(benchmark):
+    config = SpecConfig.minimal().with_overrides(inactivity_penalty_quotient=2 ** 7)
+
+    def run():
+        engine = build_partitioned_simulation(
+            n_validators=12,
+            p0=0.5,
+            byzantine_fraction=0.25,
+            byzantine_strategy="double-voting",
+            config=config,
+        )
+        return engine.run(14)
+
+    result = benchmark(run)
+    assert result.safety_violated()

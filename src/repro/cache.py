@@ -1,0 +1,269 @@
+"""On-disk content-addressed cache for experiment results.
+
+The production experiment service (ROADMAP item 4) answers the same
+queries over and over: *run experiment X with configuration C and seed S*.
+Every registered experiment is a deterministic function of exactly those
+inputs plus the code that implements it, so the answer can be stored once
+and replayed forever — provided the key captures all four ingredients.
+This module implements that store:
+
+* **Content addressing** — an entry's key is the BLAKE2 hash of
+  ``(experiment id, canonical configuration JSON, seed, code
+  fingerprint)``.  Canonicalisation (:func:`canonical_json`) makes the
+  configuration representation-independent: dataclasses, tuples, sets and
+  numpy scalars collapse to one sorted-key JSON form, so equal
+  configurations always produce equal keys.
+* **Fingerprint invalidation** — the code fingerprint
+  (:func:`code_fingerprint`) hashes every source file of the ``repro``
+  package, so editing any implementation file silently invalidates every
+  cached result without version bookkeeping.
+* **Robustness** — entries are written atomically (temp file +
+  ``os.replace``) and verified on read; a corrupted or truncated entry
+  counts as a miss and is recomputed and overwritten, never trusted.
+
+Payloads are stored as JSON.  :meth:`ResultCache.fetch_or_compute`
+returns the *JSON round-trip* of a freshly computed payload, so a cold
+call and a later cache hit return byte-identical values (tuples never
+leak through on the cold path only) — the property the sweep tests pin.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pathlib
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Tuple, Union
+
+#: Bump to orphan every existing cache entry on a format change.
+ENTRY_VERSION = 1
+
+#: Hex digest length: 32 hex chars (16 bytes) keeps filenames short while
+#: leaving collision probability negligible for any realistic cache size.
+_DIGEST_SIZE = 16
+
+
+# ----------------------------------------------------------------------
+# Canonicalisation
+# ----------------------------------------------------------------------
+def canonical_value(value: Any) -> Any:
+    """Reduce ``value`` to plain JSON types, canonically.
+
+    Dataclasses become dictionaries, mappings get string keys, tuples,
+    lists and frozen/plain sets become lists (sets are sorted by their
+    repr, so order is deterministic), and objects exposing ``item()``
+    (numpy scalars) collapse to the underlying Python number.  Anything
+    else falls back to ``repr`` — stable for the config objects used
+    here, and never silently ambiguous (two distinct reprs cannot
+    collide into one key component).
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: canonical_value(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, dict):
+        return {str(key): canonical_value(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [canonical_value(item) for item in value]
+    if isinstance(value, (set, frozenset)):
+        return [canonical_value(item) for item in sorted(value, key=repr)]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if hasattr(value, "item"):  # numpy scalar
+        return canonical_value(value.item())
+    return repr(value)
+
+
+def canonical_json(value: Any) -> str:
+    """The canonical JSON form of ``value`` (sorted keys, no whitespace)."""
+    return json.dumps(canonical_value(value), sort_keys=True, separators=(",", ":"))
+
+
+# ----------------------------------------------------------------------
+# Code fingerprint
+# ----------------------------------------------------------------------
+_default_fingerprint: Optional[str] = None
+
+
+def code_fingerprint(root: Union[None, str, pathlib.Path] = None) -> str:
+    """BLAKE2 hash of every ``*.py`` file under ``root`` (default: ``repro``).
+
+    The digest covers each file's package-relative path and content, in
+    sorted path order, so renames, additions, deletions and edits all
+    change the fingerprint.  The default-package fingerprint is computed
+    once per process (source files do not change under a running
+    service); pass an explicit ``root`` to bypass the memo.
+    """
+    global _default_fingerprint
+    if root is None:
+        if _default_fingerprint is None:
+            _default_fingerprint = code_fingerprint(pathlib.Path(__file__).parent)
+        return _default_fingerprint
+    root = pathlib.Path(root)
+    digest = hashlib.blake2b(digest_size=_DIGEST_SIZE)
+    for path in sorted(root.rglob("*.py")):
+        digest.update(path.relative_to(root).as_posix().encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()
+
+
+def result_key(
+    experiment: str, config: Any, seed: Any = None, fingerprint: Optional[str] = None
+) -> str:
+    """The content address of one experiment result.
+
+    A pure function of ``(experiment, canonical config JSON, seed, code
+    fingerprint)`` — equal inputs give equal keys across processes and
+    machines; changing any ingredient (including only the code) gives a
+    fresh key.
+    """
+    if fingerprint is None:
+        fingerprint = code_fingerprint()
+    digest = hashlib.blake2b(digest_size=_DIGEST_SIZE)
+    for part in (experiment, canonical_json(config), canonical_json(seed), fingerprint):
+        digest.update(part.encode())
+        digest.update(b"\0")
+    return digest.hexdigest()
+
+
+# ----------------------------------------------------------------------
+# The store
+# ----------------------------------------------------------------------
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one :class:`ResultCache` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    #: Entries that existed on disk but failed validation (truncated,
+    #: non-JSON, wrong version/key); each also counts as a miss.
+    corrupted: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class ResultCache:
+    """Content-addressed result store over a directory of JSON entries.
+
+    One entry per key, written atomically; payloads must be JSON-
+    serialisable (after :func:`canonical_value`).  The ``fingerprint``
+    defaults to the live :func:`code_fingerprint`, so entries written by
+    older code are unreachable (not deleted — a rollback finds them
+    again).
+    """
+
+    def __init__(
+        self,
+        cache_dir: Union[str, pathlib.Path],
+        fingerprint: Optional[str] = None,
+    ) -> None:
+        self.cache_dir = pathlib.Path(cache_dir)
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        self.fingerprint = fingerprint if fingerprint is not None else code_fingerprint()
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    def key_for(self, experiment: str, config: Any, seed: Any = None) -> str:
+        """The content address this cache uses for ``(experiment, config, seed)``."""
+        return result_key(experiment, config, seed, fingerprint=self.fingerprint)
+
+    def path_for_key(self, key: str) -> pathlib.Path:
+        return self.cache_dir / f"{key}.json"
+
+    # ------------------------------------------------------------------
+    def fetch_key(self, key: str) -> Optional[Any]:
+        """The payload stored under ``key``, or ``None`` on a miss.
+
+        Any defect in the on-disk entry — unreadable, non-JSON, missing
+        fields, version or key mismatch — is treated as a miss (and
+        counted in ``stats.corrupted``), so a later :meth:`store`
+        replaces the bad entry.
+        """
+        path = self.path_for_key(key)
+        try:
+            raw = path.read_text(encoding="utf-8")
+        except OSError:
+            self.stats.misses += 1
+            return None
+        try:
+            entry = json.loads(raw)
+            if (
+                not isinstance(entry, dict)
+                or entry.get("version") != ENTRY_VERSION
+                or entry.get("key") != key
+                or "payload" not in entry
+            ):
+                raise ValueError("malformed cache entry")
+        except (ValueError, TypeError):
+            self.stats.corrupted += 1
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return entry["payload"]
+
+    def fetch(self, experiment: str, config: Any, seed: Any = None) -> Optional[Any]:
+        """Look up ``(experiment, config, seed)``; ``None`` on a miss."""
+        return self.fetch_key(self.key_for(experiment, config, seed))
+
+    # ------------------------------------------------------------------
+    def store(
+        self, experiment: str, config: Any, seed: Any = None, payload: Any = None
+    ) -> str:
+        """Store ``payload`` under the content address; returns the key.
+
+        The entry records the full addressing tuple alongside the payload
+        so entries stay debuggable (``cat`` shows what produced them).
+        The write is atomic — readers never observe a partial entry.
+        """
+        key = self.key_for(experiment, config, seed)
+        entry = {
+            "version": ENTRY_VERSION,
+            "key": key,
+            "experiment": experiment,
+            "config": canonical_value(config),
+            "seed": canonical_value(seed),
+            "fingerprint": self.fingerprint,
+            "payload": canonical_value(payload),
+        }
+        path = self.path_for_key(key)
+        tmp_path = path.with_name(path.name + f".tmp{os.getpid()}")
+        tmp_path.write_text(json.dumps(entry, indent=2) + "\n", encoding="utf-8")
+        os.replace(tmp_path, path)
+        self.stats.stores += 1
+        return key
+
+    # ------------------------------------------------------------------
+    def fetch_or_compute(
+        self,
+        experiment: str,
+        config: Any,
+        compute: Callable[[], Any],
+        seed: Any = None,
+    ) -> Tuple[Any, bool]:
+        """Return ``(payload, hit)`` — from the store, or via ``compute``.
+
+        On a miss, ``compute()`` runs, its payload is stored, and the
+        *JSON round-trip* of the payload is returned — so the miss path
+        returns exactly what every later hit will return, byte for byte.
+        """
+        cached = self.fetch(experiment, config, seed)
+        if cached is not None:
+            return cached, True
+        payload = compute()
+        self.store(experiment, config, seed=seed, payload=payload)
+        # The same round-trip the store/fetch pair performs (plain dumps of
+        # the canonical value, no key re-sorting), so the returned payload
+        # is byte-for-byte what every later hit will return.
+        return json.loads(json.dumps(canonical_value(payload))), False

@@ -41,13 +41,16 @@ from repro.core.ffg import (
 from repro.core.stake_engine import BatchedStakeEngine, StakeEngine
 from repro.core.trials import (
     DEFAULT_CHUNK_SIZE,
+    TaskChunk,
     TrialChunk,
     group_chunks,
     parallel_map,
     plan_chunks,
+    plan_task_chunks,
     resolve_jobs,
     run_chunk_groups,
     run_chunked,
+    run_task_chunks,
     run_trials,
 )
 
@@ -73,6 +76,7 @@ __all__ = [
     "StakeBackend",
     "StakeEngine",
     "StakeRules",
+    "TaskChunk",
     "TrialChunk",
     "available_backends",
     "finality_from_ratios",
@@ -82,9 +86,11 @@ __all__ = [
     "leak_mask",
     "parallel_map",
     "plan_chunks",
+    "plan_task_chunks",
     "register_backend",
     "resolve_jobs",
     "run_chunk_groups",
     "run_chunked",
+    "run_task_chunks",
     "run_trials",
 ]

@@ -17,7 +17,13 @@ gives them one execution engine with two guarantees:
 without touching the chunk plan, so batching is a pure throughput knob:
 results are independent of ``batch`` as well as ``jobs``.
 
-``parallel_map`` is the seedless sibling used by deterministic grid sweeps.
+``run_task_chunks`` is the task-generic sibling: it chunks an arbitrary
+list of *task descriptions* (grid points, scenario/trial pairs, …) with
+the same contiguous, order-preserving plan and dispatches whole chunks to
+workers.  Tasks that carry their own determinism (a seed derived from the
+task content, as the slot-sim sweeps do) are jobs- and chunk-size-
+invariant by construction.  ``parallel_map`` is the per-item sibling used
+by deterministic closed-form grid sweeps.
 """
 
 from __future__ import annotations
@@ -91,6 +97,32 @@ def _run_chunk_worker(
     return results
 
 
+def _dispatch_units(
+    unit_runner: Callable[..., List[Any]],
+    worker: Callable[..., Sequence[Any]],
+    units: Sequence[Any],
+    worker_args: Tuple[Any, ...],
+    jobs: Optional[int],
+) -> List[Any]:
+    """Run ``unit_runner(worker, unit, worker_args)`` for every unit; flatten.
+
+    The shared dispatch core behind every chunked runner in this module:
+    serial below two workers, a ``ProcessPoolExecutor`` otherwise, always
+    flattening per-unit result lists in submission order — so the output
+    never depends on ``jobs``.
+    """
+    n_workers = min(resolve_jobs(jobs), len(units))
+    if n_workers <= 1:
+        per_unit = [unit_runner(worker, unit, worker_args) for unit in units]
+    else:
+        with ProcessPoolExecutor(max_workers=n_workers) as pool:
+            futures = [
+                pool.submit(unit_runner, worker, unit, worker_args) for unit in units
+            ]
+            per_unit = [future.result() for future in futures]
+    return [result for unit_results in per_unit for result in unit_results]
+
+
 def run_chunked(
     worker: Callable[..., Sequence[Any]],
     n_trials: int,
@@ -107,17 +139,7 @@ def run_chunked(
     of a picklable object).
     """
     chunks = plan_chunks(n_trials, seed=seed, chunk_size=chunk_size)
-    n_workers = min(resolve_jobs(jobs), len(chunks))
-    if n_workers <= 1:
-        per_chunk = [_run_chunk_worker(worker, chunk, worker_args) for chunk in chunks]
-    else:
-        with ProcessPoolExecutor(max_workers=n_workers) as pool:
-            futures = [
-                pool.submit(_run_chunk_worker, worker, chunk, worker_args)
-                for chunk in chunks
-            ]
-            per_chunk = [future.result() for future in futures]
-    return [result for chunk_results in per_chunk for result in chunk_results]
+    return _dispatch_units(_run_chunk_worker, worker, chunks, worker_args, jobs)
 
 
 def group_chunks(
@@ -186,17 +208,83 @@ def run_chunk_groups(
     """
     chunks = plan_chunks(n_trials, seed=seed, chunk_size=chunk_size)
     groups = group_chunks(chunks, batch if batch is not None else n_trials)
-    n_workers = min(resolve_jobs(jobs), len(groups))
-    if n_workers <= 1:
-        per_group = [_run_group_worker(worker, group, worker_args) for group in groups]
-    else:
-        with ProcessPoolExecutor(max_workers=n_workers) as pool:
-            futures = [
-                pool.submit(_run_group_worker, worker, group, worker_args)
-                for group in groups
-            ]
-            per_group = [future.result() for future in futures]
-    return [result for group_results in per_group for result in group_results]
+    return _dispatch_units(_run_group_worker, worker, groups, worker_args, jobs)
+
+
+# ----------------------------------------------------------------------
+# Task-generic chunked execution
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TaskChunk:
+    """A contiguous block of task descriptions plus its position.
+
+    The task-generic counterpart of :class:`TrialChunk`: instead of a
+    spawned seed it carries the tasks themselves — whatever picklable
+    descriptions the caller enumerated (grid points, ``(scenario, trial)``
+    pairs, …).  Workers that derive all randomness from the task content
+    are deterministic whatever the chunking.
+    """
+
+    start: int
+    tasks: Tuple[Any, ...]
+
+    @property
+    def size(self) -> int:
+        return len(self.tasks)
+
+    @property
+    def stop(self) -> int:
+        return self.start + len(self.tasks)
+
+
+def plan_task_chunks(
+    tasks: Sequence[Any], chunk_size: int = DEFAULT_CHUNK_SIZE
+) -> List[TaskChunk]:
+    """Split ``tasks`` into contiguous chunks of at most ``chunk_size``.
+
+    The plan is a pure function of ``(tasks, chunk_size)`` — order is
+    preserved and nothing is dropped or duplicated.
+    """
+    if chunk_size <= 0:
+        raise ValueError("chunk_size must be positive")
+    tasks = list(tasks)
+    return [
+        TaskChunk(start=start, tasks=tuple(tasks[start : start + chunk_size]))
+        for start in range(0, len(tasks), chunk_size)
+    ]
+
+
+def _run_task_chunk_worker(
+    worker: Callable[..., Sequence[Any]], chunk: TaskChunk, args: Tuple[Any, ...]
+) -> List[Any]:
+    results = list(worker(chunk, *args))
+    if len(results) != chunk.size:
+        raise ValueError(
+            f"task worker returned {len(results)} results for {chunk.size} tasks"
+        )
+    return results
+
+
+def run_task_chunks(
+    worker: Callable[..., Sequence[Any]],
+    tasks: Sequence[Any],
+    *,
+    jobs: Optional[int] = None,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    worker_args: Tuple[Any, ...] = (),
+) -> List[Any]:
+    """Run ``worker(chunk, *worker_args)`` over chunks of ``tasks``; flatten.
+
+    The task-generic chunked ProcessPool runner: ``worker`` receives a
+    :class:`TaskChunk` and must return one result per task, in task order.
+    Results come back in the original task order and are independent of
+    ``jobs`` (chunks are dispatched whole and flattened in plan order);
+    they are also independent of ``chunk_size`` whenever the worker is a
+    pure function of each task.  When ``jobs`` > 1 the worker and every
+    task must be picklable.
+    """
+    chunks = plan_task_chunks(tasks, chunk_size=chunk_size)
+    return _dispatch_units(_run_task_chunk_worker, worker, chunks, worker_args, jobs)
 
 
 class _PerTrialWorker:

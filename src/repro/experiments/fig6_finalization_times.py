@@ -8,7 +8,8 @@ in slashable behaviour (Equation 9) and when they do not (Equation 10).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from functools import partial
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -17,6 +18,7 @@ from repro.analysis.finalization_time import (
     threshold_epoch_non_slashing,
     threshold_epoch_slashing,
 )
+from repro.core.trials import parallel_map
 
 
 @dataclass
@@ -77,10 +79,19 @@ class Figure6Result:
         )
 
 
+def _curve_point(p0: float, beta0: float) -> Tuple[float, float]:
+    """Both Figure-6 curves at one beta0 (picklable for worker processes)."""
+    return (
+        threshold_epoch_slashing(p0, beta0),
+        threshold_epoch_non_slashing(p0, beta0),
+    )
+
+
 def run(
     beta0_max: float = 0.33,
     n_points: int = 67,
     p0: float = 0.5,
+    jobs: Optional[int] = None,
     latency_model: Optional[str] = None,
     latency_seed: int = 0,
     latency_validators: int = 10_000,
@@ -88,15 +99,18 @@ def run(
 ) -> Figure6Result:
     """Reproduce the Figure-6 curves.
 
-    With ``latency_model`` set (``"uniform"``, ``"jitter"``,
+    ``jobs`` fans the beta0 grid across worker processes; the curves are
+    closed-form, so results never depend on the parallelism level.  With
+    ``latency_model`` set (``"uniform"``, ``"jitter"``,
     ``"lognormal"`` or ``"gossip"``) the closed-form curves are
     accompanied by a measured mainnet-scale (default 10k validators)
     slot-simulation run under that model, validating the Liveness
     baseline the curves extrapolate from.
     """
     beta0_values = [float(b) for b in np.linspace(0.0, beta0_max, n_points)]
-    slashing = [threshold_epoch_slashing(p0, beta0) for beta0 in beta0_values]
-    non_slashing = [threshold_epoch_non_slashing(p0, beta0) for beta0 in beta0_values]
+    points = parallel_map(partial(_curve_point, p0), beta0_values, jobs=jobs)
+    slashing = [point[0] for point in points]
+    non_slashing = [point[1] for point in points]
     validation: Optional[Dict[str, object]] = None
     if latency_model is not None:
         from repro.experiments.network_measure import measure_healthy_finalization

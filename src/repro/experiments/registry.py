@@ -8,6 +8,7 @@ from typing import Callable, Dict, FrozenSet, List
 
 from repro.experiments import (
     ablations,
+    balancing_duration,
     balancing_feasibility,
     bouncing_duration,
     fig2_stake_trajectories,
@@ -35,6 +36,12 @@ class Experiment:
     experiment_id: str
     description: str
     run: Callable[..., object]
+    #: Whether the runner may replay this experiment's rows/report from the
+    #: content-addressed result cache (``--cache-dir``).  Every registered
+    #: experiment is a deterministic function of its options and the code,
+    #: so this defaults on; flip it off when registering anything that
+    #: reads external state.
+    cacheable: bool = True
 
     #: Runner-level options an experiment may accept, in display order.
     RUNNER_OPTIONS = (
@@ -151,6 +158,11 @@ EXPERIMENTS: Dict[str, Experiment] = {
         "balancing-feasibility",
         "Gasper balancing-attack role feasibility over (C, N, F)",
         balancing_feasibility.run,
+    ),
+    "balancing-duration": Experiment(
+        "balancing-duration",
+        "Balancing-attack hold duration vs committee size and sway-delay budget",
+        balancing_duration.run,
     ),
 }
 

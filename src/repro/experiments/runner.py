@@ -7,6 +7,7 @@ Usage::
     repro-experiments --all
     repro-experiments fig10-montecarlo --jobs 8 --seed 7
     repro-experiments fig10-montecarlo --jobs 0 --trials 1024 --record-every 250
+    repro-experiments balancing-duration --jobs 4 --cache-dir .repro-cache
 
 ``--jobs``/``--seed``/``--trials``/``--record-every``/``--latency-model``
 are forwarded to every selected experiment that accepts them (``--list``
@@ -15,6 +16,14 @@ marks those with ``[parallel]`` / ``[seeded]`` / ``[trials]`` /
 Seeded experiments produce identical results at any ``--jobs`` level: the
 parallel trial runner (:mod:`repro.core.trials`) spawns per-chunk seeds
 deterministically.
+
+``--cache-dir`` adds a content-addressed result cache
+(:mod:`repro.cache`): every experiment is a deterministic function of its
+id, forwarded options and the implementing code, so a repeated invocation
+replays the stored rows and report instead of recomputing (``[cache]`` in
+``--list``; a ``[cache] N hits, M misses`` summary line reports what the
+store served).  Editing any source file under ``repro`` invalidates the
+affected entries automatically via the code fingerprint.
 """
 
 from __future__ import annotations
@@ -22,10 +31,11 @@ from __future__ import annotations
 import argparse
 import pathlib
 import sys
-from typing import List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
+from repro.cache import ResultCache
 from repro.experiments import registry
-from repro.experiments.export import export_csv, export_json
+from repro.experiments.export import _jsonable, export_csv, export_json
 from repro.network.latency import LATENCY_MODEL_NAMES
 
 
@@ -35,6 +45,34 @@ def _format_result(result: object) -> str:
     if callable(formatter):
         return str(formatter())
     return repr(result)
+
+
+def _result_payload(result: object) -> Dict[str, Any]:
+    """The cacheable essence of a result: its rows and rendered report."""
+    rows_method = getattr(result, "rows", None)
+    rows = rows_method() if callable(rows_method) else []
+    return {
+        "rows": [_jsonable(row) for row in rows],
+        "report": _format_result(result),
+    }
+
+
+class CachedResult:
+    """An experiment result replayed from the content-addressed cache.
+
+    Exposes the same ``rows()`` / ``format_text()`` surface the export
+    and report paths consume, backed by the stored payload — so a cache
+    hit flows through the runner identically to a fresh computation.
+    """
+
+    def __init__(self, payload: Dict[str, Any]) -> None:
+        self._payload = payload
+
+    def rows(self) -> List[Dict[str, Any]]:
+        return self._payload.get("rows") or []
+
+    def format_text(self) -> str:
+        return str(self._payload.get("report", ""))
 
 
 def run_experiments(
@@ -49,6 +87,8 @@ def run_experiments(
     backend: Optional[str] = None,
     latency_model: Optional[str] = None,
     latency_seed: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+    cache_dir: Optional[pathlib.Path] = None,
 ) -> List[str]:
     """Run the requested experiments and return their textual reports.
 
@@ -57,7 +97,16 @@ def run_experiments(
     ``trials``, ``record_every``, ``batch``, ``backend``, ``latency_model``
     and ``latency_seed`` are passed through to experiments that accept
     them and silently ignored by the rest.
+
+    With a ``cache`` (or ``cache_dir``), each cacheable experiment's rows
+    and report are served from the content-addressed store when an entry
+    matching (id, forwarded options, code fingerprint) exists, and stored
+    after computing otherwise.  ``jobs`` is deliberately excluded from
+    the cache key — results are jobs-invariant by contract, so runs at
+    different parallelism levels share entries.
     """
+    if cache is None and cache_dir is not None:
+        cache = ResultCache(cache_dir)
     reports = []
     for experiment_id in experiment_ids:
         experiment = registry.get(experiment_id)
@@ -79,7 +128,17 @@ def run_experiments(
             options["latency_model"] = latency_model
         if latency_seed is not None and "latency_seed" in accepted:
             options["latency_seed"] = latency_seed
-        result = experiment.run(**options)
+        if cache is not None and experiment.cacheable:
+            key_options = {k: v for k, v in options.items() if k != "jobs"}
+            payload, _hit = cache.fetch_or_compute(
+                experiment_id,
+                {"options": key_options},
+                lambda: _result_payload(experiment.run(**options)),
+                seed=key_options.get("seed"),
+            )
+            result: object = CachedResult(payload)
+        else:
+            result = experiment.run(**options)
         reports.append(_format_result(result))
         if output_dir is not None:
             if "json" in formats:
@@ -204,6 +263,17 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="S",
         help="RNG seed of the latency model (default: 0)",
     )
+    parser.add_argument(
+        "--cache-dir",
+        type=pathlib.Path,
+        default=None,
+        metavar="DIR",
+        help=(
+            "content-addressed result cache: replay stored rows/reports for "
+            "repeated (experiment, options, code) invocations; entries are "
+            "invalidated automatically when any repro source file changes"
+        ),
+    )
     return parser
 
 
@@ -229,13 +299,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 )
                 if option in accepted
             )
+            if experiment.cacheable:
+                markers += " [cache]"
             print(f"{experiment_id:<22} {experiment.description}{markers}")
         print()
         print(
             "[parallel] experiments honour --jobs; [seeded] ones --seed; "
             "[trials] ones --trials; [curve] ones --record-every; "
             "[batch] ones --batch; [backend] ones --backend; "
-            "[latency] ones --latency-model/--latency-seed."
+            "[latency] ones --latency-model/--latency-seed; "
+            "[cache] ones replay from --cache-dir."
         )
         return 0
 
@@ -247,6 +320,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 1
 
     formats = ("json", "csv") if args.format == "both" else (args.format,)
+    cache = ResultCache(args.cache_dir) if args.cache_dir is not None else None
     for report in run_experiments(
         experiment_ids,
         output_dir=args.output_dir,
@@ -259,9 +333,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         backend=args.backend,
         latency_model=args.latency_model,
         latency_seed=args.latency_seed,
+        cache=cache,
     ):
         print(report)
         print()
+    if cache is not None:
+        stats = cache.stats
+        print(
+            f"[cache] {stats.hits} hits, {stats.misses} misses, "
+            f"{stats.stores} stores ({cache.cache_dir})"
+        )
     return 0
 
 

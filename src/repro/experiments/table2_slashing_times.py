@@ -7,6 +7,7 @@ For p0 = 0.5 and beta0 in {0, 0.1, 0.15, 0.2, 0.33} the paper reports
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.finalization_time import (
@@ -15,6 +16,7 @@ from repro.analysis.finalization_time import (
     threshold_epoch_slashing,
 )
 from repro.analysis.partition_scenarios import run_slashable_byzantine_scenario
+from repro.core.trials import parallel_map
 
 PAPER_ROWS: Dict[float, int] = {0.0: 4685, 0.1: 4066, 0.15: 3622, 0.2: 3107, 0.33: 502}
 
@@ -72,11 +74,24 @@ class Table2Result:
         return "\n".join(lines)
 
 
+def _simulate_row(p0: float, max_epochs: int, beta0: float) -> Optional[int]:
+    """Simulated threshold epoch for one beta0 (picklable for workers)."""
+    outcome = run_slashable_byzantine_scenario(beta0=beta0, p0=p0, max_epochs=max_epochs)
+    branches = outcome.simulation.branches if outcome.simulation else {}
+    threshold_epochs = [
+        branch.threshold_epoch
+        for branch in branches.values()
+        if branch.threshold_epoch is not None
+    ]
+    return max(threshold_epochs) if len(threshold_epochs) == len(branches) else None
+
+
 def run(
     beta0_values: Sequence[float] = tuple(PAPER_ROWS),
     p0: float = 0.5,
     include_simulation: bool = True,
     simulation_max_epochs: int = 6000,
+    jobs: Optional[int] = None,
     latency_model: Optional[str] = None,
     latency_seed: int = 0,
     latency_validators: int = 10_000,
@@ -85,10 +100,13 @@ def run(
 
     ``include_simulation`` additionally cross-checks each row against the
     discrete aggregate simulator (scenario 5.2.1), reporting the epoch at
-    which the slower branch regains the supermajority.  ``latency_model``
-    adds a measured partitioned slot-simulation at mainnet scale under
-    the named latency model, re-validating the table's
-    partition-stalls-finalization premise under realistic propagation.
+    which the slower branch regains the supermajority; ``jobs`` fans
+    those per-beta0 simulations (the dominant cost — thousands of epochs
+    each) across worker processes without changing any result.
+    ``latency_model`` adds a measured partitioned slot-simulation at
+    mainnet scale under the named latency model, re-validating the
+    table's partition-stalls-finalization premise under realistic
+    propagation.
     """
     analytical = {
         beta0: epochs_to_conflicting_finalization(ByzantineStrategy.SLASHING, p0, beta0)
@@ -96,17 +114,13 @@ def run(
     }
     simulated: Dict[float, Optional[int]] = {}
     if include_simulation:
-        for beta0 in beta0_values:
-            outcome = run_slashable_byzantine_scenario(
-                beta0=beta0, p0=p0, max_epochs=simulation_max_epochs
-            )
-            branches = outcome.simulation.branches if outcome.simulation else {}
-            threshold_epochs = [
-                branch.threshold_epoch
-                for branch in branches.values()
-                if branch.threshold_epoch is not None
-            ]
-            simulated[beta0] = max(threshold_epochs) if len(threshold_epochs) == len(branches) else None
+        thresholds = parallel_map(
+            partial(_simulate_row, p0, simulation_max_epochs),
+            beta0_values,
+            jobs=jobs,
+            chunk_size=1,
+        )
+        simulated = dict(zip(beta0_values, thresholds))
     validation: Optional[Dict[str, object]] = None
     if latency_model is not None:
         from repro.experiments.network_measure import measure_partitioned_premise

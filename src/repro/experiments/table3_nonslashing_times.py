@@ -8,6 +8,7 @@ numerically).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.finalization_time import (
@@ -15,6 +16,7 @@ from repro.analysis.finalization_time import (
     epochs_to_conflicting_finalization,
 )
 from repro.analysis.partition_scenarios import run_non_slashable_byzantine_scenario
+from repro.core.trials import parallel_map
 
 PAPER_ROWS: Dict[float, int] = {0.0: 4685, 0.1: 4221, 0.15: 3819, 0.2: 3328, 0.33: 556}
 
@@ -67,19 +69,36 @@ class Table3Result:
         return "\n".join(lines)
 
 
+def _simulate_row(p0: float, max_epochs: int, beta0: float) -> Optional[int]:
+    """Simulated threshold epoch for one beta0 (picklable for workers)."""
+    outcome = run_non_slashable_byzantine_scenario(
+        beta0=beta0, p0=p0, max_epochs=max_epochs
+    )
+    branches = outcome.simulation.branches if outcome.simulation else {}
+    threshold_epochs = [
+        branch.threshold_epoch
+        for branch in branches.values()
+        if branch.threshold_epoch is not None
+    ]
+    return max(threshold_epochs) if len(threshold_epochs) == len(branches) else None
+
+
 def run(
     beta0_values: Sequence[float] = tuple(PAPER_ROWS),
     p0: float = 0.5,
     include_simulation: bool = True,
     simulation_max_epochs: int = 6000,
+    jobs: Optional[int] = None,
     latency_model: Optional[str] = None,
     latency_seed: int = 0,
     latency_validators: int = 10_000,
 ) -> Table3Result:
     """Reproduce Table 3, optionally cross-checking against the discrete simulator.
 
-    ``latency_model`` adds a measured partitioned slot-simulation at
-    mainnet scale under the named model (see Table 2).
+    ``jobs`` fans the per-beta0 cross-check simulations across worker
+    processes without changing any result.  ``latency_model`` adds a
+    measured partitioned slot-simulation at mainnet scale under the named
+    model (see Table 2).
     """
     analytical = {
         beta0: epochs_to_conflicting_finalization(
@@ -89,19 +108,13 @@ def run(
     }
     simulated: Dict[float, Optional[int]] = {}
     if include_simulation:
-        for beta0 in beta0_values:
-            outcome = run_non_slashable_byzantine_scenario(
-                beta0=beta0, p0=p0, max_epochs=simulation_max_epochs
-            )
-            branches = outcome.simulation.branches if outcome.simulation else {}
-            threshold_epochs = [
-                branch.threshold_epoch
-                for branch in branches.values()
-                if branch.threshold_epoch is not None
-            ]
-            simulated[beta0] = (
-                max(threshold_epochs) if len(threshold_epochs) == len(branches) else None
-            )
+        thresholds = parallel_map(
+            partial(_simulate_row, p0, simulation_max_epochs),
+            beta0_values,
+            jobs=jobs,
+            chunk_size=1,
+        )
+        simulated = dict(zip(beta0_values, thresholds))
     validation: Optional[Dict[str, object]] = None
     if latency_model is not None:
         from repro.experiments.network_measure import measure_partitioned_premise

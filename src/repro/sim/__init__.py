@@ -18,6 +18,14 @@ from repro.sim.scenarios import (
     build_partitioned_simulation,
     build_preset,
 )
+from repro.sim.sweeps import (
+    ScenarioSpec,
+    SweepResult,
+    run_sweep,
+    run_sweep_cached,
+    run_sweep_grid,
+    summarize_trial,
+)
 
 __all__ = [
     "BYZANTINE_STRATEGIES",
@@ -29,11 +37,17 @@ __all__ = [
     "ObserverSet",
     "SCENARIO_PRESETS",
     "SafetyObserver",
+    "ScenarioSpec",
     "SimulationEngine",
     "SimulationResult",
     "StakeObserver",
+    "SweepResult",
     "build_honest_simulation",
     "build_offline_fraction_simulation",
     "build_partitioned_simulation",
     "build_preset",
+    "run_sweep",
+    "run_sweep_cached",
+    "run_sweep_grid",
+    "summarize_trial",
 ]

@@ -10,13 +10,16 @@ import pytest
 
 from repro.analysis.montecarlo import BouncingMonteCarlo
 from repro.core.trials import (
+    TaskChunk,
     TrialChunk,
     group_chunks,
     parallel_map,
     plan_chunks,
+    plan_task_chunks,
     resolve_jobs,
     run_chunk_groups,
     run_chunked,
+    run_task_chunks,
     run_trials,
 )
 from repro.experiments import registry
@@ -31,6 +34,16 @@ def draw_sum(trial_index, rng):
 
 def chunk_lengths(chunk: TrialChunk) -> list:
     return [chunk.start + offset for offset in range(chunk.size)]
+
+
+def square_chunk(chunk: TaskChunk, offset: int = 0) -> list:
+    """Picklable task-chunk worker: one squared value per task."""
+    return [task * task + offset for task in chunk.tasks]
+
+
+def short_chunk(chunk: TaskChunk) -> list:
+    """Defective worker: drops the last task's result."""
+    return [task for task in chunk.tasks[:-1]]
 
 
 class TestChunkPlanning:
@@ -215,6 +228,49 @@ class TestParallelMap:
 
 def square(x):
     return x * x
+
+
+class TestTaskChunks:
+    """The task-generic chunked runner behind the slot-sim sweep engine."""
+
+    def test_plan_covers_all_tasks_in_order(self):
+        chunks = plan_task_chunks(list("abcdefg"), chunk_size=3)
+        assert [(c.start, c.tasks) for c in chunks] == [
+            (0, ("a", "b", "c")),
+            (3, ("d", "e", "f")),
+            (6, ("g",)),
+        ]
+        assert [c.stop for c in chunks] == [3, 6, 7]
+
+    def test_plan_of_no_tasks_is_empty(self):
+        assert plan_task_chunks([]) == []
+        assert run_task_chunks(square_chunk, []) == []
+
+    def test_invalid_chunk_size(self):
+        with pytest.raises(ValueError):
+            plan_task_chunks([1], chunk_size=0)
+
+    def test_results_in_task_order(self):
+        tasks = list(range(11))
+        assert run_task_chunks(square_chunk, tasks, chunk_size=4) == [
+            t * t for t in tasks
+        ]
+
+    def test_jobs_and_chunk_size_invariant(self):
+        tasks = list(range(10))
+        serial = run_task_chunks(square_chunk, tasks, jobs=1, chunk_size=4)
+        parallel = run_task_chunks(square_chunk, tasks, jobs=2, chunk_size=2)
+        fine = run_task_chunks(square_chunk, tasks, jobs=3, chunk_size=1)
+        assert serial == parallel == fine
+
+    def test_worker_args_forwarded(self):
+        assert run_task_chunks(
+            square_chunk, [1, 2], chunk_size=1, worker_args=(10,)
+        ) == [11, 14]
+
+    def test_result_count_validated(self):
+        with pytest.raises(ValueError):
+            run_task_chunks(short_chunk, [1, 2, 3], chunk_size=3)
 
 
 class TestMonteCarloParallelism:
