@@ -31,14 +31,19 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
+import itertools
 import json
 import os
 import pathlib
+import re
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional, Tuple, Union
 
 #: Bump to orphan every existing cache entry on a format change.
-ENTRY_VERSION = 1
+#: Version 2: mapping keys are type-tagged during canonicalisation, so
+#: ``{1: x}``, ``{"1": x}`` and ``{True: x}`` no longer collide into one
+#: key — entries written by version-1 code are unreachable.
+ENTRY_VERSION = 2
 
 #: Hex digest length: 32 hex chars (16 bytes) keeps filenames short while
 #: leaving collision probability negligible for any realistic cache size.
@@ -48,16 +53,47 @@ _DIGEST_SIZE = 16
 # ----------------------------------------------------------------------
 # Canonicalisation
 # ----------------------------------------------------------------------
+#: Mapping-key type tags.  A plain string key passes through untouched
+#: unless it *looks* like a tagged key, in which case it is escaped with
+#: the ``s:`` tag — so ordinary JSON-native payloads (summary rows,
+#: config dicts) canonicalise to themselves, while ``{1: x}``,
+#: ``{"1": x}`` and ``{True: x}`` all map to distinct canonical keys.
+_KEY_TAG_RE = re.compile(r"^(?:s|i|b|f|n|r):")
+
+
+def _canonical_key(key: Any) -> str:
+    """The canonical string form of one mapping key, type-encoded.
+
+    ``str`` keys stay verbatim (escaped with ``s:`` only when they match
+    the tag syntax themselves); every other type carries an explicit tag
+    (``b:`` bool before ``i:`` int — bool subclasses int — then ``f:``
+    float, ``n:`` None, ``r:`` repr fallback).  Distinct key types can
+    therefore never collapse into one canonical key.
+    """
+    if isinstance(key, str):
+        return f"s:{key}" if _KEY_TAG_RE.match(key) else key
+    if isinstance(key, bool):
+        return f"b:{key}"
+    if isinstance(key, int):
+        return f"i:{key}"
+    if isinstance(key, float):
+        return f"f:{key!r}"
+    if key is None:
+        return "n:"
+    return f"r:{key!r}"
+
+
 def canonical_value(value: Any) -> Any:
     """Reduce ``value`` to plain JSON types, canonically.
 
-    Dataclasses become dictionaries, mappings get string keys, tuples,
-    lists and frozen/plain sets become lists (sets are sorted by their
-    repr, so order is deterministic), and objects exposing ``item()``
-    (numpy scalars) collapse to the underlying Python number.  Anything
-    else falls back to ``repr`` — stable for the config objects used
-    here, and never silently ambiguous (two distinct reprs cannot
-    collide into one key component).
+    Dataclasses become dictionaries, mappings get type-encoded string
+    keys (see :func:`_canonical_key`), tuples, lists and frozen/plain
+    sets become lists (sets are sorted by their repr, so order is
+    deterministic), and objects exposing ``item()`` (numpy scalars)
+    collapse to the underlying Python number.  Anything else falls back
+    to ``repr`` — stable for the config objects used here, and never
+    silently ambiguous (two distinct reprs cannot collide into one key
+    component).
     """
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
         return {
@@ -65,7 +101,9 @@ def canonical_value(value: Any) -> Any:
             for f in dataclasses.fields(value)
         }
     if isinstance(value, dict):
-        return {str(key): canonical_value(item) for key, item in value.items()}
+        return {
+            _canonical_key(key): canonical_value(item) for key, item in value.items()
+        }
     if isinstance(value, (list, tuple)):
         return [canonical_value(item) for item in value]
     if isinstance(value, (set, frozenset)):
@@ -80,6 +118,33 @@ def canonical_value(value: Any) -> Any:
 def canonical_json(value: Any) -> str:
     """The canonical JSON form of ``value`` (sorted keys, no whitespace)."""
     return json.dumps(canonical_value(value), sort_keys=True, separators=(",", ":"))
+
+
+# ----------------------------------------------------------------------
+# Atomic writes
+# ----------------------------------------------------------------------
+#: Per-process tmp-name discriminator: two threads writing the same key
+#: in one process must never share a tmp file (``next`` on a counter is
+#: atomic under the GIL), and the pid keeps processes apart.
+_tmp_counter = itertools.count()
+
+
+def atomic_write_text(path: pathlib.Path, text: str) -> None:
+    """Write ``text`` to ``path`` atomically (tmp file + ``os.replace``).
+
+    Readers never observe a partial file.  The tmp name is unique per
+    (process, call) — concurrent writers of the same path each replace
+    the whole file, last writer wins — and a failed write always removes
+    its tmp file, so no ``.tmp*`` litter survives an error or a crash
+    between retries.  Used by the result cache and the experiment
+    service's job store alike.
+    """
+    tmp_path = path.with_name(f"{path.name}.tmp-{os.getpid()}-{next(_tmp_counter)}")
+    try:
+        tmp_path.write_text(text, encoding="utf-8")
+        os.replace(tmp_path, path)
+    finally:
+        tmp_path.unlink(missing_ok=True)
 
 
 # ----------------------------------------------------------------------
@@ -134,6 +199,12 @@ def result_key(
 # ----------------------------------------------------------------------
 # The store
 # ----------------------------------------------------------------------
+#: Private miss sentinel: a stored payload may legitimately be ``None``,
+#: so lookups that must distinguish "not present" from "present and
+#: None" compare against this object instead of ``None``.
+_MISS = object()
+
+
 @dataclass
 class CacheStats:
     """Hit/miss accounting for one :class:`ResultCache` instance."""
@@ -183,20 +254,22 @@ class ResultCache:
         return self.cache_dir / f"{key}.json"
 
     # ------------------------------------------------------------------
-    def fetch_key(self, key: str) -> Optional[Any]:
-        """The payload stored under ``key``, or ``None`` on a miss.
+    def _lookup(self, key: str) -> Any:
+        """The payload stored under ``key``, or the :data:`_MISS` sentinel.
 
         Any defect in the on-disk entry — unreadable, non-JSON, missing
         fields, version or key mismatch — is treated as a miss (and
         counted in ``stats.corrupted``), so a later :meth:`store`
-        replaces the bad entry.
+        replaces the bad entry.  The sentinel (never ``None``) signals
+        the miss, so a stored-``None`` payload is a perfectly ordinary
+        hit.
         """
         path = self.path_for_key(key)
         try:
             raw = path.read_text(encoding="utf-8")
         except OSError:
             self.stats.misses += 1
-            return None
+            return _MISS
         try:
             entry = json.loads(raw)
             if (
@@ -209,13 +282,34 @@ class ResultCache:
         except (ValueError, TypeError):
             self.stats.corrupted += 1
             self.stats.misses += 1
-            return None
+            return _MISS
         self.stats.hits += 1
         return entry["payload"]
+
+    def fetch_key(self, key: str) -> Optional[Any]:
+        """The payload stored under ``key``, or ``None`` on a miss.
+
+        ``None`` is ambiguous here (a stored payload may itself be
+        ``None``); use :meth:`contains` or :meth:`fetch_or_compute` when
+        the distinction matters — both detect misses via a private
+        sentinel, never the payload value.
+        """
+        payload = self._lookup(key)
+        return None if payload is _MISS else payload
 
     def fetch(self, experiment: str, config: Any, seed: Any = None) -> Optional[Any]:
         """Look up ``(experiment, config, seed)``; ``None`` on a miss."""
         return self.fetch_key(self.key_for(experiment, config, seed))
+
+    def contains(self, experiment: str, config: Any, seed: Any = None) -> bool:
+        """True when a valid entry exists (without hit/miss accounting)."""
+        key = self.key_for(experiment, config, seed)
+        stats = self.stats
+        self.stats = CacheStats()
+        try:
+            return self._lookup(key) is not _MISS
+        finally:
+            self.stats = stats
 
     # ------------------------------------------------------------------
     def store(
@@ -225,7 +319,10 @@ class ResultCache:
 
         The entry records the full addressing tuple alongside the payload
         so entries stay debuggable (``cat`` shows what produced them).
-        The write is atomic — readers never observe a partial entry.
+        The write is atomic with a per-(process, call) unique tmp name —
+        concurrent same-key stores never share a tmp file — and a failed
+        write cleans its tmp file up instead of leaving ``.tmp*`` litter
+        the corrupted-entry scan cannot reclaim.
         """
         key = self.key_for(experiment, config, seed)
         entry = {
@@ -237,10 +334,7 @@ class ResultCache:
             "fingerprint": self.fingerprint,
             "payload": canonical_value(payload),
         }
-        path = self.path_for_key(key)
-        tmp_path = path.with_name(path.name + f".tmp{os.getpid()}")
-        tmp_path.write_text(json.dumps(entry, indent=2) + "\n", encoding="utf-8")
-        os.replace(tmp_path, path)
+        atomic_write_text(self.path_for_key(key), json.dumps(entry, indent=2) + "\n")
         self.stats.stores += 1
         return key
 
@@ -257,9 +351,11 @@ class ResultCache:
         On a miss, ``compute()`` runs, its payload is stored, and the
         *JSON round-trip* of the payload is returned — so the miss path
         returns exactly what every later hit will return, byte for byte.
+        Misses are detected with a private sentinel, never the payload
+        value: a stored ``None`` is a hit, not a permanent recompute.
         """
-        cached = self.fetch(experiment, config, seed)
-        if cached is not None:
+        cached = self._lookup(self.key_for(experiment, config, seed))
+        if cached is not _MISS:
             return cached, True
         payload = compute()
         self.store(experiment, config, seed=seed, payload=payload)

@@ -41,6 +41,16 @@ import numpy as np
 DEFAULT_CHUNK_SIZE = 64
 
 
+class DispatchCancelled(RuntimeError):
+    """A chunked dispatch was cancelled before every unit completed.
+
+    Raised by the dispatch core when a ``cancel`` predicate turns true.
+    Units already delivered through ``on_unit_done`` are final — the
+    experiment service persists each one as it arrives, so cancellation
+    (graceful shutdown, job timeout) loses at most the in-flight units.
+    """
+
+
 @dataclass(frozen=True)
 class TrialChunk:
     """A contiguous block of trial indices plus its spawned seed."""
@@ -103,6 +113,8 @@ def _dispatch_units(
     units: Sequence[Any],
     worker_args: Tuple[Any, ...],
     jobs: Optional[int],
+    on_unit_done: Optional[Callable[[int, List[Any]], None]] = None,
+    cancel: Optional[Callable[[], bool]] = None,
 ) -> List[Any]:
     """Run ``unit_runner(worker, unit, worker_args)`` for every unit; flatten.
 
@@ -110,16 +122,45 @@ def _dispatch_units(
     serial below two workers, a ``ProcessPoolExecutor`` otherwise, always
     flattening per-unit result lists in submission order — so the output
     never depends on ``jobs``.
+
+    ``on_unit_done(index, results)`` is called once per unit, in plan
+    order, as soon as the unit's results are available — the observation
+    hook the experiment service uses to persist per-trial results and
+    stream progress.  ``cancel()`` is polled between units; when it turns
+    true the dispatch raises :class:`DispatchCancelled` (pending pool
+    futures are cancelled; units already observed are final).
     """
     n_workers = min(resolve_jobs(jobs), len(units))
+    per_unit: List[List[Any]] = []
     if n_workers <= 1:
-        per_unit = [unit_runner(worker, unit, worker_args) for unit in units]
+        for index, unit in enumerate(units):
+            if cancel is not None and cancel():
+                raise DispatchCancelled(
+                    f"dispatch cancelled after {index} of {len(units)} units"
+                )
+            results = unit_runner(worker, unit, worker_args)
+            if on_unit_done is not None:
+                on_unit_done(index, results)
+            per_unit.append(results)
     else:
         with ProcessPoolExecutor(max_workers=n_workers) as pool:
             futures = [
                 pool.submit(unit_runner, worker, unit, worker_args) for unit in units
             ]
-            per_unit = [future.result() for future in futures]
+            try:
+                for index, future in enumerate(futures):
+                    if cancel is not None and cancel():
+                        raise DispatchCancelled(
+                            f"dispatch cancelled after {index} of {len(units)} units"
+                        )
+                    results = future.result()
+                    if on_unit_done is not None:
+                        on_unit_done(index, results)
+                    per_unit.append(results)
+            except BaseException:
+                for future in futures:
+                    future.cancel()
+                raise
     return [result for unit_results in per_unit for result in unit_results]
 
 
@@ -272,6 +313,8 @@ def run_task_chunks(
     jobs: Optional[int] = None,
     chunk_size: int = DEFAULT_CHUNK_SIZE,
     worker_args: Tuple[Any, ...] = (),
+    on_chunk_done: Optional[Callable[[TaskChunk, List[Any]], None]] = None,
+    cancel: Optional[Callable[[], bool]] = None,
 ) -> List[Any]:
     """Run ``worker(chunk, *worker_args)`` over chunks of ``tasks``; flatten.
 
@@ -282,9 +325,25 @@ def run_task_chunks(
     they are also independent of ``chunk_size`` whenever the worker is a
     pure function of each task.  When ``jobs`` > 1 the worker and every
     task must be picklable.
+
+    ``on_chunk_done(chunk, results)`` fires once per chunk in plan order
+    as results arrive (so callers can persist/stream incrementally);
+    ``cancel()`` is polled between chunks and aborts the dispatch with
+    :class:`DispatchCancelled` — chunks already observed are final.
     """
     chunks = plan_task_chunks(tasks, chunk_size=chunk_size)
-    return _dispatch_units(_run_task_chunk_worker, worker, chunks, worker_args, jobs)
+    on_unit_done = None
+    if on_chunk_done is not None:
+        on_unit_done = lambda index, results: on_chunk_done(chunks[index], results)
+    return _dispatch_units(
+        _run_task_chunk_worker,
+        worker,
+        chunks,
+        worker_args,
+        jobs,
+        on_unit_done=on_unit_done,
+        cancel=cancel,
+    )
 
 
 class _PerTrialWorker:

@@ -75,6 +75,37 @@ class CachedResult:
         return str(self._payload.get("report", ""))
 
 
+def experiment_cache_query(options: Dict[str, Any]) -> tuple:
+    """The ``(config, seed)`` cache address of one experiment run.
+
+    ``jobs`` is deliberately excluded — results are jobs-invariant by
+    contract, so runs at different parallelism levels share entries.
+    Shared by the CLI runner and the experiment service so a job
+    submitted to the service replays a result the CLI computed (and
+    vice versa).
+    """
+    key_options = {k: v for k, v in options.items() if k != "jobs"}
+    return {"options": key_options}, key_options.get("seed")
+
+
+def run_cached_experiment(
+    experiment_id: str, options: Dict[str, Any], cache: ResultCache
+) -> tuple:
+    """Run one registered experiment through the result cache.
+
+    Returns ``(payload, hit)`` where the payload is the experiment's
+    rows + rendered report (see :func:`_result_payload`).
+    """
+    experiment = registry.get(experiment_id)
+    config, seed = experiment_cache_query(options)
+    return cache.fetch_or_compute(
+        experiment_id,
+        config,
+        lambda: _result_payload(experiment.run(**options)),
+        seed=seed,
+    )
+
+
 def run_experiments(
     experiment_ids: Sequence[str],
     output_dir: Optional[pathlib.Path] = None,
@@ -129,13 +160,7 @@ def run_experiments(
         if latency_seed is not None and "latency_seed" in accepted:
             options["latency_seed"] = latency_seed
         if cache is not None and experiment.cacheable:
-            key_options = {k: v for k, v in options.items() if k != "jobs"}
-            payload, _hit = cache.fetch_or_compute(
-                experiment_id,
-                {"options": key_options},
-                lambda: _result_payload(experiment.run(**options)),
-                seed=key_options.get("seed"),
-            )
+            payload, _hit = run_cached_experiment(experiment_id, options, cache)
             result: object = CachedResult(payload)
         else:
             result = experiment.run(**options)

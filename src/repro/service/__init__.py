@@ -1,0 +1,33 @@
+"""The long-lived experiment service (ROADMAP item 4).
+
+Everything before this package was a one-shot CLI run: compute, print,
+exit.  The service layers crash-tolerant, resumable execution on top of
+the trial-parallel sweep engine (:mod:`repro.sim.sweeps`) and the
+content-addressed result cache (:mod:`repro.cache`):
+
+* :mod:`repro.service.jobs` — the persistent on-disk job store: one JSON
+  record per job (spec, options, state ``queued → running →
+  done/failed``, per-trial progress counters), written with the cache's
+  atomic-replace discipline so a reader never observes a torn record.
+* :mod:`repro.service.executor` — the worker loop: claims queued jobs,
+  executes sweep jobs with per-trial result granularity in the
+  :class:`~repro.cache.ResultCache` (a job killed mid-run — SIGKILL
+  included — resumes from exactly the trials already stored), retries
+  failures within a per-job attempt budget, enforces per-job timeouts,
+  and requeues in-flight work on graceful shutdown.
+* :mod:`repro.service.cli` — the ``repro-service`` command:
+  ``submit`` / ``status`` / ``watch`` / ``run-workers`` / ``results``,
+  with streaming progress (``watch`` tails the job record as trials
+  complete).
+"""
+
+from repro.service.executor import execute_job, run_worker_loop
+from repro.service.jobs import JOB_STATES, JobRecord, JobStore
+
+__all__ = [
+    "JOB_STATES",
+    "JobRecord",
+    "JobStore",
+    "execute_job",
+    "run_worker_loop",
+]

@@ -21,13 +21,18 @@ execution layer:
   one flat JSON-native summary row (finalization lag, peak view count,
   safety/liveness flags, balance-held slots), the unit of storage for
   the content-addressed result cache (:mod:`repro.cache`).
-* :func:`run_sweep_cached` — the cache-wired entry point the experiment
-  service sits on: a repeated sweep query is a disk read, not a
-  recompute.
+* :func:`run_sweep_cached` — the whole-sweep cache wiring: a repeated
+  sweep query is a disk read, not a recompute.
+* :func:`run_sweep_resumable` — the *per-trial* cache wiring the
+  experiment service (:mod:`repro.service`) executes jobs through: every
+  ``(spec, trial)`` cell is its own cache entry, stored as soon as its
+  chunk finishes, so an interrupted sweep resumes from exactly the
+  trials already on disk and a grown sweep reuses its prefix.
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -35,6 +40,12 @@ from repro.cache import ResultCache, canonical_value
 from repro.core.trials import TaskChunk, run_task_chunks
 from repro.sim.engine import SimulationEngine
 from repro.sim.results import SimulationResult
+
+#: Cache "experiment" id of one sweep trial.  Per-trial entries are keyed
+#: on the spec's canonical form plus the trial index — deliberately *not*
+#: on ``n_trials`` — so extending a sweep from 100 to 1000 trials, or
+#: resuming one killed mid-run, recomputes only the missing trials.
+TRIAL_EXPERIMENT = "sim-sweep-trial"
 
 #: Default trials per dispatched chunk.  Sweep trials are heavyweight
 #: (milliseconds to seconds each), so chunks are much smaller than the
@@ -151,6 +162,31 @@ class ScenarioSpec:
             "seed": self.seed,
             "label": self.name,
         }
+
+    @classmethod
+    def from_canonical(cls, data: Mapping[str, Any]) -> "ScenarioSpec":
+        """Rebuild a spec from its :meth:`canonical` form.
+
+        The inverse the experiment service needs: job records store specs
+        as canonical JSON, and workers reconstruct them on claim.  A
+        ``config`` kwarg that canonicalised into a plain field dict is
+        re-inflated into a :class:`~repro.spec.config.SpecConfig`; every
+        other kwarg must already be JSON-native (the declarative-kwargs
+        contract above).
+        """
+        kwargs = dict(data.get("kwargs") or {})
+        config = kwargs.get("config")
+        if isinstance(config, Mapping):
+            from repro.spec.config import SpecConfig
+
+            kwargs["config"] = SpecConfig(**config)
+        return cls(
+            builder=data["builder"],
+            kwargs=kwargs,
+            epochs=int(data.get("epochs", 2)),
+            seed=str(data.get("seed", "sweep")),
+            label=data.get("label"),
+        )
 
 
 # ----------------------------------------------------------------------
@@ -376,4 +412,91 @@ def run_sweep_cached(
             specs=payload["specs"],
         ),
         hit,
+    )
+
+
+def trial_cache_query(spec: ScenarioSpec, trial: int) -> Tuple[Dict[str, Any], str]:
+    """The ``(config, seed)`` cache address of one sweep trial.
+
+    A pure function of ``(spec, trial)`` only — never of ``n_trials``,
+    ``jobs`` or chunking — so any sweep over the same spec shares trial
+    entries with any other, whatever its size or how it was interrupted.
+    """
+    return {"spec": spec.canonical(), "trial": int(trial)}, spec.trial_seed(trial)
+
+
+def run_sweep_resumable(
+    specs: Sequence[ScenarioSpec],
+    n_trials: int,
+    cache: ResultCache,
+    *,
+    jobs: Optional[int] = None,
+    chunk_size: int = SWEEP_CHUNK_SIZE,
+    progress: Optional[Any] = None,
+    cancel: Optional[Any] = None,
+) -> SweepResult:
+    """A grid sweep with *per-trial* result granularity in the cache.
+
+    The execution path the experiment service runs jobs through.  Every
+    ``(spec, trial)`` cell is first looked up in ``cache`` under
+    :data:`TRIAL_EXPERIMENT`; only the missing cells are dispatched (in
+    chunks, through the cancellable runner), and each finished chunk's
+    rows are stored *immediately* — so a run killed at any point, SIGKILL
+    included, resumes from exactly the trials already on disk.  Rows are
+    byte-identical to an uninterrupted run because hits and fresh
+    computations alike are JSON round-trips of the same summary rows,
+    assembled in (spec, trial) grid order.
+
+    ``progress(done, total, cached)`` is called once up front (the
+    resume point) and after every stored chunk.  ``cancel()`` is polled
+    between chunks; cancellation propagates
+    :class:`~repro.core.trials.DispatchCancelled` after the already-
+    finished chunks were persisted — the graceful-shutdown contract.
+    """
+    if n_trials <= 0:
+        raise ValueError("n_trials must be positive")
+    specs = tuple(specs)
+    if not specs:
+        raise ValueError("at least one ScenarioSpec is required")
+    tasks = [
+        (spec_index, trial)
+        for spec_index in range(len(specs))
+        for trial in range(n_trials)
+    ]
+    rows: Dict[Tuple[int, int], Dict[str, Any]] = {}
+    pending: List[Tuple[int, int]] = []
+    for task in tasks:
+        config, seed = trial_cache_query(specs[task[0]], task[1])
+        payload = cache.fetch(TRIAL_EXPERIMENT, config, seed)
+        if payload is None:  # rows are dicts, so None is unambiguous here
+            pending.append(task)
+        else:
+            rows[task] = payload
+    cached = len(rows)
+    if progress is not None:
+        progress(cached, len(tasks), cached)
+
+    def store_chunk(chunk: TaskChunk, chunk_rows: List[Dict[str, Any]]) -> None:
+        for task, row in zip(chunk.tasks, chunk_rows):
+            config, seed = trial_cache_query(specs[task[0]], task[1])
+            cache.store(TRIAL_EXPERIMENT, config, seed=seed, payload=row)
+            # The same round-trip a later hit performs, so resumed and
+            # uninterrupted runs return byte-identical rows.
+            rows[task] = json.loads(json.dumps(canonical_value(row)))
+        if progress is not None:
+            progress(len(rows), len(tasks), cached)
+
+    if pending:
+        run_task_chunks(
+            _SweepWorker(specs),
+            pending,
+            jobs=jobs,
+            chunk_size=chunk_size,
+            on_chunk_done=store_chunk,
+            cancel=cancel,
+        )
+    return SweepResult(
+        n_trials=n_trials,
+        trial_rows=[rows[task] for task in tasks],
+        specs=[spec.canonical() for spec in specs],
     )

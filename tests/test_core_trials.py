@@ -10,6 +10,7 @@ import pytest
 
 from repro.analysis.montecarlo import BouncingMonteCarlo
 from repro.core.trials import (
+    DispatchCancelled,
     TaskChunk,
     TrialChunk,
     group_chunks,
@@ -271,6 +272,93 @@ class TestTaskChunks:
     def test_result_count_validated(self):
         with pytest.raises(ValueError):
             run_task_chunks(short_chunk, [1, 2, 3], chunk_size=3)
+
+
+class TestObservableCancellableDispatch:
+    """The service-facing dispatch hooks: per-chunk observation + cancel."""
+
+    def test_on_chunk_done_fires_in_plan_order(self):
+        observed = []
+        results = run_task_chunks(
+            square_chunk,
+            list(range(7)),
+            jobs=1,
+            chunk_size=3,
+            on_chunk_done=lambda chunk, rows: observed.append(
+                (chunk.start, tuple(rows))
+            ),
+        )
+        assert results == [t * t for t in range(7)]
+        assert observed == [(0, (0, 1, 4)), (3, (9, 16, 25)), (6, (36,))]
+
+    def test_on_chunk_done_fires_under_process_pool(self):
+        observed = []
+        results = run_task_chunks(
+            square_chunk,
+            list(range(6)),
+            jobs=2,
+            chunk_size=2,
+            on_chunk_done=lambda chunk, rows: observed.append(chunk.start),
+        )
+        assert results == [t * t for t in range(6)]
+        assert observed == [0, 2, 4]
+
+    def test_cancel_raises_after_observed_chunks(self):
+        observed = []
+
+        def on_chunk(chunk, rows):
+            observed.append(chunk.start)
+
+        with pytest.raises(DispatchCancelled):
+            run_task_chunks(
+                square_chunk,
+                list(range(6)),
+                jobs=1,
+                chunk_size=2,
+                on_chunk_done=on_chunk,
+                cancel=lambda: len(observed) >= 2,
+            )
+        # Chunks observed before the cancellation are final.
+        assert observed == [0, 2]
+
+    def test_cancel_before_start_runs_nothing(self):
+        observed = []
+        with pytest.raises(DispatchCancelled):
+            run_task_chunks(
+                square_chunk,
+                [1, 2],
+                jobs=1,
+                chunk_size=1,
+                on_chunk_done=lambda chunk, rows: observed.append(chunk.start),
+                cancel=lambda: True,
+            )
+        assert observed == []
+
+    def test_cancel_under_process_pool(self):
+        observed = []
+        with pytest.raises(DispatchCancelled):
+            run_task_chunks(
+                square_chunk,
+                list(range(8)),
+                jobs=2,
+                chunk_size=2,
+                on_chunk_done=lambda chunk, rows: observed.append(chunk.start),
+                cancel=lambda: len(observed) >= 1,
+            )
+        assert observed[0] == 0
+
+    def test_no_hooks_is_the_legacy_path(self):
+        tasks = list(range(9))
+        plain = run_task_chunks(square_chunk, tasks, jobs=1, chunk_size=4)
+        hooked = run_task_chunks(
+            square_chunk,
+            tasks,
+            jobs=1,
+            chunk_size=4,
+            on_chunk_done=lambda chunk, rows: None,
+            cancel=lambda: False,
+        )
+        assert plain == hooked
 
 
 class TestMonteCarloParallelism:

@@ -8,6 +8,7 @@ wiring (``--cache-dir`` replays an experiment's rows and report).
 
 import dataclasses
 import json
+import threading
 
 import numpy as np
 import pytest
@@ -52,6 +53,53 @@ class TestCanonicalisation:
 
     def test_key_order_is_canonical(self):
         assert canonical_json({"b": 1, "a": 2}) == canonical_json({"a": 2, "b": 1})
+
+
+class TestKeyTypeCanonicalisation:
+    """Mapping keys are type-encoded: distinct key types never collide."""
+
+    FP = "0" * 32
+
+    def test_int_str_and_bool_keys_key_separately(self):
+        int_key = result_key("exp", {1: "x"}, fingerprint=self.FP)
+        str_key = result_key("exp", {"1": "x"}, fingerprint=self.FP)
+        bool_key = result_key("exp", {True: "x"}, fingerprint=self.FP)
+        assert len({int_key, str_key, bool_key}) == 3
+
+    def test_distinct_configs_round_trip_distinct_payloads(self, tmp_path):
+        cache = ResultCache(tmp_path, fingerprint=self.FP)
+        cache.store("exp", {1: "x"}, payload="int-config")
+        cache.store("exp", {"1": "x"}, payload="str-config")
+        cache.store("exp", {True: "x"}, payload="bool-config")
+        assert cache.fetch("exp", {1: "x"}) == "int-config"
+        assert cache.fetch("exp", {"1": "x"}) == "str-config"
+        assert cache.fetch("exp", {True: "x"}) == "bool-config"
+
+    def test_plain_string_keys_pass_through_untagged(self):
+        # Ordinary payloads (summary rows, option dicts) canonicalise to
+        # themselves — the byte-identity contract of the sweep rows.
+        row = {"scenario": "honest", "trial": 3, "safety_violated": False}
+        assert canonical_value(row) == row
+
+    def test_tag_lookalike_string_keys_are_escaped(self):
+        # A string key that *looks* like a tagged key must not collide
+        # with the genuinely-typed key it imitates.
+        assert canonical_json({"i:1": "x"}) != canonical_json({1: "x"})
+        assert canonical_json({"s:a": "x"}) != canonical_json({"a": "x"})
+        # Escaping is stable: equal inputs still give equal forms.
+        assert canonical_json({"i:1": "x"}) == canonical_json({"i:1": "x"})
+
+    def test_none_and_float_keys_are_distinct(self):
+        forms = {
+            canonical_json({key: "x"})
+            for key in (None, 0, 0.0, False, "0", "None")
+        }
+        assert len(forms) == 6
+
+    def test_version_was_bumped_for_the_key_change(self):
+        # Entries written before the type-tagged canonicalisation are
+        # orphaned by the version bump, never replayed under a new key.
+        assert ENTRY_VERSION >= 2
 
 
 class TestResultKey:
@@ -143,6 +191,90 @@ class TestResultCache:
         stats.hits, stats.misses = 3, 1
         assert stats.lookups == 4
         assert stats.hit_rate == 0.75
+
+
+class TestStoredNonePayload:
+    """A stored ``None`` is a hit, not a permanent miss/recompute."""
+
+    def test_fetch_or_compute_round_trips_none(self, tmp_path):
+        cache = ResultCache(tmp_path, fingerprint="a" * 32)
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return None
+
+        cold, cold_hit = cache.fetch_or_compute("exp", {"x": 1}, compute)
+        warm, warm_hit = cache.fetch_or_compute("exp", {"x": 1}, compute)
+        assert cold is None and warm is None
+        assert not cold_hit and warm_hit
+        # Computed exactly once: the second lookup was served from disk.
+        assert calls == [1]
+        assert cache.stats.stores == 1
+
+    def test_stored_none_stats_are_consistent(self, tmp_path):
+        cache = ResultCache(tmp_path, fingerprint="a" * 32)
+        cache.fetch_or_compute("exp", {"x": 1}, lambda: None)
+        assert (cache.stats.hits, cache.stats.misses, cache.stats.stores) == (0, 1, 1)
+        cache.fetch_or_compute("exp", {"x": 1}, lambda: None)
+        # The hit did not also count a miss or trigger a store.
+        assert (cache.stats.hits, cache.stats.misses, cache.stats.stores) == (1, 1, 1)
+
+    def test_contains_distinguishes_stored_none_from_absence(self, tmp_path):
+        cache = ResultCache(tmp_path, fingerprint="a" * 32)
+        assert not cache.contains("exp", {"x": 1})
+        cache.store("exp", {"x": 1}, payload=None)
+        stats_before = (cache.stats.hits, cache.stats.misses)
+        assert cache.contains("exp", {"x": 1})
+        # contains() never skews the hit/miss accounting.
+        assert (cache.stats.hits, cache.stats.misses) == stats_before
+
+
+class TestTmpFileHygiene:
+    """Atomic writes: unique tmp names, no litter after failures."""
+
+    def test_failed_write_leaves_no_tmp_litter(self, tmp_path):
+        cache = ResultCache(tmp_path, fingerprint="a" * 32)
+        key = cache.key_for("exp", {"x": 1})
+        # A directory squatting on the entry path makes os.replace fail
+        # after the tmp file was already written.
+        cache.path_for_key(key).mkdir()
+        with pytest.raises(OSError):
+            cache.store("exp", {"x": 1}, payload=1)
+        assert not list(tmp_path.glob("*.tmp*"))
+        assert cache.stats.stores == 0
+
+    def test_concurrent_same_key_stores_never_collide(self, tmp_path):
+        cache = ResultCache(tmp_path, fingerprint="a" * 32)
+        errors = []
+
+        def hammer(worker_id):
+            try:
+                for _ in range(20):
+                    cache.store("exp", {"x": 1}, payload={"worker": worker_id})
+            except Exception as exc:  # noqa: BLE001 — collected for assertion
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer, args=(i,)) for i in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        assert not list(tmp_path.glob("*.tmp*"))
+        # Last writer wins with a fully-valid entry either way.
+        payload = cache.fetch("exp", {"x": 1})
+        assert payload in [{"worker": i} for i in range(4)]
+
+    def test_interleaved_writers_each_produce_valid_entries(self, tmp_path):
+        # Two caches (as two "processes") writing the same key: whoever
+        # lands last, the entry must validate on read.
+        first = ResultCache(tmp_path, fingerprint="a" * 32)
+        second = ResultCache(tmp_path, fingerprint="a" * 32)
+        first.store("exp", {"x": 1}, payload="first")
+        second.store("exp", {"x": 1}, payload="second")
+        assert first.fetch("exp", {"x": 1}) == "second"
+        assert first.stats.corrupted == 0
 
 
 class TestRunnerCacheWiring:

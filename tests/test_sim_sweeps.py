@@ -12,14 +12,18 @@ import pickle
 import pytest
 
 from repro.cache import ResultCache
+from repro.core.trials import DispatchCancelled
 from repro.experiments import balancing_duration, registry
 from repro.sim.sweeps import (
     SWEEP_CHUNK_SIZE,
+    TRIAL_EXPERIMENT,
     ScenarioSpec,
     run_sweep,
     run_sweep_cached,
     run_sweep_grid,
+    run_sweep_resumable,
     summarize_trial,
+    trial_cache_query,
 )
 
 #: Small but non-trivial balancing-attack workload: 32 validators split
@@ -167,6 +171,133 @@ class TestCachedSweeps:
         run_sweep_cached([BALANCING], 2, cache, jobs=1)
         _, hit = run_sweep_cached([BALANCING], 3, cache, jobs=1)
         assert not hit
+
+
+class TestResumableSweeps:
+    """Per-trial cache granularity: resume, grow, and cancel sweeps."""
+
+    SPEC = ScenarioSpec(builder="honest", kwargs={"n_validators": 8}, epochs=2, seed="resume")
+
+    def test_rows_match_the_plain_sweep_byte_for_byte(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        resumable = run_sweep_resumable([self.SPEC], 3, cache, jobs=1)
+        plain = run_sweep(self.SPEC, 3, jobs=1)
+        assert rows_json(resumable) == rows_json(plain)
+        assert cache.stats.stores == 3
+
+    def test_replay_computes_nothing(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cold = run_sweep_resumable([self.SPEC], 3, cache, jobs=1)
+        replay_cache = ResultCache(tmp_path)
+        warm = run_sweep_resumable([self.SPEC], 3, replay_cache, jobs=1)
+        assert replay_cache.stats.stores == 0
+        assert replay_cache.stats.hits == 3
+        assert rows_json(cold) == rows_json(warm)
+
+    def test_grown_sweep_reuses_its_prefix(self, tmp_path):
+        # Trial keys never include n_trials: extending a sweep computes
+        # only the new tail.
+        cache = ResultCache(tmp_path)
+        small = run_sweep_resumable([self.SPEC], 2, cache, jobs=1)
+        grow_cache = ResultCache(tmp_path)
+        grown = run_sweep_resumable([self.SPEC], 5, grow_cache, jobs=1)
+        assert grow_cache.stats.stores == 3
+        assert rows_json(grown)[1:-1].startswith(rows_json(small)[1:-1])
+
+    def test_trial_cache_query_is_n_trials_free(self):
+        config, seed = trial_cache_query(self.SPEC, 4)
+        assert config == {"spec": self.SPEC.canonical(), "trial": 4}
+        assert seed == self.SPEC.trial_seed(4)
+
+    def test_progress_streams_resume_point_then_chunks(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        # Pre-store one trial, then watch the counters stream.
+        run_sweep_resumable([self.SPEC], 1, cache, jobs=1)
+        events = []
+        run_sweep_resumable(
+            [self.SPEC],
+            3,
+            ResultCache(tmp_path),
+            jobs=1,
+            chunk_size=1,
+            progress=lambda done, total, cached: events.append((done, total, cached)),
+        )
+        assert events == [(1, 3, 1), (2, 3, 1), (3, 3, 1)]
+
+    def test_cancel_persists_finished_chunks_then_resumes(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        with pytest.raises(DispatchCancelled):
+            run_sweep_resumable(
+                [self.SPEC],
+                4,
+                cache,
+                jobs=1,
+                chunk_size=1,
+                cancel=lambda: cache.stats.stores >= 2,
+            )
+        assert cache.stats.stores == 2
+        resume_cache = ResultCache(tmp_path)
+        resumed = run_sweep_resumable([self.SPEC], 4, resume_cache, jobs=1)
+        # Only the missing half computed on resume...
+        assert resume_cache.stats.stores == 2
+        # ...and the result equals an uninterrupted run byte for byte.
+        uninterrupted = run_sweep_resumable([self.SPEC], 4, ResultCache(tmp_path / "fresh"), jobs=1)
+        assert rows_json(resumed) == rows_json(uninterrupted)
+
+    def test_grid_rows_in_spec_major_order(self, tmp_path):
+        specs = [
+            ScenarioSpec(builder="honest", kwargs={"n_validators": 8}, label="a"),
+            ScenarioSpec(builder="honest", kwargs={"n_validators": 12}, label="b"),
+        ]
+        cache = ResultCache(tmp_path)
+        result = run_sweep_resumable(specs, 2, cache, jobs=1)
+        assert [(row["scenario"], row["trial"]) for row in result.rows()] == [
+            ("a", 0),
+            ("a", 1),
+            ("b", 0),
+            ("b", 1),
+        ]
+        plain = run_sweep_grid(specs, 2, jobs=1)
+        assert rows_json(result) == rows_json(plain)
+
+    def test_trial_entries_live_under_the_trial_experiment_id(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        run_sweep_resumable([self.SPEC], 1, cache, jobs=1)
+        config, seed = trial_cache_query(self.SPEC, 0)
+        assert cache.fetch(TRIAL_EXPERIMENT, config, seed) is not None
+
+    def test_invalid_arguments(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        with pytest.raises(ValueError):
+            run_sweep_resumable([self.SPEC], 0, cache)
+        with pytest.raises(ValueError):
+            run_sweep_resumable([], 2, cache)
+
+
+class TestSpecCanonicalRoundTrip:
+    def test_from_canonical_round_trips(self):
+        spec = ScenarioSpec(
+            builder="balancing",
+            kwargs={"n_validators": 32, "byzantine_fraction": 0.2},
+            epochs=3,
+            seed="rt",
+            label="case",
+        )
+        clone = ScenarioSpec.from_canonical(spec.canonical())
+        assert clone == spec
+        assert clone.canonical() == spec.canonical()
+
+    def test_from_canonical_reinflates_spec_config(self):
+        from repro.spec.config import SpecConfig
+
+        spec = ScenarioSpec(
+            builder="honest",
+            kwargs={"n_validators": 8, "config": SpecConfig.mainnet()},
+            epochs=2,
+        )
+        clone = ScenarioSpec.from_canonical(spec.canonical())
+        assert clone.kwargs["config"] == SpecConfig.mainnet()
+        assert clone.canonical() == spec.canonical()
 
 
 class TestBalancingDurationExperiment:
